@@ -1,0 +1,85 @@
+// E15: google-benchmark microkernels for the hot paths — ordering width
+// evaluation (the GA fitness), greedy/exact bag covers, bitset algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "ordering/evaluator.h"
+#include "setcover/exact.h"
+#include "setcover/greedy.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+void BM_EvaluateOrderingWidth(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Graph g = RandomGraph(n, 4 * n, 1);
+  Rng rng(2);
+  EliminationOrdering sigma = rng.Permutation(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateOrderingWidth(g, sigma));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateOrderingWidth)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GreedyCover(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 4, 3);
+  std::vector<Bitset> sets;
+  for (int e = 0; e < h.NumEdges(); ++e) sets.push_back(h.EdgeBits(e));
+  Bitset target(n);
+  for (int v = 0; v < n; v += 2) target.Set(v);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedySetCover(sets, target, &rng));
+  }
+}
+BENCHMARK(BM_GreedyCover)->Arg(32)->Arg(128);
+
+void BM_ExactCover(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 4, 3);
+  std::vector<Bitset> sets;
+  for (int e = 0; e < h.NumEdges(); ++e) sets.push_back(h.EdgeBits(e));
+  Bitset target(n);
+  for (int v = 0; v < n; v += 2) target.Set(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSetCover(sets, target));
+  }
+}
+BENCHMARK(BM_ExactCover)->Arg(16)->Arg(32);
+
+void BM_GhwOrderingEvaluation(benchmark::State& state) {
+  Hypergraph h = RandomHypergraph(64, 80, 2, 4, 5);
+  GhwEvaluator eval(h);
+  Rng rng(6);
+  EliminationOrdering sigma = rng.Permutation(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.EvaluateOrdering(sigma, CoverMode::kGreedy, &rng));
+  }
+}
+BENCHMARK(BM_GhwOrderingEvaluation);
+
+void BM_BitsetIntersectCount(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Bitset a(n), b(n);
+  for (int i = 0; i < n / 2; ++i) {
+    a.Set(rng.UniformInt(n));
+    b.Set(rng.UniformInt(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersectCount)->Arg(64)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace hypertree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Table 7.1 (GA-ghw upper bounds on benchmark hypergraphs).
+// Reproduced shape: the GA matches or improves the single-shot
+// bucket-elimination (min-fill + greedy covers) upper bound on most
+// instances — the thesis' improvement over the prior published bounds.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ga/ga_ghw.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+
+using namespace hypertree;
+
+int main() {
+  double scale = bench::Scale();
+  std::vector<Hypergraph> instances = {
+      AdderHypergraph(12),        // adder_* family
+      BridgeHypergraph(10),       // bridge_* family
+      CliqueHypergraph(10),       // clique_* family
+      Grid2DHypergraph(5),        // grid2d_*
+      Grid3DHypergraph(3),        // grid3d_*
+      CircuitHypergraph(8, 60, 5),   // ISCAS bNN stand-in
+      RandomHypergraph(40, 45, 2, 4, 6),
+  };
+  bench::Header("Table 7.1: GA-ghw upper bounds on benchmark hypergraphs",
+                "hypergraph            V     H  bucketelim  ga-min  ga-max  ga-avg  ga+seed");
+  int improved = 0, matched = 0, worse = 0;
+  for (const Hypergraph& h : instances) {
+    GhwEvaluator eval(h);
+    Rng rng(3);
+    int greedy = eval.EvaluateOrdering(MinFillOrdering(eval.primal(), &rng),
+                                       CoverMode::kGreedy, &rng);
+    int runs = std::max(1, static_cast<int>(3 * scale));
+    double sum = 0;
+    int mn = 1 << 30, mx = 0;
+    for (int run = 0; run < runs; ++run) {
+      GaConfig cfg;
+      cfg.population_size = 60;
+      cfg.max_iterations = static_cast<int>(80 * scale);
+      cfg.tournament_size = 3;
+      cfg.seed = 7000 + run;
+      GaResult res = GaGhw(h, cfg, CoverMode::kGreedy);
+      sum += res.best_fitness;
+      mn = std::min(mn, res.best_fitness);
+      mx = std::max(mx, res.best_fitness);
+    }
+    if (mn < greedy) {
+      ++improved;
+    } else if (mn == greedy) {
+      ++matched;
+    } else {
+      ++worse;
+    }
+    // Extension column: population seeded with greedy orderings (fixes
+    // the chain-family weakness without changing the thesis protocol).
+    GaConfig seeded_cfg;
+    seeded_cfg.population_size = 60;
+    seeded_cfg.max_iterations = static_cast<int>(80 * scale);
+    seeded_cfg.tournament_size = 3;
+    seeded_cfg.seed = 7999;
+    GaResult seeded =
+        GaGhw(h, seeded_cfg, CoverMode::kGreedy, /*seed_with_heuristics=*/true);
+    std::printf("%-20s %4d %5d %11d %7d %7d %7.1f %8d\n", h.name().c_str(),
+                h.NumVertices(), h.NumEdges(), greedy, mn, mx, sum / runs,
+                seeded.best_fitness);
+  }
+  std::printf("\nGA vs bucket elimination: improved %d, matched %d, worse "
+              "%d\n(expected: improved+matched dominate, matching Table "
+              "7.1)\n",
+              improved, matched, worse);
+  return 0;
+}

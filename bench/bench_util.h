@@ -1,0 +1,38 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Every binary prints the rows of the paper table it reproduces and
+// terminates in seconds at the default scale. Set HYPERTREE_BENCH_SCALE
+// (e.g. 10) to multiply the time budgets / iteration counts toward the
+// paper's original 1h-per-instance scale.
+
+#ifndef HYPERTREE_BENCH_BENCH_UTIL_H_
+#define HYPERTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hypertree::bench {
+
+/// Budget multiplier from HYPERTREE_BENCH_SCALE (default 1.0).
+inline double Scale() {
+  const char* s = std::getenv("HYPERTREE_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+/// Prints a table header followed by a separator line.
+inline void Header(const std::string& title, const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+  std::printf("%s\n", std::string(columns.size(), '-').c_str());
+}
+
+/// "12" or "12*" for inexact values.
+inline std::string Exactness(int value, bool exact) {
+  return std::to_string(value) + (exact ? "" : "*");
+}
+
+}  // namespace hypertree::bench
+
+#endif  // HYPERTREE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// E13 (survey, widths section): the width hierarchy
+// fhw <= ghw <= hw <= tw+1 measured across the generator families, plus
+// the ghw = 1 <=> alpha-acyclic characterization.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fhw/fractional_hypertree.h"
+#include "ghd/branch_and_bound.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/generators.h"
+#include "td/branch_and_bound.h"
+
+using namespace hypertree;
+
+int main() {
+  double scale = bench::Scale();
+  std::vector<Hypergraph> instances = {
+      RandomAcyclicHypergraph(15, 4, 1),
+      CycleHypergraph(10, 2),
+      CycleHypergraph(10, 3),
+      CliqueHypergraph(7),
+      Grid2DHypergraph(3),
+      AdderHypergraph(3),
+      BridgeHypergraph(3),
+      RandomHypergraph(12, 12, 2, 4, 4),
+  };
+  bench::Header("E13: width hierarchy fhw <= ghw <= hw <= tw+1",
+                "hypergraph            V     H  acyc   fhw<=   ghw    hw    tw  ok");
+  bool all_ok = true;
+  for (const Hypergraph& h : instances) {
+    SearchOptions budget;
+    budget.time_limit_seconds = 3.0 * scale;
+    GhwSearchOptions gbudget;
+    gbudget.time_limit_seconds = 3.0 * scale;
+    bool acyclic = IsAlphaAcyclic(h);
+    WidthResult ghw = BranchAndBoundGhw(h, gbudget);
+    double fhw = std::min(FhwUpperBound(h, 2, 5),
+                          FractionalWidthOfOrdering(h, ghw.best_ordering));
+    WidthResult hw = HypertreeWidth(h, budget);
+    WidthResult tw = BranchAndBoundTreewidth(h.PrimalGraph(), budget);
+    bool ok = true;
+    if (ghw.exact && hw.exact && ghw.upper_bound > hw.upper_bound) ok = false;
+    if (hw.exact && tw.exact && hw.upper_bound > tw.upper_bound + 1)
+      ok = false;
+    if (ghw.exact && (ghw.upper_bound == 1) != acyclic) ok = false;
+    all_ok &= ok;
+    std::printf("%-20s %4d %5d %5s %7.2f %5s %5s %5s  %s\n", h.name().c_str(),
+                h.NumVertices(), h.NumEdges(), acyclic ? "yes" : "no", fhw,
+                bench::Exactness(ghw.upper_bound, ghw.exact).c_str(),
+                bench::Exactness(hw.upper_bound, hw.exact).c_str(),
+                bench::Exactness(tw.upper_bound, tw.exact).c_str(),
+                ok ? "ok" : "VIOLATION");
+  }
+  std::printf("\nhierarchy %s on all instances\n",
+              all_ok ? "holds" : "VIOLATED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Width survey: sweep the benchmark hypergraph families and print the
+// whole width hierarchy per instance — the "questions and answers" table:
+// is it acyclic? what are fhw / ghw / hw / tw? which method answered?
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "fhw/fractional_hypertree.h"
+#include "ga/ga_ghw.h"
+#include "ghd/branch_and_bound.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/generators.h"
+#include "td/branch_and_bound.h"
+
+using namespace hypertree;
+
+int main() {
+  std::vector<Hypergraph> instances;
+  instances.push_back(RandomAcyclicHypergraph(20, 4, 1));
+  instances.push_back(CycleHypergraph(12, 2));
+  instances.push_back(CycleHypergraph(12, 3));
+  instances.push_back(CliqueHypergraph(8));
+  instances.push_back(Grid2DHypergraph(4));
+  instances.push_back(AdderHypergraph(4));
+  instances.push_back(BridgeHypergraph(4));
+  instances.push_back(CircuitHypergraph(6, 24, 7));
+
+  std::printf("%-16s %5s %5s %8s %6s %6s %6s %6s\n", "instance", "V", "E",
+              "acyclic", "fhw<=", "ghw", "hw", "tw");
+  for (const Hypergraph& h : instances) {
+    SearchOptions budget;
+    budget.time_limit_seconds = 5.0;
+    GhwSearchOptions gbudget;
+    gbudget.time_limit_seconds = 5.0;
+
+    bool acyclic = IsAlphaAcyclic(h);
+    WidthResult ghw = BranchAndBoundGhw(h, gbudget);
+    double fhw = std::min(FhwUpperBound(h, 3, 42),
+                          FractionalWidthOfOrdering(h, ghw.best_ordering));
+    WidthResult hw = HypertreeWidth(h, budget);
+    WidthResult tw = BranchAndBoundTreewidth(h.PrimalGraph(), budget);
+
+    char ghw_s[32], hw_s[32], tw_s[32];
+    std::snprintf(ghw_s, sizeof(ghw_s), "%d%s", ghw.upper_bound,
+                  ghw.exact ? "" : "*");
+    std::snprintf(hw_s, sizeof(hw_s), "%d%s", hw.upper_bound,
+                  hw.exact ? "" : "*");
+    std::snprintf(tw_s, sizeof(tw_s), "%d%s", tw.upper_bound,
+                  tw.exact ? "" : "*");
+    std::printf("%-16s %5d %5d %8s %6.2f %6s %6s %6s\n", h.name().c_str(),
+                h.NumVertices(), h.NumEdges(), acyclic ? "yes" : "no", fhw,
+                ghw_s, hw_s, tw_s);
+  }
+  std::printf("\n(* = upper bound only; budget 5s per measure)\n");
+  return 0;
+}

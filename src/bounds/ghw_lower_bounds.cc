@@ -1,0 +1,24 @@
+#include "bounds/ghw_lower_bounds.h"
+
+#include <algorithm>
+
+#include "bounds/lower_bounds.h"
+#include "hypergraph/acyclicity.h"
+
+namespace hypertree {
+
+int TwKscGhwLowerBound(const Hypergraph& h, Rng* rng) {
+  if (h.NumEdges() == 0) return 0;
+  int r = h.MaxEdgeSize();
+  int tw_lb = TreewidthLowerBound(h.PrimalGraph(), rng);
+  return (tw_lb + 1 + r - 1) / r;  // ceil((tw_lb + 1) / r)
+}
+
+int GhwLowerBound(const Hypergraph& h, Rng* rng) {
+  if (h.NumEdges() == 0) return 0;
+  int lb = TwKscGhwLowerBound(h, rng);
+  if (!IsAlphaAcyclic(h)) lb = std::max(lb, 2);
+  return std::max(lb, 1);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,29 @@
+// Lower bounds on generalized hypertree width (thesis §8.1, tw-ksc-width).
+//
+// Any GHD of H is also a tree decomposition of H, so a treewidth lower
+// bound L for the primal graph forces some chi-bag with at least L+1
+// vertices. Covering a set of L+1 vertices with hyperedges of cardinality
+// at most r takes at least ceil((L+1)/r) edges, which bounds the lambda
+// label of that bag, hence ghw(H) >= ceil((tw_lb(H)+1) / r). Additionally
+// ghw(H) = 1 iff H is alpha-acyclic, so any cyclic hypergraph has
+// ghw >= 2.
+
+#ifndef HYPERTREE_BOUNDS_GHW_LOWER_BOUNDS_H_
+#define HYPERTREE_BOUNDS_GHW_LOWER_BOUNDS_H_
+
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Combines a treewidth lower bound with the k-set-cover argument
+/// (thesis algorithm tw-ksc-width).
+int TwKscGhwLowerBound(const Hypergraph& h, Rng* rng = nullptr);
+
+/// Best known ghw lower bound: max of tw-ksc and the acyclicity bound
+/// (1 if alpha-acyclic, else >= 2).
+int GhwLowerBound(const Hypergraph& h, Rng* rng = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_BOUNDS_GHW_LOWER_BOUNDS_H_

@@ -1,0 +1,155 @@
+#include "bounds/lower_bounds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+namespace {
+
+// Scratch structure for contraction-based bounds.
+class ContractionGraph {
+ public:
+  explicit ContractionGraph(const Graph& g)
+      : n_(g.NumVertices()), alive_(g.NumVertices()) {
+    alive_.SetAll();
+    adj_.reserve(n_);
+    for (int v = 0; v < n_; ++v) adj_.push_back(g.NeighborBits(v));
+  }
+
+  int NumActive() const { return alive_.Count(); }
+  const Bitset& Alive() const { return alive_; }
+
+  int Degree(int v) const { return adj_[v].IntersectCount(alive_); }
+
+  bool Adjacent(int u, int v) const { return adj_[u].Test(v); }
+
+  /// Contracts v into u (u keeps v's neighbors) and removes v.
+  void Contract(int v, int u) {
+    adj_[u] |= adj_[v];
+    adj_[u].Reset(u);
+    adj_[u].Reset(v);
+    // Redirect v's neighbors to u.
+    Bitset nb = adj_[v] & alive_;
+    for (int w = nb.First(); w >= 0; w = nb.Next(w)) {
+      adj_[w].Reset(v);
+      if (w != u) adj_[w].Set(u);
+    }
+    alive_.Reset(v);
+  }
+
+  /// Removes an isolated vertex.
+  void Remove(int v) { alive_.Reset(v); }
+
+  /// Minimum-degree active vertex (random tie-break).
+  int MinDegreeVertex(Rng* rng) const {
+    int best = -1, best_deg = 0, ties = 0;
+    for (int v = alive_.First(); v >= 0; v = alive_.Next(v)) {
+      int d = Degree(v);
+      if (best == -1 || d < best_deg) {
+        best = v;
+        best_deg = d;
+        ties = 1;
+      } else if (d == best_deg && rng != nullptr) {
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = v;
+      }
+    }
+    return best;
+  }
+
+  /// Minimum-degree active neighbor of v (random tie-break); -1 if none.
+  int MinDegreeNeighbor(int v, Rng* rng) const {
+    Bitset nb = adj_[v] & alive_;
+    int best = -1, best_deg = 0, ties = 0;
+    for (int u = nb.First(); u >= 0; u = nb.Next(u)) {
+      int d = Degree(u);
+      if (best == -1 || d < best_deg) {
+        best = u;
+        best_deg = d;
+        ties = 1;
+      } else if (d == best_deg && rng != nullptr) {
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = u;
+      }
+    }
+    return best;
+  }
+
+ private:
+  int n_;
+  Bitset alive_;
+  std::vector<Bitset> adj_;
+};
+
+}  // namespace
+
+int MinorMinWidthLowerBound(const Graph& g, Rng* rng) {
+  ContractionGraph cg(g);
+  int lb = 0;
+  while (cg.NumActive() > 0) {
+    int v = cg.MinDegreeVertex(rng);
+    int d = cg.Degree(v);
+    lb = std::max(lb, d);
+    if (d == 0) {
+      cg.Remove(v);
+      continue;
+    }
+    int u = cg.MinDegreeNeighbor(v, rng);
+    cg.Contract(v, u);
+  }
+  return lb;
+}
+
+int MinorGammaRLowerBound(const Graph& g, Rng* rng) {
+  ContractionGraph cg(g);
+  int lb = 0;
+  while (cg.NumActive() > 1) {
+    // Sort active vertices by degree ascending; find the first vertex not
+    // adjacent to all its predecessors. Its degree is gamma_R of the
+    // current minor (for complete minors gamma_R = n-1).
+    std::vector<int> vs = cg.Alive().ToVector();
+    std::vector<int> deg(vs.size());
+    for (size_t i = 0; i < vs.size(); ++i) deg[i] = cg.Degree(vs[i]);
+    std::vector<int> idx(vs.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&deg](int a, int b) { return deg[a] < deg[b]; });
+    int pick = -1;
+    for (size_t i = 1; i < idx.size() && pick == -1; ++i) {
+      int v = vs[idx[i]];
+      for (size_t j = 0; j < i; ++j) {
+        if (!cg.Adjacent(vs[idx[j]], v)) {
+          pick = v;
+          break;
+        }
+      }
+    }
+    if (pick == -1) {
+      // The minor is a clique: treewidth of the original is >= n-1.
+      lb = std::max(lb, cg.NumActive() - 1);
+      break;
+    }
+    lb = std::max(lb, cg.Degree(pick));
+    int u = cg.MinDegreeNeighbor(pick, rng);
+    if (u == -1) {
+      cg.Remove(pick);
+    } else {
+      cg.Contract(pick, u);
+    }
+  }
+  return lb;
+}
+
+int DegeneracyLowerBound(const Graph& g) { return Degeneracy(g, nullptr); }
+
+int TreewidthLowerBound(const Graph& g, Rng* rng) {
+  int lb = std::max(MinorMinWidthLowerBound(g, rng), DegeneracyLowerBound(g));
+  lb = std::max(lb, MinorGammaRLowerBound(g, rng));
+  return lb;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,36 @@
+// Treewidth lower bound heuristics (thesis §4.4.2).
+//
+// minor-min-width (MMD+/least-c) and minor-gamma_R compute degree-based
+// bounds on a sequence of minors obtained by contracting a minimum-degree
+// vertex into its smallest-degree neighbor; contraction can only lower the
+// treewidth, so the largest bound seen is a valid lower bound for the
+// original graph.
+
+#ifndef HYPERTREE_BOUNDS_LOWER_BOUNDS_H_
+#define HYPERTREE_BOUNDS_LOWER_BOUNDS_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// minor-min-width (Gogate & Dechter; also MMD+(least-c)): max over
+/// contraction steps of the minimum degree. Random tie-breaking when
+/// `rng` is non-null.
+int MinorMinWidthLowerBound(const Graph& g, Rng* rng = nullptr);
+
+/// minor-gamma_R: the Ramachandramurthi gamma parameter evaluated on the
+/// same contraction sequence. gamma(G) = n-1 for complete graphs, else
+/// min over non-adjacent pairs {u, v} of max(deg(u), deg(v)).
+int MinorGammaRLowerBound(const Graph& g, Rng* rng = nullptr);
+
+/// Degeneracy (max over subgraphs of min degree); weaker than MMW but
+/// deterministic and cheap.
+int DegeneracyLowerBound(const Graph& g);
+
+/// Best of the above (the lower bound used by the exact algorithms).
+int TreewidthLowerBound(const Graph& g, Rng* rng = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_BOUNDS_LOWER_BOUNDS_H_

@@ -1,0 +1,227 @@
+#include "cq/answer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ghd/ghw_from_ordering.h"
+#include "ordering/heuristics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+// Binds atom `a` of `q` to its table: schema = distinct variable ids (in
+// first-occurrence order), rows filtered for repeated-variable equality.
+bool BindAtom(const Atom& atom, const std::map<std::string, int>& var_id,
+              const Database& db, Relation* out, std::string* error) {
+  const Table* table = db.GetTable(atom.relation);
+  if (table == nullptr) {
+    SetError(error, "unknown relation: " + atom.relation);
+    return false;
+  }
+  if (table->arity != static_cast<int>(atom.vars.size())) {
+    SetError(error, "arity mismatch for " + atom.relation);
+    return false;
+  }
+  // Distinct variables and the column positions they bind.
+  std::vector<int> schema;
+  std::vector<int> rep;  // rep[i] = first column with the same variable
+  std::vector<int> keep_cols;
+  {
+    std::map<int, int> first_col;
+    rep.resize(atom.vars.size());
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      int v = var_id.at(atom.vars[i]);
+      auto it = first_col.find(v);
+      if (it == first_col.end()) {
+        first_col[v] = static_cast<int>(i);
+        rep[i] = static_cast<int>(i);
+        schema.push_back(v);
+        keep_cols.push_back(static_cast<int>(i));
+      } else {
+        rep[i] = it->second;
+      }
+    }
+  }
+  Relation r(schema);
+  for (const auto& row : table->rows) {
+    bool ok = true;
+    for (size_t i = 0; i < row.size() && ok; ++i) {
+      if (rep[i] != static_cast<int>(i) && row[i] != row[rep[i]]) ok = false;
+    }
+    if (!ok) continue;
+    std::vector<int> tuple;
+    tuple.reserve(keep_cols.size());
+    for (int c : keep_cols) tuple.push_back(row[c]);
+    // Deduplicate: repeated rows in the table must not duplicate answers
+    // beyond set semantics.
+    if (!r.Contains(tuple)) r.AddTuple(std::move(tuple));
+  }
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
+                                    const Database& db, std::string* error,
+                                    AnswerStats* stats) {
+  std::vector<std::string> vars = q.Variables();
+  std::map<std::string, int> var_id;
+  for (size_t i = 0; i < vars.size(); ++i) var_id[vars[i]] = static_cast<int>(i);
+  std::vector<int> head_ids;
+  for (const std::string& v : q.head) head_ids.push_back(var_id[v]);
+  {
+    std::vector<int> sorted = head_ids;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      SetError(error, "repeated head variables are not supported");
+      return std::nullopt;
+    }
+  }
+
+  // Bind every atom.
+  std::vector<Relation> bound(q.atoms.size());
+  for (size_t a = 0; a < q.atoms.size(); ++a) {
+    if (!BindAtom(q.atoms[a], var_id, db, &bound[a], error)) {
+      return std::nullopt;
+    }
+  }
+
+  // Decompose the query hypergraph (min-fill + exact covers) and complete
+  // it so every atom is enforced at some node.
+  Hypergraph h = q.QueryHypergraph();
+  GhwEvaluator eval(h);
+  Rng rng(7);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(sigma, CoverMode::kExact);
+  ghd.MakeComplete(h);
+  if (stats != nullptr) stats->decomposition_width = ghd.Width();
+
+  int m = ghd.NumNodes();
+  // Node relations: pi_chi(join of lambda atom relations).
+  std::vector<Relation> rel(m);
+  for (int p = 0; p < m; ++p) {
+    const std::vector<int>& lambda = ghd.Lambda(p);
+    HT_CHECK(!lambda.empty() || ghd.td().Bag(p).None());
+    Relation acc;
+    bool first = true;
+    for (int e : lambda) {
+      acc = first ? bound[e] : acc.Join(bound[e]);
+      first = false;
+    }
+    std::vector<int> chi = ghd.td().Bag(p).ToVector();
+    if (first) {
+      rel[p] = Relation(chi);
+      rel[p].AddTuple({});
+    } else {
+      rel[p] = acc.Project(chi);
+    }
+    if (stats != nullptr) stats->intermediate_tuples += rel[p].Size();
+  }
+
+  // Root the decomposition tree and compute orders.
+  std::vector<std::vector<int>> children(m);
+  std::vector<int> parent(m, -1), order = {0};
+  {
+    std::vector<bool> seen(m, false);
+    seen[0] = true;
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (int qn : ghd.td().TreeNeighbors(order[i])) {
+        if (!seen[qn]) {
+          seen[qn] = true;
+          parent[qn] = order[i];
+          children[order[i]].push_back(qn);
+          order.push_back(qn);
+        }
+      }
+    }
+    HT_CHECK(static_cast<int>(order.size()) == m);
+  }
+
+  // Full Yannakakis reduction.
+  for (size_t i = order.size(); i-- > 1;) {
+    int node = order[i];
+    rel[parent[node]] = rel[parent[node]].Semijoin(rel[node]);
+  }
+  for (int node : order) {
+    for (int c : children[node]) rel[c] = rel[c].Semijoin(rel[node]);
+  }
+
+  // Head variables contained in each subtree.
+  Bitset head_bits(h.NumVertices());
+  for (int v : head_ids) head_bits.Set(v);
+  std::vector<Bitset> sub_head(m, Bitset(h.NumVertices()));
+  for (size_t i = order.size(); i-- > 0;) {
+    int node = order[i];
+    sub_head[node] = ghd.td().Bag(node) & head_bits;
+    for (int c : children[node]) sub_head[node] |= sub_head[c];
+  }
+
+  // Bottom-up join with projection onto connector + subtree-head vars.
+  std::vector<Relation> answers(m);
+  for (size_t i = order.size(); i-- > 0;) {
+    int node = order[i];
+    Relation acc = rel[node];
+    for (int c : children[node]) {
+      acc = acc.Join(answers[c]);
+      if (stats != nullptr) stats->intermediate_tuples += acc.Size();
+    }
+    Bitset keep = sub_head[node];
+    if (parent[node] != -1) {
+      keep |= ghd.td().Bag(node) & ghd.td().Bag(parent[node]);
+    }
+    // Projection: keep only schema vars that are in `keep`.
+    std::vector<int> proj;
+    for (int v : acc.schema()) {
+      if (keep.Test(v)) proj.push_back(v);
+    }
+    answers[node] = acc.Project(proj);
+  }
+
+  Relation result = answers[order[0]].Project(head_ids);
+  // Boolean query: empty schema — represent "true" as one empty tuple.
+  if (head_ids.empty()) {
+    Relation boolean(std::vector<int>{});
+    bool satisfiable = true;
+    for (int p = 0; p < m; ++p) {
+      if (rel[p].Empty() && ghd.td().Bag(p).Any()) satisfiable = false;
+    }
+    if (satisfiable && !answers[order[0]].Empty()) boolean.AddTuple({});
+    return boolean;
+  }
+  return result;
+}
+
+std::optional<Relation> BruteForceAnswer(const ConjunctiveQuery& q,
+                                         const Database& db,
+                                         std::string* error) {
+  std::vector<std::string> vars = q.Variables();
+  std::map<std::string, int> var_id;
+  for (size_t i = 0; i < vars.size(); ++i) var_id[vars[i]] = static_cast<int>(i);
+  Relation acc;
+  bool first = true;
+  for (const Atom& atom : q.atoms) {
+    Relation r;
+    if (!BindAtom(atom, var_id, db, &r, error)) return std::nullopt;
+    acc = first ? std::move(r) : acc.Join(r);
+    first = false;
+  }
+  std::vector<int> head_ids;
+  for (const std::string& v : q.head) head_ids.push_back(var_id[v]);
+  if (head_ids.empty()) {
+    Relation boolean(std::vector<int>{});
+    if (!acc.Empty()) boolean.AddTuple({});
+    return boolean;
+  }
+  return acc.Project(head_ids);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,44 @@
+// Conjunctive-query answering through generalized hypertree
+// decompositions: the end-to-end pipeline of the paper. The query's
+// hypergraph is decomposed, node relations are materialized as
+// pi_chi(join of lambda atoms), Yannakakis reduces the tree, and answers
+// are assembled bottom-up with projections onto connector + head
+// variables — output-polynomial for bounded-width queries.
+
+#ifndef HYPERTREE_CQ_ANSWER_H_
+#define HYPERTREE_CQ_ANSWER_H_
+
+#include <optional>
+#include <string>
+
+#include "cq/database.h"
+#include "cq/query.h"
+#include "csp/relation.h"
+
+namespace hypertree {
+
+/// Work counters for query evaluation.
+struct AnswerStats {
+  int decomposition_width = 0;
+  long intermediate_tuples = 0;  // rows materialized across all nodes
+};
+
+/// Evaluates `q` over `db` via a GHD of the query hypergraph. The answer
+/// relation's schema lists the head variables by their ids in
+/// q.Variables() order; a Boolean query yields an empty-schema relation
+/// with one tuple (true) or none (false). Fails (nullopt + error) on
+/// missing tables or arity mismatches.
+std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    std::string* error = nullptr,
+                                    AnswerStats* stats = nullptr);
+
+/// Reference evaluation: join all atoms directly, project the head
+/// (exponential; for tests and tiny queries).
+std::optional<Relation> BruteForceAnswer(const ConjunctiveQuery& q,
+                                         const Database& db,
+                                         std::string* error = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CQ_ANSWER_H_

@@ -1,0 +1,27 @@
+#include "cq/database.h"
+
+#include "util/check.h"
+
+namespace hypertree {
+
+void Database::AddTable(const std::string& name, Table table) {
+  for (const auto& row : table.rows) {
+    HT_CHECK(static_cast<int>(row.size()) == table.arity);
+  }
+  tables_[name] = std::move(table);
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+void Database::AddRows(const std::string& name,
+                       std::vector<std::vector<int>> rows) {
+  Table t;
+  t.arity = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+  t.rows = std::move(rows);
+  AddTable(name, std::move(t));
+}
+
+}  // namespace hypertree

@@ -1,0 +1,40 @@
+// A tiny in-memory relational database: named tables of integer tuples.
+// Substrate for the conjunctive-query frontend (the PODS paper's home
+// setting: hypertree decompositions were introduced for Boolean
+// conjunctive queries over such databases).
+
+#ifndef HYPERTREE_CQ_DATABASE_H_
+#define HYPERTREE_CQ_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hypertree {
+
+/// A database table: fixed arity, rows of ints.
+struct Table {
+  int arity = 0;
+  std::vector<std::vector<int>> rows;
+};
+
+/// Named tables.
+class Database {
+ public:
+  /// Adds (or replaces) a table.
+  void AddTable(const std::string& name, Table table);
+
+  /// Looks a table up; nullptr if absent.
+  const Table* GetTable(const std::string& name) const;
+
+  /// Convenience: creates the table from rows (arity from the first row).
+  void AddRows(const std::string& name,
+               std::vector<std::vector<int>> rows);
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CQ_DATABASE_H_

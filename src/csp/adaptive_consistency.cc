@@ -1,0 +1,103 @@
+#include "csp/adaptive_consistency.h"
+
+#include <algorithm>
+
+#include "ordering/heuristics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+std::optional<std::vector<int>> AdaptiveConsistencySolve(
+    const Csp& csp, const EliminationOrdering& sigma,
+    AdaptiveConsistencyStats* stats) {
+  int n = csp.NumVariables();
+  HT_CHECK(IsValidOrdering(sigma, n));
+  std::vector<int> pos = OrderingPositions(sigma);
+
+  // Bucket of a relation: its variable eliminated first (max position).
+  auto bucket_of = [&pos](const Relation& r) {
+    int best = -1;
+    for (int v : r.schema()) {
+      if (best == -1 || pos[v] > pos[best]) best = v;
+    }
+    return best;
+  };
+
+  std::vector<std::vector<Relation>> buckets(n);
+  for (const Constraint& c : csp.constraints()) {
+    buckets[bucket_of(c.relation)].push_back(c.relation);
+  }
+
+  // Joined bucket relations, kept for back-substitution.
+  std::vector<Relation> joined(n);
+  std::vector<bool> constrained(n, false);
+  for (int i = n - 1; i >= 0; --i) {
+    int v = sigma[i];
+    if (buckets[v].empty()) continue;
+    Relation j = std::move(buckets[v][0]);
+    for (size_t k = 1; k < buckets[v].size(); ++k) {
+      j = j.Join(buckets[v][k]);
+    }
+    if (stats != nullptr) {
+      stats->tuples_materialized += j.Size();
+      stats->max_relation = std::max(stats->max_relation, j.Size());
+    }
+    if (j.Empty()) return std::nullopt;  // wipeout: unsatisfiable
+    constrained[v] = true;
+    // Project v out and pass the result down.
+    std::vector<int> rest;
+    for (int u : j.schema()) {
+      if (u != v) rest.push_back(u);
+    }
+    if (!rest.empty()) {
+      Relation p = j.Project(rest);
+      buckets[bucket_of(p)].push_back(std::move(p));
+    }
+    joined[v] = std::move(j);
+  }
+
+  // Back-substitution: assign variables in reverse elimination order
+  // (front of sigma first); every other variable of joined[v] is already
+  // assigned, so a consistent tuple always exists.
+  std::vector<int> assignment(n, -1);
+  for (int i = 0; i < n; ++i) {
+    int v = sigma[i];
+    if (!constrained[v]) {
+      HT_CHECK(csp.DomainSize(v) > 0);
+      assignment[v] = 0;
+      continue;
+    }
+    const Relation& j = joined[v];
+    const std::vector<int>& schema = j.schema();
+    bool found = false;
+    for (const auto& t : j.tuples()) {
+      bool ok = true;
+      for (size_t k = 0; k < schema.size() && ok; ++k) {
+        if (schema[k] != v && assignment[schema[k]] != t[k]) ok = false;
+      }
+      if (ok) {
+        // Assign only v; every other schema variable is assigned at its
+        // own (earlier) turn, keeping the directional-consistency
+        // induction clean.
+        for (size_t k = 0; k < schema.size(); ++k) {
+          if (schema[k] == v) assignment[v] = t[k];
+        }
+        found = true;
+        break;
+      }
+    }
+    HT_CHECK_MSG(found, "adaptive consistency back-substitution failed");
+  }
+  HT_CHECK(csp.IsSolution(assignment));
+  return assignment;
+}
+
+std::optional<std::vector<int>> AdaptiveConsistencySolve(
+    const Csp& csp, AdaptiveConsistencyStats* stats) {
+  Rng rng(1);
+  Graph primal = csp.ConstraintHypergraph().PrimalGraph();
+  return AdaptiveConsistencySolve(csp, MinFillOrdering(primal, &rng), stats);
+}
+
+}  // namespace hypertree

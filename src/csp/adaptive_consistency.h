@@ -1,0 +1,39 @@
+// Adaptive consistency (Dechter & Pearl): solving a CSP directly by
+// bucket elimination (thesis §2.5) — the algorithmic origin of the
+// tree-decomposition connection. Constraints are partitioned into buckets
+// along an elimination ordering; each bucket is joined, its variable
+// projected out, and the result dropped into the next bucket. Runtime is
+// exponential only in the width of the ordering.
+
+#ifndef HYPERTREE_CSP_ADAPTIVE_CONSISTENCY_H_
+#define HYPERTREE_CSP_ADAPTIVE_CONSISTENCY_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+#include "ordering/ordering.h"
+
+namespace hypertree {
+
+/// Work counters for adaptive consistency.
+struct AdaptiveConsistencyStats {
+  long tuples_materialized = 0;  // rows across all intermediate relations
+  int max_relation = 0;          // largest intermediate relation
+};
+
+/// Solves `csp` by bucket elimination along `sigma` (processed back to
+/// front, like all orderings in this library). Returns a full solution or
+/// std::nullopt; never aborts (budget = the ordering's width).
+std::optional<std::vector<int>> AdaptiveConsistencySolve(
+    const Csp& csp, const EliminationOrdering& sigma,
+    AdaptiveConsistencyStats* stats = nullptr);
+
+/// Convenience: min-fill ordering on the constraint hypergraph's primal
+/// graph, then AdaptiveConsistencySolve.
+std::optional<std::vector<int>> AdaptiveConsistencySolve(
+    const Csp& csp, AdaptiveConsistencyStats* stats = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_ADAPTIVE_CONSISTENCY_H_

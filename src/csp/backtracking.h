@@ -1,0 +1,32 @@
+// Chronological backtracking: the structure-blind baseline the
+// decomposition-based solvers are compared against (worst case d^n).
+
+#ifndef HYPERTREE_CSP_BACKTRACKING_H_
+#define HYPERTREE_CSP_BACKTRACKING_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+
+namespace hypertree {
+
+/// Statistics of a backtracking run.
+struct BacktrackStats {
+  long nodes = 0;        // assignments tried
+  bool aborted = false;  // node budget exhausted before an answer
+};
+
+/// Finds one solution by chronological backtracking with constraint checks
+/// on fully assigned scopes. `max_nodes` (<= 0: unlimited) bounds the
+/// search; on exhaustion returns std::nullopt with stats->aborted set.
+std::optional<std::vector<int>> BacktrackingSolve(
+    const Csp& csp, long max_nodes = 0, BacktrackStats* stats = nullptr);
+
+/// Counts all solutions (same budget semantics).
+long BacktrackingCountSolutions(const Csp& csp, long max_nodes = 0,
+                                BacktrackStats* stats = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_BACKTRACKING_H_

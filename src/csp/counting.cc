@@ -1,0 +1,111 @@
+#include "csp/counting.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "csp/decomposition_solving.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// FNV-style hash for join keys (mirrors relation.cc).
+struct VecHash {
+  size_t operator()(const std::vector<int>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (int x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b9;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+std::vector<int> ProjectTuple(const std::vector<int>& tuple,
+                              const std::vector<int>& positions) {
+  std::vector<int> key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(tuple[p]);
+  return key;
+}
+
+}  // namespace
+
+long long CountRelationTree(const RelationTree& tree) {
+  int m = static_cast<int>(tree.relations.size());
+  if (m == 0) return 1;  // the empty join has exactly one (empty) answer
+  std::vector<std::vector<int>> children(m);
+  for (int p = 0; p < m; ++p) {
+    if (tree.parent[p] != -1) children[tree.parent[p]].push_back(p);
+  }
+  std::vector<int> order = {tree.root};
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  HT_CHECK(static_cast<int>(order.size()) == m);
+
+  // weight[p][t] = number of consistent completions of tuple t within the
+  // subtree of p. Processed bottom-up.
+  std::vector<std::vector<long long>> weight(m);
+  for (size_t i = order.size(); i-- > 0;) {
+    int p = order[i];
+    const Relation& rel = tree.relations[p];
+    weight[p].assign(rel.Size(), 1);
+    for (int c : children[p]) {
+      const Relation& crel = tree.relations[c];
+      // Aggregate child weights by the shared-variable key.
+      std::vector<int> pp, pc;
+      for (int pi = 0; pi < rel.Arity(); ++pi) {
+        int ci = crel.IndexOf(rel.schema()[pi]);
+        if (ci >= 0) {
+          pp.push_back(pi);
+          pc.push_back(ci);
+        }
+      }
+      std::unordered_map<std::vector<int>, long long, VecHash> agg;
+      for (int t = 0; t < crel.Size(); ++t) {
+        agg[ProjectTuple(crel.tuples()[t], pc)] += weight[c][t];
+      }
+      for (int t = 0; t < rel.Size(); ++t) {
+        auto it = agg.find(ProjectTuple(rel.tuples()[t], pp));
+        weight[p][t] *= (it == agg.end()) ? 0 : it->second;
+      }
+    }
+  }
+  long long total = 0;
+  for (long long w : weight[tree.root]) total += w;
+  return total;
+}
+
+long long CountViaTreeDecomposition(const Csp& csp,
+                                    const TreeDecomposition& td) {
+  return CountRelationTree(BuildRelationTreeFromTd(csp, td));
+}
+
+long long CountViaGhd(const Csp& csp,
+                      const GeneralizedHypertreeDecomposition& ghd) {
+  return CountRelationTree(BuildRelationTreeFromGhd(csp, ghd));
+}
+
+long long CountAcyclicCsp(const Csp& csp) {
+  Hypergraph h = csp.ConstraintHypergraph();
+  std::optional<JoinTree> jt = BuildJoinTree(h);
+  HT_CHECK_MSG(jt.has_value(), "constraint hypergraph is not alpha-acyclic");
+  RelationTree tree;
+  tree.parent = jt->parent;
+  tree.root = jt->root;
+  tree.relations.resize(h.NumEdges());
+  for (int c = 0; c < csp.NumConstraints(); ++c) {
+    tree.relations[c] = csp.GetConstraint(c).relation;
+  }
+  for (int e = csp.NumConstraints(); e < h.NumEdges(); ++e) {
+    std::vector<int> vars = h.EdgeVertices(e);
+    Relation r(vars);
+    for (int val = 0; val < csp.DomainSize(vars[0]); ++val) r.AddTuple({val});
+    tree.relations[e] = std::move(r);
+  }
+  return CountRelationTree(tree);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,36 @@
+// Counting all answers (complete consistent assignments) through
+// decompositions: the weighted variant of Yannakakis' algorithm. Counting
+// is output-independent — unlike enumeration it stays polynomial for
+// bounded width even when there are exponentially many solutions.
+
+#ifndef HYPERTREE_CSP_COUNTING_H_
+#define HYPERTREE_CSP_COUNTING_H_
+
+#include "csp/csp.h"
+#include "csp/yannakakis.h"
+#include "ghd/ghd.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Number of globally consistent tuple combinations of a relation tree
+/// with the running-intersection property (= the size of the full join
+/// when every node relation is duplicate-free).
+long long CountRelationTree(const RelationTree& tree);
+
+/// Number of solutions of `csp`, counted over a valid tree decomposition
+/// of its constraint hypergraph.
+long long CountViaTreeDecomposition(const Csp& csp,
+                                    const TreeDecomposition& td);
+
+/// Number of solutions of `csp`, counted over a (completed) GHD of its
+/// constraint hypergraph.
+long long CountViaGhd(const Csp& csp,
+                      const GeneralizedHypertreeDecomposition& ghd);
+
+/// Number of solutions of an alpha-acyclic CSP via its join tree.
+long long CountAcyclicCsp(const Csp& csp);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_COUNTING_H_

@@ -1,0 +1,184 @@
+#include "csp/decomposition_solving.h"
+
+#include <algorithm>
+
+#include "csp/yannakakis.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// Enumerates all assignments of `vars` consistent with the constraints
+// whose scope lies inside `vars` (simple backtracking over the bag).
+Relation SolveBag(const Csp& csp, const std::vector<int>& vars) {
+  // Constraints fully inside the bag, watched by the last bag variable of
+  // their scope (by bag position).
+  std::vector<int> pos_of_var(csp.NumVariables(), -1);
+  for (size_t i = 0; i < vars.size(); ++i) pos_of_var[vars[i]] = static_cast<int>(i);
+  std::vector<std::vector<int>> watch(vars.size());
+  for (int c = 0; c < csp.NumConstraints(); ++c) {
+    const Constraint& con = csp.GetConstraint(c);
+    int last = -1;
+    bool inside = true;
+    for (int v : con.scope) {
+      if (pos_of_var[v] == -1) {
+        inside = false;
+        break;
+      }
+      last = std::max(last, pos_of_var[v]);
+    }
+    if (inside && last >= 0) watch[last].push_back(c);
+  }
+  Relation out(vars);
+  std::vector<int> assignment(vars.size(), 0);
+  // Iterative odometer with constraint checks at each level.
+  int level = 0;
+  std::vector<int> value(vars.size(), -1);
+  while (level >= 0) {
+    if (level == static_cast<int>(vars.size())) {
+      out.AddTuple(assignment);
+      --level;
+      continue;
+    }
+    ++value[level];
+    if (value[level] >= csp.DomainSize(vars[level])) {
+      value[level] = -1;
+      --level;
+      continue;
+    }
+    assignment[level] = value[level];
+    bool ok = true;
+    for (int c : watch[level]) {
+      const Constraint& con = csp.GetConstraint(c);
+      std::vector<int> tuple;
+      tuple.reserve(con.scope.size());
+      for (int v : con.scope) tuple.push_back(assignment[pos_of_var[v]]);
+      if (!con.relation.Contains(tuple)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++level;
+  }
+  return out;
+}
+
+// Converts a decomposition tree (undirected edges) into parent pointers.
+void RootTree(int num_nodes, const std::vector<std::pair<int, int>>& edges,
+              std::vector<int>* parent, int* root) {
+  std::vector<std::vector<int>> adj(num_nodes);
+  for (auto [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  parent->assign(num_nodes, -1);
+  *root = 0;
+  std::vector<bool> seen(num_nodes, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    int p = stack.back();
+    stack.pop_back();
+    for (int q : adj[p]) {
+      if (!seen[q]) {
+        seen[q] = true;
+        (*parent)[q] = p;
+        stack.push_back(q);
+      }
+    }
+  }
+}
+
+std::optional<std::vector<int>> FinishSolve(
+    const Csp& csp, RelationTree tree, DecompositionSolveStats* stats) {
+  if (stats != nullptr) {
+    for (const Relation& r : tree.relations) {
+      stats->bag_tuples += r.Size();
+      stats->max_bag_tuples = std::max(stats->max_bag_tuples, r.Size());
+    }
+  }
+  auto assignment = AcyclicSolve(std::move(tree));
+  if (!assignment.has_value()) return std::nullopt;
+  std::vector<int> out(csp.NumVariables(), 0);
+  for (auto [var, val] : *assignment) out[var] = val;
+  HT_CHECK_MSG(csp.IsSolution(out),
+               "decomposition solve produced a non-solution");
+  return out;
+}
+
+}  // namespace
+
+RelationTree BuildRelationTreeFromTd(const Csp& csp,
+                                     const TreeDecomposition& td) {
+  HT_CHECK(td.NumGraphVertices() == csp.NumVariables());
+  RelationTree tree;
+  tree.relations.reserve(td.NumNodes());
+  for (int p = 0; p < td.NumNodes(); ++p) {
+    tree.relations.push_back(SolveBag(csp, td.Bag(p).ToVector()));
+  }
+  RootTree(td.NumNodes(), td.TreeEdges(), &tree.parent, &tree.root);
+  return tree;
+}
+
+RelationTree BuildRelationTreeFromGhd(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd) {
+  HT_CHECK(ghd.td().NumGraphVertices() == csp.NumVariables());
+  // Work on a completed copy so every constraint participates in some
+  // node's join (Lemma 2 keeps the width unchanged).
+  GeneralizedHypertreeDecomposition complete = ghd;
+  complete.MakeComplete(csp.ConstraintHypergraph());
+
+  // Relations per hyperedge of the constraint hypergraph: the constraints
+  // first, then domain enumerations for constraint-free variables.
+  Hypergraph h = csp.ConstraintHypergraph();
+  auto edge_relation = [&csp, &h](int e) {
+    if (e < csp.NumConstraints()) return csp.GetConstraint(e).relation;
+    std::vector<int> vars = h.EdgeVertices(e);
+    Relation r(vars);
+    for (int val = 0; val < csp.DomainSize(vars[0]); ++val) r.AddTuple({val});
+    return r;
+  };
+
+  RelationTree tree;
+  int m = complete.NumNodes();
+  tree.relations.reserve(m);
+  for (int p = 0; p < m; ++p) {
+    const std::vector<int>& lambda = complete.Lambda(p);
+    HT_CHECK_MSG(!lambda.empty() || complete.td().Bag(p).None(),
+                 "GHD node with vertices but empty lambda");
+    Relation acc;
+    bool first = true;
+    for (int e : lambda) {
+      Relation r = edge_relation(e);
+      acc = first ? std::move(r) : acc.Join(r);
+      first = false;
+    }
+    std::vector<int> chi = complete.td().Bag(p).ToVector();
+    if (first) {
+      // Empty lambda is only legal for an empty bag; its relation is the
+      // identity (one empty tuple) so semijoins pass through.
+      Relation identity(chi);
+      identity.AddTuple({});
+      tree.relations.push_back(std::move(identity));
+    } else {
+      tree.relations.push_back(acc.Project(chi));
+    }
+  }
+  RootTree(m, complete.td().TreeEdges(), &tree.parent, &tree.root);
+  return tree;
+}
+
+std::optional<std::vector<int>> SolveViaTreeDecomposition(
+    const Csp& csp, const TreeDecomposition& td,
+    DecompositionSolveStats* stats) {
+  return FinishSolve(csp, BuildRelationTreeFromTd(csp, td), stats);
+}
+
+std::optional<std::vector<int>> SolveViaGhd(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    DecompositionSolveStats* stats) {
+  return FinishSolve(csp, BuildRelationTreeFromGhd(csp, ghd), stats);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,54 @@
+// Solving CSPs from tree decompositions and from complete generalized
+// hypertree decompositions (thesis §2.4): materialize one subproblem
+// relation per decomposition node, then run Yannakakis on the resulting
+// join tree. Runtime O(n d^{w+1}) for a width-w tree decomposition and
+// |I|^{k+1} log |I| for a width-k GHD.
+
+#ifndef HYPERTREE_CSP_DECOMPOSITION_SOLVING_H_
+#define HYPERTREE_CSP_DECOMPOSITION_SOLVING_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+#include "csp/yannakakis.h"
+#include "ghd/ghd.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Work counters for the decomposition-based solvers.
+struct DecompositionSolveStats {
+  long bag_tuples = 0;      // tuples materialized across all bags
+  int max_bag_tuples = 0;   // largest single bag relation
+};
+
+/// Join-tree-clustering solve: every decomposition bag becomes the
+/// relation of all bag assignments consistent with the constraints whose
+/// scope lies inside the bag. `td` must be a valid tree decomposition of
+/// the CSP's constraint hypergraph.
+std::optional<std::vector<int>> SolveViaTreeDecomposition(
+    const Csp& csp, const TreeDecomposition& td,
+    DecompositionSolveStats* stats = nullptr);
+
+/// GHD solve: the decomposition is completed (Lemma 2), every node's
+/// relation is the join of its lambda constraint relations projected onto
+/// chi, and Yannakakis finishes the job. `ghd` must be valid for the
+/// CSP's constraint hypergraph.
+std::optional<std::vector<int>> SolveViaGhd(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    DecompositionSolveStats* stats = nullptr);
+
+/// Materializes the per-bag subproblem relations of `td` as a relation
+/// tree (the join tree of the solution-equivalent acyclic CSP). Shared by
+/// the solving and counting front ends.
+RelationTree BuildRelationTreeFromTd(const Csp& csp,
+                                     const TreeDecomposition& td);
+
+/// Materializes the per-node relations of a (completed copy of) `ghd`.
+RelationTree BuildRelationTreeFromGhd(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_DECOMPOSITION_SOLVING_H_

@@ -1,0 +1,112 @@
+#include "csp/generators.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+namespace {
+
+// All-different-pair relation over two variables with `d` values.
+Relation DisequalityRelation(int u, int v, int d) {
+  Relation r({u, v});
+  for (int a = 0; a < d; ++a) {
+    for (int b = 0; b < d; ++b) {
+      if (a != b) r.AddTuple({a, b});
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Csp AustraliaMapColoring() {
+  // 0=WA 1=NT 2=SA 3=Q 4=NSW 5=V 6=TAS
+  Csp csp(7, 3);
+  csp.set_name("australia");
+  const std::pair<int, int> borders[] = {{0, 1}, {0, 2}, {1, 3}, {1, 2},
+                                         {3, 2}, {4, 3}, {4, 5}, {4, 2},
+                                         {2, 5}};
+  for (auto [u, v] : borders) {
+    csp.AddConstraint({u, v}, DisequalityRelation(u, v, 3));
+  }
+  return csp;
+}
+
+Csp GraphColoringCsp(const Graph& g, int colors) {
+  Csp csp(g.NumVertices(), colors);
+  csp.set_name(g.name() + "_" + std::to_string(colors) + "col");
+  for (auto [u, v] : g.Edges()) {
+    csp.AddConstraint({u, v}, DisequalityRelation(u, v, colors));
+  }
+  return csp;
+}
+
+Csp SatCsp(int num_vars, const std::vector<std::vector<int>>& clauses) {
+  Csp csp(num_vars, 2);
+  csp.set_name("sat");
+  for (const std::vector<int>& clause : clauses) {
+    HT_CHECK(!clause.empty());
+    std::vector<int> scope;
+    for (int lit : clause) {
+      int v = std::abs(lit) - 1;
+      HT_CHECK(v >= 0 && v < num_vars);
+      scope.push_back(v);
+    }
+    Relation r(scope);
+    int k = static_cast<int>(scope.size());
+    for (int mask = 0; mask < (1 << k); ++mask) {
+      // The combination satisfies the clause iff some literal is true.
+      bool sat = false;
+      for (int i = 0; i < k && !sat; ++i) {
+        bool value = (mask >> i) & 1;
+        sat = (clause[i] > 0) == value;
+      }
+      if (!sat) continue;
+      std::vector<int> tuple(k);
+      for (int i = 0; i < k; ++i) tuple[i] = (mask >> i) & 1;
+      r.AddTuple(std::move(tuple));
+    }
+    csp.AddConstraint(std::move(scope), std::move(r));
+  }
+  return csp;
+}
+
+Csp RandomCspFromHypergraph(const Hypergraph& h, int domain_size,
+                            double tightness, bool plant_solution,
+                            uint64_t seed) {
+  HT_CHECK(domain_size >= 1);
+  HT_CHECK(tightness >= 0.0 && tightness <= 1.0);
+  Rng rng(seed);
+  Csp csp(h.NumVertices(), domain_size);
+  csp.set_name(h.name() + "_csp");
+  std::vector<int> planted(h.NumVertices());
+  for (int& v : planted) v = rng.UniformInt(domain_size);
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    std::vector<int> scope = h.EdgeVertices(e);
+    int k = static_cast<int>(scope.size());
+    Relation r(scope);
+    // Enumerate the full cross product; keep each tuple with probability
+    // `tightness` (plus the planted tuple when requested). Guard against
+    // huge scopes: the generators keep arities small.
+    double combos = std::pow(static_cast<double>(domain_size), k);
+    HT_CHECK_MSG(combos <= 4e6, "scope too large for dense relation");
+    std::vector<int> tuple(k, 0);
+    std::vector<int> planted_tuple(k);
+    for (int i = 0; i < k; ++i) planted_tuple[i] = planted[scope[i]];
+    while (true) {
+      bool is_planted = plant_solution && tuple == planted_tuple;
+      if (is_planted || rng.Bernoulli(tightness)) r.AddTuple(tuple);
+      int i = k - 1;
+      while (i >= 0 && ++tuple[i] == domain_size) tuple[i--] = 0;
+      if (i < 0) break;
+    }
+    csp.AddConstraint(std::move(scope), std::move(r), h.EdgeName(e));
+  }
+  return csp;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,38 @@
+// CSP instance generators: the motivating workloads of the paper's
+// introduction (map coloring, SAT) plus parameterized random CSPs used by
+// the benchmarks.
+
+#ifndef HYPERTREE_CSP_GENERATORS_H_
+#define HYPERTREE_CSP_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csp/csp.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hypertree {
+
+/// The 3-coloring of Australia (Example 1): 7 variables {WA, NT, SA, Q,
+/// NSW, V, TAS}, 9 binary disequality constraints, domain {r, g, b}.
+Csp AustraliaMapColoring();
+
+/// Graph k-coloring as a CSP (one disequality constraint per edge).
+Csp GraphColoringCsp(const Graph& g, int colors);
+
+/// CNF SAT as a CSP (Example 2): one constraint per clause holding every
+/// satisfying combination. Literals use DIMACS convention: +v / -v with
+/// v in 1..num_vars.
+Csp SatCsp(int num_vars, const std::vector<std::vector<int>>& clauses);
+
+/// Random CSP whose constraint hypergraph is exactly `h`: every hyperedge
+/// gets a random relation of the given `tightness` (fraction of allowed
+/// tuples). With `plant_solution`, a random global assignment is made
+/// satisfying (so decomposition solvers always find it).
+Csp RandomCspFromHypergraph(const Hypergraph& h, int domain_size,
+                            double tightness, bool plant_solution,
+                            uint64_t seed);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_GENERATORS_H_

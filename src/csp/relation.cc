@@ -1,0 +1,129 @@
+#include "csp/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// FNV-style hash of an int vector (join keys).
+struct VecHash {
+  size_t operator()(const std::vector<int>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (int x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b9;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// Positions of the shared variables in each schema.
+void SharedPositions(const std::vector<int>& a, const std::vector<int>& b,
+                     std::vector<int>* pa, std::vector<int>* pb) {
+  pa->clear();
+  pb->clear();
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (a[i] == b[j]) {
+        pa->push_back(static_cast<int>(i));
+        pb->push_back(static_cast<int>(j));
+      }
+    }
+  }
+}
+
+std::vector<int> KeyOf(const std::vector<int>& tuple,
+                       const std::vector<int>& positions) {
+  std::vector<int> key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(tuple[p]);
+  return key;
+}
+
+}  // namespace
+
+void Relation::AddTuple(std::vector<int> tuple) {
+  HT_CHECK(tuple.size() == schema_.size());
+  tuples_.push_back(std::move(tuple));
+}
+
+int Relation::IndexOf(int var) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Relation Relation::Join(const Relation& other) const {
+  std::vector<int> pa, pb;
+  SharedPositions(schema_, other.schema_, &pa, &pb);
+  // Output schema: this schema plus other's non-shared variables.
+  std::vector<int> out_schema = schema_;
+  std::vector<int> extra_positions;
+  for (size_t j = 0; j < other.schema_.size(); ++j) {
+    if (IndexOf(other.schema_[j]) == -1) {
+      out_schema.push_back(other.schema_[j]);
+      extra_positions.push_back(static_cast<int>(j));
+    }
+  }
+  Relation out(out_schema);
+  // Build hash on the smaller side keyed by the shared variables.
+  std::unordered_map<std::vector<int>, std::vector<const std::vector<int>*>,
+                     VecHash>
+      index;
+  for (const auto& t : other.tuples_) index[KeyOf(t, pb)].push_back(&t);
+  for (const auto& t : tuples_) {
+    auto it = index.find(KeyOf(t, pa));
+    if (it == index.end()) continue;
+    for (const std::vector<int>* u : it->second) {
+      std::vector<int> merged = t;
+      for (int p : extra_positions) merged.push_back((*u)[p]);
+      out.tuples_.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Relation Relation::Semijoin(const Relation& other) const {
+  std::vector<int> pa, pb;
+  SharedPositions(schema_, other.schema_, &pa, &pb);
+  if (pa.empty()) {
+    // No shared variables: keep everything iff other is non-empty.
+    return other.Empty() ? Relation(schema_) : *this;
+  }
+  std::unordered_set<std::vector<int>, VecHash> keys;
+  for (const auto& t : other.tuples_) keys.insert(KeyOf(t, pb));
+  Relation out(schema_);
+  for (const auto& t : tuples_) {
+    if (keys.count(KeyOf(t, pa)) > 0) out.tuples_.push_back(t);
+  }
+  return out;
+}
+
+Relation Relation::Project(const std::vector<int>& vars) const {
+  std::vector<int> positions;
+  positions.reserve(vars.size());
+  for (int v : vars) {
+    int idx = IndexOf(v);
+    HT_CHECK_MSG(idx >= 0, "projection variable not in schema");
+    positions.push_back(idx);
+  }
+  Relation out(vars);
+  std::unordered_set<std::vector<int>, VecHash> seen;
+  for (const auto& t : tuples_) {
+    std::vector<int> proj = KeyOf(t, positions);
+    if (seen.insert(proj).second) out.tuples_.push_back(std::move(proj));
+  }
+  return out;
+}
+
+bool Relation::Contains(const std::vector<int>& tuple) const {
+  return std::find(tuples_.begin(), tuples_.end(), tuple) != tuples_.end();
+}
+
+}  // namespace hypertree

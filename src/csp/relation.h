@@ -1,0 +1,53 @@
+// Named relations with the operators the decomposition-based solvers need:
+// natural join, semijoin, projection and selection (all hash-based).
+
+#ifndef HYPERTREE_CSP_RELATION_H_
+#define HYPERTREE_CSP_RELATION_H_
+
+#include <vector>
+
+namespace hypertree {
+
+/// A relation over CSP variables: a schema (variable ids) plus tuples of
+/// values aligned with the schema.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation with the given schema.
+  explicit Relation(std::vector<int> schema) : schema_(std::move(schema)) {}
+
+  const std::vector<int>& schema() const { return schema_; }
+  const std::vector<std::vector<int>>& tuples() const { return tuples_; }
+  int Arity() const { return static_cast<int>(schema_.size()); }
+  int Size() const { return static_cast<int>(tuples_.size()); }
+  bool Empty() const { return tuples_.empty(); }
+
+  /// Appends a tuple (must match the schema arity).
+  void AddTuple(std::vector<int> tuple);
+
+  /// Position of variable `var` in the schema, or -1.
+  int IndexOf(int var) const;
+
+  /// Natural join with `other` (hash join on the shared variables).
+  Relation Join(const Relation& other) const;
+
+  /// Semijoin: keeps the tuples of *this that match some tuple of `other`
+  /// on the shared variables.
+  Relation Semijoin(const Relation& other) const;
+
+  /// Projection onto `vars` (must be a subset of the schema; duplicates
+  /// are removed).
+  Relation Project(const std::vector<int>& vars) const;
+
+  /// True if the tuple (over this schema) is present.
+  bool Contains(const std::vector<int>& tuple) const;
+
+ private:
+  std::vector<int> schema_;
+  std::vector<std::vector<int>> tuples_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_RELATION_H_

@@ -1,0 +1,97 @@
+#include "csp/yannakakis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree) {
+  int m = static_cast<int>(tree.relations.size());
+  if (m == 0) return std::unordered_map<int, int>{};
+  HT_CHECK(static_cast<int>(tree.parent.size()) == m);
+  // Topological order: parents before children (BFS from the root(s)).
+  std::vector<std::vector<int>> children(m);
+  for (int p = 0; p < m; ++p) {
+    if (tree.parent[p] != -1) children[tree.parent[p]].push_back(p);
+  }
+  std::vector<int> order;
+  order.push_back(tree.root);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  HT_CHECK_MSG(static_cast<int>(order.size()) == m,
+               "relation tree is not a single tree");
+
+  // Bottom-up semijoin pass.
+  for (size_t i = order.size(); i-- > 1;) {
+    int node = order[i];
+    int parent = tree.parent[node];
+    tree.relations[parent] =
+        tree.relations[parent].Semijoin(tree.relations[node]);
+    if (tree.relations[parent].Empty()) return std::nullopt;
+  }
+  if (tree.relations[tree.root].Empty()) return std::nullopt;
+  // Top-down semijoin pass (full reduction).
+  for (int node : order) {
+    for (int c : children[node]) {
+      tree.relations[c] = tree.relations[c].Semijoin(tree.relations[node]);
+      if (tree.relations[c].Empty()) return std::nullopt;
+    }
+  }
+  // Extraction: pick any root tuple, then for each child a tuple agreeing
+  // with the values fixed so far (guaranteed to exist after reduction).
+  std::unordered_map<int, int> assignment;
+  for (int node : order) {
+    const Relation& rel = tree.relations[node];
+    const std::vector<int>& schema = rel.schema();
+    const std::vector<int>* chosen = nullptr;
+    for (const auto& t : rel.tuples()) {
+      bool ok = true;
+      for (size_t i = 0; i < schema.size() && ok; ++i) {
+        auto it = assignment.find(schema[i]);
+        if (it != assignment.end() && it->second != t[i]) ok = false;
+      }
+      if (ok) {
+        chosen = &t;
+        break;
+      }
+    }
+    HT_CHECK_MSG(chosen != nullptr,
+                 "full reduction must leave a consistent tuple");
+    for (size_t i = 0; i < schema.size(); ++i) {
+      assignment[schema[i]] = (*chosen)[i];
+    }
+  }
+  return assignment;
+}
+
+std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp) {
+  Hypergraph h = csp.ConstraintHypergraph();
+  std::optional<JoinTree> jt = BuildJoinTree(h);
+  HT_CHECK_MSG(jt.has_value(), "constraint hypergraph is not alpha-acyclic");
+  // Edges of the hypergraph are the constraints first, then the unary
+  // "free variable" edges.
+  RelationTree tree;
+  tree.parent = jt->parent;
+  tree.root = jt->root;
+  tree.relations.resize(h.NumEdges());
+  for (int c = 0; c < csp.NumConstraints(); ++c) {
+    tree.relations[c] = csp.GetConstraint(c).relation;
+  }
+  for (int e = csp.NumConstraints(); e < h.NumEdges(); ++e) {
+    // Free-variable edge: a unary relation enumerating the domain.
+    std::vector<int> vars = h.EdgeVertices(e);
+    HT_CHECK(vars.size() == 1);
+    Relation r(vars);
+    for (int val = 0; val < csp.DomainSize(vars[0]); ++val) r.AddTuple({val});
+    tree.relations[e] = std::move(r);
+  }
+  auto assignment = AcyclicSolve(std::move(tree));
+  if (!assignment.has_value()) return std::nullopt;
+  std::vector<int> out(csp.NumVariables(), 0);
+  for (auto [var, val] : *assignment) out[var] = val;
+  return out;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,41 @@
+// Yannakakis' algorithm (Acyclic Solving, Figure 2.4): semijoin reduction
+// over a tree of relations, then top-down extraction of one consistent
+// assignment. Runs in O(m * n log n): the polynomial-time "answer" for
+// acyclic queries that all decomposition methods reduce to.
+
+#ifndef HYPERTREE_CSP_YANNAKAKIS_H_
+#define HYPERTREE_CSP_YANNAKAKIS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "csp/csp.h"
+#include "csp/relation.h"
+#include "hypergraph/acyclicity.h"
+
+namespace hypertree {
+
+/// A tree of relations (e.g. a join tree with materialized constraint
+/// relations, or decomposition bags with their subproblem solutions).
+struct RelationTree {
+  std::vector<Relation> relations;  // one per node
+  std::vector<int> parent;          // -1 at the root
+  int root = 0;
+};
+
+/// Full-reduction Yannakakis: bottom-up semijoins (emptiness detected),
+/// top-down semijoins, then greedy top-down extraction. Returns an
+/// assignment var -> value for every variable appearing in some schema, or
+/// std::nullopt if the tree has no globally consistent tuple combination.
+std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree);
+
+/// Convenience for acyclic CSPs: builds the join tree via GYO, attaches
+/// the constraint relations, and runs AcyclicSolve. The CSP's constraint
+/// hypergraph must be alpha-acyclic. Variables outside all constraints
+/// are assigned 0. Returns a full assignment or std::nullopt.
+std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_YANNAKAKIS_H_

@@ -1,0 +1,50 @@
+#include "fhw/fractional_hypertree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+#include "setcover/fractional.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+double FractionalWidthOfOrdering(const Hypergraph& h,
+                                 const EliminationOrdering& sigma) {
+  Graph primal = h.PrimalGraph();
+  std::vector<Bitset> edge_sets;
+  edge_sets.reserve(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) edge_sets.push_back(h.EdgeBits(e));
+  double width = 0.0;
+  for (const std::vector<int>& bag : OrderingBags(primal, sigma)) {
+    Bitset bits(h.NumVertices());
+    for (int v : bag) bits.Set(v);
+    width = std::max(width, FractionalSetCover(edge_sets, bits, nullptr));
+  }
+  return width;
+}
+
+double FhwUpperBound(const Hypergraph& h, int restarts, uint64_t seed) {
+  Rng rng(seed);
+  Graph primal = h.PrimalGraph();
+  double best = FractionalWidthOfOrdering(h, MinFillOrdering(primal, &rng));
+  best = std::min(best,
+                  FractionalWidthOfOrdering(h, MinDegreeOrdering(primal, &rng)));
+  for (int i = 0; i < restarts; ++i) {
+    best = std::min(best, FractionalWidthOfOrdering(
+                              h, RandomOrdering(h.NumVertices(), &rng)));
+  }
+  return best;
+}
+
+double FractionalEdgeCoverNumber(const Hypergraph& h) {
+  std::vector<Bitset> edge_sets;
+  edge_sets.reserve(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) edge_sets.push_back(h.EdgeBits(e));
+  Bitset all(h.NumVertices());
+  all.SetAll();
+  return FractionalSetCover(edge_sets, all, nullptr);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,36 @@
+// Fractional hypertree width (Grohe & Marx): replace the integral bag
+// cover in ghw by its LP relaxation. fhw(H) <= ghw(H) <= hw(H), and
+// queries are answerable in |I|^{fhw + O(1)} time.
+//
+// Exact fhw is NP-hard like ghw; this module computes upper bounds
+// through elimination orderings (the same search space, with fractional
+// covers per bag) and the global fractional edge-cover number rho*(H)
+// that governs the AGM output-size bound.
+
+#ifndef HYPERTREE_FHW_FRACTIONAL_HYPERTREE_H_
+#define HYPERTREE_FHW_FRACTIONAL_HYPERTREE_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+#include "ordering/ordering.h"
+
+namespace hypertree {
+
+/// Fractional width of the decomposition bucket elimination builds from
+/// `sigma`: the max over bags of the optimal fractional bag cover.
+double FractionalWidthOfOrdering(const Hypergraph& h,
+                                 const EliminationOrdering& sigma);
+
+/// Upper bound on fhw(h): best fractional width over min-fill, min-degree
+/// and `restarts` random orderings (seeded).
+double FhwUpperBound(const Hypergraph& h, int restarts, uint64_t seed);
+
+/// The fractional edge-cover number rho*(H) of the whole vertex set (the
+/// AGM bound exponent). fhw(H) <= rho*(H) always (single-bag
+/// decomposition).
+double FractionalEdgeCoverNumber(const Hypergraph& h);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_FHW_FRACTIONAL_HYPERTREE_H_

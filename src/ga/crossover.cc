@@ -1,0 +1,214 @@
+#include "ga/crossover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// Positions of each value in a permutation.
+std::vector<int> PositionsOf(const std::vector<int>& p) {
+  std::vector<int> pos(p.size());
+  for (size_t i = 0; i < p.size(); ++i) pos[p[i]] = static_cast<int>(i);
+  return pos;
+}
+
+// PMX offspring: keep p1's segment [a, b), fill the rest from p2 with the
+// segment-induced mapping resolving conflicts.
+std::vector<int> PmxChild(const std::vector<int>& p1,
+                          const std::vector<int>& p2, int a, int b) {
+  int n = static_cast<int>(p1.size());
+  std::vector<int> child(n, -1);
+  std::vector<bool> in_segment(n, false);
+  for (int i = a; i < b; ++i) {
+    child[i] = p1[i];
+    in_segment[p1[i]] = true;
+  }
+  std::vector<int> pos1 = PositionsOf(p1);
+  for (int i = 0; i < n; ++i) {
+    if (i >= a && i < b) continue;
+    int v = p2[i];
+    while (in_segment[v]) v = p2[pos1[v]];
+    child[i] = v;
+  }
+  return child;
+}
+
+// CX offspring: the first cycle comes from `first`, everything else from
+// `second`.
+std::vector<int> CxChild(const std::vector<int>& first,
+                         const std::vector<int>& second) {
+  int n = static_cast<int>(first.size());
+  std::vector<int> pos_first = PositionsOf(first);
+  std::vector<bool> in_cycle(n, false);
+  int i = 0;
+  do {
+    in_cycle[i] = true;
+    i = pos_first[second[i]];
+  } while (i != 0 && !in_cycle[i]);
+  std::vector<int> child(n);
+  for (int j = 0; j < n; ++j) child[j] = in_cycle[j] ? first[j] : second[j];
+  return child;
+}
+
+// OX1 offspring: keep p1's segment, fill remaining slots (starting after
+// the segment, wrapping) with p2's values in p2 order (starting after the
+// segment, wrapping), skipping values already present.
+std::vector<int> Ox1Child(const std::vector<int>& p1,
+                          const std::vector<int>& p2, int a, int b) {
+  int n = static_cast<int>(p1.size());
+  std::vector<int> child(n, -1);
+  std::vector<bool> used(n, false);
+  for (int i = a; i < b; ++i) {
+    child[i] = p1[i];
+    used[p1[i]] = true;
+  }
+  int write = b % n;
+  for (int step = 0; step < n; ++step) {
+    int v = p2[(b + step) % n];
+    if (used[v]) continue;
+    child[write] = v;
+    used[v] = true;
+    write = (write + 1) % n;
+  }
+  return child;
+}
+
+// OX2 offspring: take p1 and re-order the values that p2 holds at the
+// selected positions so they appear in p2's order.
+std::vector<int> Ox2Child(const std::vector<int>& p1,
+                          const std::vector<int>& p2,
+                          const std::vector<bool>& selected) {
+  int n = static_cast<int>(p1.size());
+  std::vector<int> values;
+  std::vector<bool> moved(n, false);
+  for (int i = 0; i < n; ++i) {
+    if (selected[i]) {
+      values.push_back(p2[i]);
+      moved[p2[i]] = true;
+    }
+  }
+  std::vector<int> child = p1;
+  size_t next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (moved[child[i]]) child[i] = values[next++];
+  }
+  return child;
+}
+
+// POS offspring: copy p2's values at the selected positions; fill the rest
+// with p1's remaining values in p1 order.
+std::vector<int> PosChild(const std::vector<int>& p1,
+                          const std::vector<int>& p2,
+                          const std::vector<bool>& selected) {
+  int n = static_cast<int>(p1.size());
+  std::vector<int> child(n, -1);
+  std::vector<bool> used(n, false);
+  for (int i = 0; i < n; ++i) {
+    if (selected[i]) {
+      child[i] = p2[i];
+      used[p2[i]] = true;
+    }
+  }
+  size_t src = 0;
+  for (int i = 0; i < n; ++i) {
+    if (child[i] != -1) continue;
+    while (used[p1[src]]) ++src;
+    child[i] = p1[src];
+    used[p1[src]] = true;
+  }
+  return child;
+}
+
+// AP offspring: alternate elements of the two parents, skipping those
+// already taken.
+std::vector<int> ApChild(const std::vector<int>& p1,
+                         const std::vector<int>& p2) {
+  int n = static_cast<int>(p1.size());
+  std::vector<int> child;
+  child.reserve(n);
+  std::vector<bool> used(n, false);
+  for (int i = 0; i < n && static_cast<int>(child.size()) < n; ++i) {
+    if (!used[p1[i]]) {
+      child.push_back(p1[i]);
+      used[p1[i]] = true;
+    }
+    if (static_cast<int>(child.size()) < n && !used[p2[i]]) {
+      child.push_back(p2[i]);
+      used[p2[i]] = true;
+    }
+  }
+  return child;
+}
+
+}  // namespace
+
+std::string CrossoverName(CrossoverOp op) {
+  switch (op) {
+    case CrossoverOp::kPmx: return "PMX";
+    case CrossoverOp::kCx: return "CX";
+    case CrossoverOp::kOx1: return "OX1";
+    case CrossoverOp::kOx2: return "OX2";
+    case CrossoverOp::kPos: return "POS";
+    case CrossoverOp::kAp: return "AP";
+  }
+  return "?";
+}
+
+void Crossover(CrossoverOp op, const std::vector<int>& p1,
+               const std::vector<int>& p2, Rng* rng, std::vector<int>* c1,
+               std::vector<int>* c2) {
+  HT_CHECK(p1.size() == p2.size() && rng != nullptr);
+  int n = static_cast<int>(p1.size());
+  if (n <= 1) {
+    *c1 = p1;
+    *c2 = p2;
+    return;
+  }
+  switch (op) {
+    case CrossoverOp::kPmx: {
+      int a = rng->UniformInt(n), b = rng->UniformInt(n);
+      if (a > b) std::swap(a, b);
+      ++b;
+      *c1 = PmxChild(p1, p2, a, b);
+      *c2 = PmxChild(p2, p1, a, b);
+      break;
+    }
+    case CrossoverOp::kCx: {
+      *c1 = CxChild(p1, p2);
+      *c2 = CxChild(p2, p1);
+      break;
+    }
+    case CrossoverOp::kOx1: {
+      int a = rng->UniformInt(n), b = rng->UniformInt(n);
+      if (a > b) std::swap(a, b);
+      ++b;
+      *c1 = Ox1Child(p1, p2, a, b);
+      *c2 = Ox1Child(p2, p1, a, b);
+      break;
+    }
+    case CrossoverOp::kOx2: {
+      std::vector<bool> selected(n);
+      for (int i = 0; i < n; ++i) selected[i] = rng->Bernoulli(0.5);
+      *c1 = Ox2Child(p1, p2, selected);
+      *c2 = Ox2Child(p2, p1, selected);
+      break;
+    }
+    case CrossoverOp::kPos: {
+      std::vector<bool> selected(n);
+      for (int i = 0; i < n; ++i) selected[i] = rng->Bernoulli(0.5);
+      *c1 = PosChild(p1, p2, selected);
+      *c2 = PosChild(p2, p1, selected);
+      break;
+    }
+    case CrossoverOp::kAp: {
+      *c1 = ApChild(p1, p2);
+      *c2 = ApChild(p2, p1);
+      break;
+    }
+  }
+}
+
+}  // namespace hypertree

@@ -1,0 +1,34 @@
+// The six permutation crossover operators compared in the thesis
+// (§4.3.2, after Larranaga et al.): partially-mapped (PMX), cycle (CX),
+// order (OX1), order-based (OX2), position-based (POS) and
+// alternating-position (AP) crossover.
+
+#ifndef HYPERTREE_GA_CROSSOVER_H_
+#define HYPERTREE_GA_CROSSOVER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Crossover operator identifiers.
+enum class CrossoverOp { kPmx, kCx, kOx1, kOx2, kPos, kAp };
+
+/// All operators, for sweeps.
+inline constexpr CrossoverOp kAllCrossovers[] = {
+    CrossoverOp::kPmx, CrossoverOp::kCx,  CrossoverOp::kOx1,
+    CrossoverOp::kOx2, CrossoverOp::kPos, CrossoverOp::kAp};
+
+/// Short name ("PMX", ...).
+std::string CrossoverName(CrossoverOp op);
+
+/// Recombines two parent permutations into two offspring permutations.
+void Crossover(CrossoverOp op, const std::vector<int>& p1,
+               const std::vector<int>& p2, Rng* rng, std::vector<int>* c1,
+               std::vector<int>* c2);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GA_CROSSOVER_H_

@@ -1,0 +1,28 @@
+#include "ga/ga_ghw.h"
+
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+GaResult GaGhw(const Hypergraph& h, const GaConfig& config, CoverMode mode,
+               bool seed_with_heuristics) {
+  GhwEvaluator eval(h);
+  GaConfig cfg = config;
+  if (seed_with_heuristics && h.NumVertices() > 0) {
+    // Deterministic tie-breaking: the seeds are reproducible regardless of
+    // the GA seed.
+    cfg.initial.push_back(MinFillOrdering(eval.primal(), nullptr));
+    cfg.initial.push_back(MinDegreeOrdering(eval.primal(), nullptr));
+    cfg.initial.push_back(McsOrdering(eval.primal(), nullptr));
+  }
+  Rng cover_rng(config.seed ^ 0x5eedc0de);
+  return RunPermutationGa(
+      h.NumVertices(),
+      [&eval, mode, &cover_rng](const EliminationOrdering& sigma) {
+        return eval.EvaluateOrdering(sigma, mode, &cover_rng);
+      },
+      cfg);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,23 @@
+// GA-ghw: genetic algorithm for generalized hypertree width upper bounds
+// (thesis ch. 7.1): the GA-tw loop with greedy bag covers as fitness.
+
+#ifndef HYPERTREE_GA_GA_GHW_H_
+#define HYPERTREE_GA_GA_GHW_H_
+
+#include "ga/ga.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hypertree {
+
+/// Evolves elimination orderings of `h`; fitness is the bucket-elimination
+/// width with bag covers in `mode` (greedy is the thesis default; exact
+/// gives true width(sigma, H) at higher cost). Returns the best ghw upper
+/// bound and its witness ordering.
+GaResult GaGhw(const Hypergraph& h, const GaConfig& config = {},
+               CoverMode mode = CoverMode::kGreedy,
+               bool seed_with_heuristics = false);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GA_GA_GHW_H_

@@ -1,0 +1,26 @@
+#include "ga/ga_tw.h"
+
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+
+namespace hypertree {
+
+GaResult GaTreewidth(const Graph& g, const GaConfig& config,
+                     bool seed_with_heuristics) {
+  GaConfig cfg = config;
+  if (seed_with_heuristics && g.NumVertices() > 0) {
+    // Deterministic tie-breaking: the seeds are reproducible regardless of
+    // the GA seed.
+    cfg.initial.push_back(MinFillOrdering(g, nullptr));
+    cfg.initial.push_back(MinDegreeOrdering(g, nullptr));
+    cfg.initial.push_back(McsOrdering(g, nullptr));
+  }
+  return RunPermutationGa(
+      g.NumVertices(),
+      [&g](const EliminationOrdering& sigma) {
+        return EvaluateOrderingWidth(g, sigma);
+      },
+      cfg);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,20 @@
+// GA-tw: genetic algorithm for treewidth upper bounds (thesis ch. 6).
+
+#ifndef HYPERTREE_GA_GA_TW_H_
+#define HYPERTREE_GA_GA_TW_H_
+
+#include "ga/ga.h"
+#include "graph/graph.h"
+
+namespace hypertree {
+
+/// Evolves elimination orderings of `g`; fitness is the bucket-elimination
+/// width. Returns the best width found (a treewidth upper bound) and its
+/// witness ordering. With `seed_with_heuristics`, min-fill / min-degree /
+/// MCS orderings join the initial population.
+GaResult GaTreewidth(const Graph& g, const GaConfig& config = {},
+                     bool seed_with_heuristics = false);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GA_GA_TW_H_

@@ -1,0 +1,81 @@
+#include "ga/mutation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// Removes p[a, b) and reinserts it (possibly reversed) at a random
+// position of the remainder.
+void Displace(std::vector<int>* p, Rng* rng, bool reversed) {
+  int n = static_cast<int>(p->size());
+  int a = rng->UniformInt(n), b = rng->UniformInt(n);
+  if (a > b) std::swap(a, b);
+  ++b;
+  std::vector<int> segment(p->begin() + a, p->begin() + b);
+  if (reversed) std::reverse(segment.begin(), segment.end());
+  p->erase(p->begin() + a, p->begin() + b);
+  int where = rng->UniformInt(static_cast<int>(p->size()) + 1);
+  p->insert(p->begin() + where, segment.begin(), segment.end());
+}
+
+}  // namespace
+
+std::string MutationName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kDm: return "DM";
+    case MutationOp::kEm: return "EM";
+    case MutationOp::kIsm: return "ISM";
+    case MutationOp::kSim: return "SIM";
+    case MutationOp::kIvm: return "IVM";
+    case MutationOp::kSm: return "SM";
+  }
+  return "?";
+}
+
+void Mutate(MutationOp op, std::vector<int>* p, Rng* rng) {
+  HT_CHECK(p != nullptr && rng != nullptr);
+  int n = static_cast<int>(p->size());
+  if (n <= 1) return;
+  switch (op) {
+    case MutationOp::kDm:
+      Displace(p, rng, /*reversed=*/false);
+      break;
+    case MutationOp::kEm: {
+      int a = rng->UniformInt(n), b = rng->UniformInt(n);
+      std::swap((*p)[a], (*p)[b]);
+      break;
+    }
+    case MutationOp::kIsm: {
+      int a = rng->UniformInt(n);
+      int v = (*p)[a];
+      p->erase(p->begin() + a);
+      int where = rng->UniformInt(n);
+      p->insert(p->begin() + where, v);
+      break;
+    }
+    case MutationOp::kSim: {
+      int a = rng->UniformInt(n), b = rng->UniformInt(n);
+      if (a > b) std::swap(a, b);
+      std::reverse(p->begin() + a, p->begin() + b + 1);
+      break;
+    }
+    case MutationOp::kIvm:
+      Displace(p, rng, /*reversed=*/true);
+      break;
+    case MutationOp::kSm: {
+      int a = rng->UniformInt(n), b = rng->UniformInt(n);
+      if (a > b) std::swap(a, b);
+      for (int i = b; i > a; --i) {
+        int j = a + rng->UniformInt(i - a + 1);
+        std::swap((*p)[i], (*p)[j]);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace hypertree

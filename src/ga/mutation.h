@@ -1,0 +1,31 @@
+// The six permutation mutation operators compared in the thesis (§4.3.3):
+// displacement (DM), exchange (EM), insertion (ISM), simple inversion
+// (SIM), inversion (IVM) and scramble (SM) mutation.
+
+#ifndef HYPERTREE_GA_MUTATION_H_
+#define HYPERTREE_GA_MUTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Mutation operator identifiers.
+enum class MutationOp { kDm, kEm, kIsm, kSim, kIvm, kSm };
+
+/// All operators, for sweeps.
+inline constexpr MutationOp kAllMutations[] = {
+    MutationOp::kDm,  MutationOp::kEm,  MutationOp::kIsm,
+    MutationOp::kSim, MutationOp::kIvm, MutationOp::kSm};
+
+/// Short name ("DM", ...).
+std::string MutationName(MutationOp op);
+
+/// Mutates `p` in place.
+void Mutate(MutationOp op, std::vector<int>* p, Rng* rng);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GA_MUTATION_H_

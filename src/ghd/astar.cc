@@ -1,0 +1,205 @@
+#include "ghd/astar.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bounds/ghw_lower_bounds.h"
+#include "ghd/search_common.h"
+#include "graph/elimination_graph.h"
+#include "ordering/heuristics.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+namespace {
+
+struct State {
+  Bitset eliminated;
+  int parent = -1;
+  int vertex = -1;
+  int g = 0;
+  int f = 0;
+  int depth = 0;
+};
+
+struct QueueEntry {
+  int f;
+  int depth;
+  long order;
+  int index;
+  bool operator<(const QueueEntry& o) const {
+    if (f != o.f) return f > o.f;
+    if (depth != o.depth) return depth < o.depth;
+    return order > o.order;
+  }
+};
+
+}  // namespace
+
+WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
+  Timer timer;
+  WidthResult res;
+  int n = h.NumVertices();
+  Rng rng(options.seed);
+  Deadline deadline(options.time_limit_seconds);
+  GhwEvaluator eval(h);
+
+  int lb = GhwLowerBound(h, &rng);
+  EliminationOrdering greedy =
+      n == 0 ? EliminationOrdering{} : MinFillOrdering(eval.primal(), &rng);
+  int ub = n == 0 ? 0 : eval.EvaluateOrdering(greedy, options.cover_mode, &rng);
+  if (options.initial_upper_bound > 0)
+    ub = std::min(ub, options.initial_upper_bound);
+  res.best_ordering = greedy;
+  if (n == 0 || lb >= ub) {
+    res.lower_bound = res.upper_bound = ub;
+    res.exact = true;
+    res.seconds = timer.ElapsedSeconds();
+    return res;
+  }
+
+  std::vector<State> arena;
+  std::priority_queue<QueueEntry> open;
+  std::unordered_map<Bitset, int> best_g;
+  long push_order = 0;
+
+  State root;
+  root.eliminated = Bitset(n);
+  root.f = lb;
+  arena.push_back(root);
+  open.push({lb, 0, push_order++, 0});
+  if (options.use_duplicate_detection) best_g[root.eliminated] = 0;
+
+  EliminationGraph eg(eval.primal());
+  auto rebuild = [&eg](const Bitset& eliminated) {
+    while (eg.UndoDepth() > 0) eg.UndoElimination();
+    for (int v = eliminated.First(); v >= 0; v = eliminated.Next(v)) {
+      eg.Eliminate(v);
+    }
+  };
+  auto bag_cover_of = [&](int v) {
+    Bitset bag = eg.NeighborBits(v);
+    bag.Set(v);
+    return eval.CoverBag(bag, options.cover_mode, &rng, nullptr);
+  };
+
+  long popped = 0;
+  bool aborted = false;
+  int best_f_seen = lb;
+  int goal = -1;
+
+  while (!open.empty()) {
+    if ((popped & 31) == 0 && deadline.Expired()) {
+      aborted = true;
+      break;
+    }
+    if (options.max_nodes > 0 &&
+        static_cast<long>(arena.size()) > options.max_nodes) {
+      aborted = true;
+      break;
+    }
+    QueueEntry top = open.top();
+    open.pop();
+    const State& s = arena[top.index];
+    if (options.use_duplicate_detection && best_g[s.eliminated] < s.g) {
+      continue;  // stale
+    }
+    ++popped;
+    best_f_seen = std::max(best_f_seen, s.f);
+    rebuild(s.eliminated);
+    int remaining = eg.NumActive();
+    // Goal test: covering the whole remainder with at most g hyperedges
+    // caps every remaining bag cover at g, so the optimum through s is g.
+    if (remaining == 0 ||
+        eval.CoverBag(eg.ActiveBits(), CoverMode::kGreedy, &rng, nullptr) <=
+            s.g) {
+      goal = top.index;
+      break;
+    }
+
+    std::vector<int> children;
+    if (options.use_simplicial_reduction) {
+      for (int v = eg.ActiveBits().First(); v >= 0;
+           v = eg.ActiveBits().Next(v)) {
+        if (eg.Degree(v) == 0) {
+          children.push_back(v);
+          break;
+        }
+      }
+    }
+    if (children.empty()) children = eg.ActiveBits().ToVector();
+
+    int parent_index = top.index;
+    int parent_g = s.g;
+    int parent_f = s.f;
+    Bitset parent_set = s.eliminated;
+    int parent_depth = s.depth;
+    for (int v : children) {
+      int c = bag_cover_of(v);
+      int child_g = std::max(parent_g, c);
+      if (child_g >= ub) continue;
+      eg.Eliminate(v);
+      int hb = RemainingGhwLowerBound(eg, h, &rng);
+      eg.UndoElimination();
+      int f = std::max({child_g, hb, parent_f});
+      if (f >= ub) continue;
+      Bitset child_set = parent_set;
+      child_set.Set(v);
+      if (options.use_duplicate_detection) {
+        auto it = best_g.find(child_set);
+        if (it != best_g.end() && it->second <= child_g) continue;
+        best_g[child_set] = child_g;
+      }
+      State t;
+      t.eliminated = std::move(child_set);
+      t.parent = parent_index;
+      t.vertex = v;
+      t.g = child_g;
+      t.f = f;
+      t.depth = parent_depth + 1;
+      arena.push_back(std::move(t));
+      open.push({f, parent_depth + 1, push_order++,
+                 static_cast<int>(arena.size()) - 1});
+    }
+  }
+
+  res.nodes = popped;
+  res.seconds = timer.ElapsedSeconds();
+  if (goal >= 0) {
+    EliminationOrdering sigma(n);
+    std::vector<bool> used(n, false);
+    std::vector<int> path;
+    for (int i = goal; arena[i].parent != -1; i = arena[i].parent) {
+      path.push_back(arena[i].vertex);
+    }
+    std::reverse(path.begin(), path.end());
+    int pos = n - 1;
+    for (int v : path) {
+      sigma[pos--] = v;
+      used[v] = true;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!used[v]) sigma[pos--] = v;
+    }
+    res.best_ordering = sigma;
+    res.upper_bound = arena[goal].g;
+    res.exact = options.cover_mode == CoverMode::kExact;
+    // With greedy covers the g/f values overestimate bag costs, so they
+    // prove nothing about the true ghw: fall back to the static bound.
+    res.lower_bound = res.exact ? arena[goal].g : lb;
+  } else if (aborted) {
+    res.upper_bound = ub;
+    res.lower_bound =
+        options.cover_mode == CoverMode::kExact ? best_f_seen : lb;
+    res.exact = false;
+  } else {
+    res.upper_bound = ub;
+    res.exact = options.cover_mode == CoverMode::kExact;
+    res.lower_bound = res.exact ? ub : lb;
+  }
+  return res;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,183 @@
+#include "ghd/branch_and_bound.h"
+
+#include <algorithm>
+
+#include "bounds/ghw_lower_bounds.h"
+#include "ghd/search_common.h"
+#include "graph/elimination_graph.h"
+#include "ordering/heuristics.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+namespace {
+
+class GhwBbSearch {
+ public:
+  GhwBbSearch(const Hypergraph& h, const GhwSearchOptions& opts)
+      : h_(h),
+        opts_(opts),
+        rng_(opts.seed),
+        deadline_(opts.time_limit_seconds),
+        eval_(h),
+        eg_(eval_.primal()),
+        n_(h.NumVertices()) {}
+
+  WidthResult Run() {
+    WidthResult res;
+    Timer timer;
+    int lb = GhwLowerBound(h_, &rng_);
+    // Warm-start upper bound: min-fill and min-degree orderings.
+    EliminationOrdering best = MinFillOrdering(eval_.primal(), &rng_);
+    int ub = eval_.EvaluateOrdering(best, opts_.cover_mode, &rng_);
+    {
+      EliminationOrdering md = MinDegreeOrdering(eval_.primal(), &rng_);
+      int w = eval_.EvaluateOrdering(md, opts_.cover_mode, &rng_);
+      if (w < ub) {
+        ub = w;
+        best = md;
+      }
+    }
+    ub_ = ub;
+    best_ = best;
+    if (opts_.initial_upper_bound > 0 && opts_.initial_upper_bound < ub_)
+      ub_ = opts_.initial_upper_bound;
+    if (n_ > 0 && lb < ub_) {
+      Dfs(/*g_val=*/0, /*f_parent=*/lb, /*prev_vertex=*/-1, Bitset(n_),
+          /*parent_free=*/false);
+    }
+    res.upper_bound = ub_;
+    res.exact = !aborted_ && opts_.cover_mode == CoverMode::kExact;
+    res.lower_bound = res.exact ? ub_ : lb;
+    res.nodes = nodes_;
+    res.seconds = timer.ElapsedSeconds();
+    res.best_ordering = best_;
+    return res;
+  }
+
+ private:
+  EliminationOrdering BuildOrdering() const {
+    EliminationOrdering sigma(n_);
+    std::vector<bool> used(n_, false);
+    int pos = n_ - 1;
+    for (int v : suffix_) {
+      sigma[pos--] = v;
+      used[v] = true;
+    }
+    for (int v = 0; v < n_; ++v) {
+      if (!used[v]) sigma[pos--] = v;
+    }
+    return sigma;
+  }
+
+  bool BudgetExceeded() {
+    if (aborted_) return true;
+    if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) aborted_ = true;
+    if ((nodes_ & 127) == 0 && deadline_.Expired()) aborted_ = true;
+    return aborted_;
+  }
+
+  int BagCoverOf(int v) {
+    Bitset bag = eg_.NeighborBits(v);
+    bag.Set(v);
+    return eval_.CoverBag(bag, opts_.cover_mode, &rng_, nullptr);
+  }
+
+  void Dfs(int g_val, int f_parent, int prev_vertex, const Bitset& prev_nb,
+           bool parent_free) {
+    if (BudgetExceeded()) return;
+    ++nodes_;
+    int remaining = eg_.NumActive();
+    if (remaining == 0) {
+      if (g_val < ub_) {
+        ub_ = g_val;
+        best_ = BuildOrdering();
+      }
+      return;
+    }
+    // PR1 analog: bag covers are monotone under subsets, so covering the
+    // whole active set bounds every remaining bag cover.
+    int all_cover =
+        eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_, nullptr);
+    int w = std::max(g_val, all_cover);
+    if (w < ub_) {
+      ub_ = w;
+      best_ = BuildOrdering();
+    }
+    if (all_cover <= g_val) return;  // completions below cannot beat g_val
+
+    int hb = RemainingGhwLowerBound(eg_, h_, &rng_);
+    int f = std::max({g_val, hb, f_parent});
+    if (f >= ub_) return;
+
+    // Safe reduction: an isolated active vertex always forms the bag {v}
+    // with cover 1 <= any width; eliminate it immediately.
+    int forced = -1;
+    if (opts_.use_simplicial_reduction) {
+      for (int v = eg_.ActiveBits().First(); v >= 0;
+           v = eg_.ActiveBits().Next(v)) {
+        if (eg_.Degree(v) == 0) {
+          forced = v;
+          break;
+        }
+      }
+    }
+
+    std::vector<int> children;
+    if (forced >= 0) {
+      children.push_back(forced);
+    } else {
+      children = eg_.ActiveBits().ToVector();
+      // Cheapest bags first.
+      std::vector<int> cost(children.size());
+      for (size_t i = 0; i < children.size(); ++i)
+        cost[i] = BagCoverOf(children[i]);
+      std::vector<int> idx(children.size());
+      for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&cost](int a, int b) { return cost[a] < cost[b]; });
+      std::vector<int> sorted;
+      sorted.reserve(children.size());
+      for (int i : idx) sorted.push_back(children[i]);
+      children = std::move(sorted);
+    }
+
+    for (int v : children) {
+      if (opts_.use_pr2 && forced < 0 && parent_free && prev_vertex >= 0 &&
+          v < prev_vertex && !prev_nb.Test(v)) {
+        continue;  // PR2: swap-equivalent ordering explored elsewhere
+      }
+      int c = BagCoverOf(v);
+      if (std::max(g_val, c) >= ub_) continue;
+      Bitset nb = eg_.NeighborBits(v);
+      suffix_.push_back(v);
+      eg_.Eliminate(v);
+      Dfs(std::max(g_val, c), f, v, nb, forced < 0);
+      eg_.UndoElimination();
+      suffix_.pop_back();
+      if (aborted_) return;
+    }
+  }
+
+  const Hypergraph& h_;
+  GhwSearchOptions opts_;
+  Rng rng_;
+  Deadline deadline_;
+  GhwEvaluator eval_;
+  EliminationGraph eg_;
+  int n_;
+  int ub_ = 0;
+  EliminationOrdering best_;
+  std::vector<int> suffix_;
+  long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+WidthResult BranchAndBoundGhw(const Hypergraph& h,
+                              const GhwSearchOptions& options) {
+  return GhwBbSearch(h, options).Run();
+}
+
+}  // namespace hypertree

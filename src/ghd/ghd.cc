@@ -1,0 +1,90 @@
+#include "ghd/ghd.h"
+
+#include <algorithm>
+
+#include "setcover/exact.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+int GeneralizedHypertreeDecomposition::Width() const {
+  size_t w = 0;
+  for (const auto& l : lambda_) w = std::max(w, l.size());
+  return static_cast<int>(w);
+}
+
+bool GeneralizedHypertreeDecomposition::IsValidFor(const Hypergraph& h,
+                                                   std::string* why) const {
+  // Conditions 1 and 2 are the tree-decomposition conditions.
+  if (!td_.IsValidForHypergraph(h, why)) return false;
+  // Condition 3: chi(p) subset of var(lambda(p)).
+  for (int p = 0; p < td_.NumNodes(); ++p) {
+    Bitset covered(h.NumVertices());
+    for (int e : lambda_[p]) {
+      HT_CHECK(e >= 0 && e < h.NumEdges());
+      covered |= h.EdgeBits(e);
+    }
+    if (!td_.Bag(p).IsSubsetOf(covered)) {
+      if (why != nullptr)
+        *why = "node " + std::to_string(p) + ": chi not covered by lambda";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GeneralizedHypertreeDecomposition::IsComplete(const Hypergraph& h) const {
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    bool ok = false;
+    for (int p = 0; p < td_.NumNodes() && !ok; ++p) {
+      if (!h.EdgeBits(e).IsSubsetOf(td_.Bag(p))) continue;
+      for (int l : lambda_[p]) {
+        if (l == e) {
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void GeneralizedHypertreeDecomposition::MakeComplete(const Hypergraph& h) {
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    // Find a node whose chi contains the edge and whose lambda lists it.
+    int host = -1;
+    bool listed = false;
+    for (int p = 0; p < td_.NumNodes() && !listed; ++p) {
+      if (!h.EdgeBits(e).IsSubsetOf(td_.Bag(p))) continue;
+      if (host == -1) host = p;
+      for (int l : lambda_[p]) {
+        if (l == e) listed = true;
+      }
+    }
+    if (listed) continue;
+    HT_CHECK_MSG(host >= 0, "not a GHD of h: hyperedge uncovered");
+    Bitset bag(h.NumVertices());
+    bag |= h.EdgeBits(e);
+    int leaf = td_.AddNode(bag);
+    td_.AddTreeEdge(leaf, host);
+    lambda_.push_back({e});
+  }
+}
+
+GeneralizedHypertreeDecomposition SimplifyGhd(
+    const Hypergraph& h, const GeneralizedHypertreeDecomposition& ghd) {
+  TreeDecomposition simple = SimplifyTreeDecomposition(ghd.td());
+  std::vector<Bitset> edge_sets;
+  edge_sets.reserve(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) edge_sets.push_back(h.EdgeBits(e));
+  GeneralizedHypertreeDecomposition out(std::move(simple));
+  for (int p = 0; p < out.NumNodes(); ++p) {
+    std::vector<int> cover;
+    ExactSetCover(edge_sets, out.td().Bag(p), &cover);
+    out.SetLambda(p, std::move(cover));
+  }
+  return out;
+}
+
+}  // namespace hypertree

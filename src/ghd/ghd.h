@@ -1,0 +1,67 @@
+// Generalized hypertree decompositions (Definition 13).
+//
+// A GHD <T, chi, lambda> is a tree decomposition whose every bag chi(p) is
+// covered by the hyperedges in its lambda(p) label; its width is the
+// largest lambda size. ghw(H) <= hw(H) <= tw(H) + 1, and ghw(H) = 1 iff H
+// is alpha-acyclic.
+
+#ifndef HYPERTREE_GHD_GHD_H_
+#define HYPERTREE_GHD_GHD_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// A generalized hypertree decomposition.
+class GeneralizedHypertreeDecomposition {
+ public:
+  /// Wraps a tree decomposition skeleton; lambda labels are added per node.
+  explicit GeneralizedHypertreeDecomposition(TreeDecomposition td)
+      : td_(std::move(td)), lambda_(td_.NumNodes()) {}
+
+  /// The underlying tree decomposition (chi labels + tree).
+  const TreeDecomposition& td() const { return td_; }
+
+  /// Number of decomposition nodes.
+  int NumNodes() const { return td_.NumNodes(); }
+
+  /// Sets the lambda label (hyperedge ids) of node `p`.
+  void SetLambda(int p, std::vector<int> edges) {
+    lambda_[p] = std::move(edges);
+  }
+
+  /// The lambda label of node `p`.
+  const std::vector<int>& Lambda(int p) const { return lambda_[p]; }
+
+  /// Width: max lambda size (0 for an empty decomposition).
+  int Width() const;
+
+  /// Checks all three GHD conditions against `h` (Definition 13).
+  bool IsValidFor(const Hypergraph& h, std::string* why = nullptr) const;
+
+  /// True if for every hyperedge there is a node p with the edge inside
+  /// chi(p) and listed in lambda(p) (Definition 14).
+  bool IsComplete(const Hypergraph& h) const;
+
+  /// Transforms into a complete GHD of equal width by attaching one leaf
+  /// per uncovered hyperedge (Lemma 2 / Lemma 4.4 of GLS).
+  void MakeComplete(const Hypergraph& h);
+
+ private:
+  TreeDecomposition td_;
+  std::vector<std::vector<int>> lambda_;
+};
+
+/// Contracts subsumed bags (SimplifyTreeDecomposition on the chi part) and
+/// re-covers every surviving bag exactly. The result is a valid GHD of at
+/// most the input width with no adjacent nested bags.
+GeneralizedHypertreeDecomposition SimplifyGhd(
+    const Hypergraph& h, const GeneralizedHypertreeDecomposition& ghd);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GHD_GHD_H_

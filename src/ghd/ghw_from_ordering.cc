@@ -1,0 +1,60 @@
+#include "ghd/ghw_from_ordering.h"
+
+#include <algorithm>
+
+#include "ordering/bucket_elimination.h"
+#include "ordering/evaluator.h"
+#include "setcover/exact.h"
+#include "setcover/greedy.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+GhwEvaluator::GhwEvaluator(const Hypergraph& h)
+    : h_(h), primal_(h.PrimalGraph()) {
+  edge_sets_.reserve(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) edge_sets_.push_back(h.EdgeBits(e));
+}
+
+int GhwEvaluator::CoverBag(const Bitset& bag, CoverMode mode, Rng* rng,
+                           std::vector<int>* chosen) {
+  if (mode == CoverMode::kGreedy) {
+    return GreedySetCover(edge_sets_, bag, rng, chosen);
+  }
+  if (chosen == nullptr) {
+    auto it = exact_cache_.find(bag);
+    if (it != exact_cache_.end()) return it->second;
+    int k = ExactSetCover(edge_sets_, bag, nullptr);
+    exact_cache_.emplace(bag, k);
+    return k;
+  }
+  return ExactSetCover(edge_sets_, bag, chosen);
+}
+
+int GhwEvaluator::EvaluateOrdering(const EliminationOrdering& sigma,
+                                   CoverMode mode, Rng* rng) {
+  int width = 0;
+  std::vector<std::vector<int>> bags = OrderingBags(primal_, sigma);
+  Bitset bag_bits(h_.NumVertices());
+  for (const std::vector<int>& bag : bags) {
+    bag_bits.Clear();
+    for (int v : bag) bag_bits.Set(v);
+    width = std::max(width, CoverBag(bag_bits, mode, rng, nullptr));
+  }
+  return width;
+}
+
+GeneralizedHypertreeDecomposition GhwEvaluator::BuildGhd(
+    const EliminationOrdering& sigma, CoverMode mode, Rng* rng) {
+  EliminationTree t = BucketEliminate(primal_, sigma);
+  TreeDecomposition td = TreeDecompositionFromEliminationTree(t);
+  GeneralizedHypertreeDecomposition ghd(std::move(td));
+  for (int v = 0; v < h_.NumVertices(); ++v) {
+    std::vector<int> chosen;
+    CoverBag(t.bags[v], mode, rng, &chosen);
+    ghd.SetLambda(v, std::move(chosen));
+  }
+  return ghd;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,63 @@
+// Generalized hypertree width through elimination orderings
+// (thesis ch. 3 + McMahan's bucket-elimination set-covering, §2.5.2).
+//
+// width(sigma, H) = the largest (optimal) bag cover over the bags that
+// bucket elimination produces from sigma on the primal graph; Theorem 3
+// proves min over sigma of width(sigma, H) = ghw(H), which makes
+// elimination orderings a complete search space for ghw.
+
+#ifndef HYPERTREE_GHD_GHW_FROM_ORDERING_H_
+#define HYPERTREE_GHD_GHW_FROM_ORDERING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ghd/ghd.h"
+#include "hypergraph/hypergraph.h"
+#include "ordering/ordering.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// How bag covers are computed.
+enum class CoverMode {
+  kGreedy,  // Chvatal greedy (upper bound on the optimal cover)
+  kExact,   // branch-and-bound optimum (width(sigma, H), Definition 17)
+};
+
+/// Evaluates orderings against a fixed hypergraph. Precomputes the primal
+/// graph and caches exact covers across calls (bag sets recur heavily in
+/// branch-and-bound / A* searches).
+class GhwEvaluator {
+ public:
+  explicit GhwEvaluator(const Hypergraph& h);
+
+  /// width of `sigma` under the chosen cover mode. Greedy tie-breaking
+  /// uses `rng` when given.
+  int EvaluateOrdering(const EliminationOrdering& sigma, CoverMode mode,
+                       Rng* rng = nullptr);
+
+  /// Cover size of one bag (vertex set) under `mode`; exact covers are
+  /// cached. `chosen` receives the selected hyperedge ids when non-null.
+  int CoverBag(const Bitset& bag, CoverMode mode, Rng* rng = nullptr,
+               std::vector<int>* chosen = nullptr);
+
+  /// Builds a full GHD from `sigma` (bucket tree + per-bag covers).
+  GeneralizedHypertreeDecomposition BuildGhd(const EliminationOrdering& sigma,
+                                             CoverMode mode,
+                                             Rng* rng = nullptr);
+
+  const Graph& primal() const { return primal_; }
+  const Hypergraph& hypergraph() const { return h_; }
+
+ private:
+  const Hypergraph& h_;
+  Graph primal_;
+  std::vector<Bitset> edge_sets_;
+  std::unordered_map<Bitset, int> exact_cache_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GHD_GHW_FROM_ORDERING_H_

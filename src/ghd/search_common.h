@@ -1,0 +1,35 @@
+// Helpers shared by the exact ghw searches (BB-ghw and A*-ghw).
+
+#ifndef HYPERTREE_GHD_SEARCH_COMMON_H_
+#define HYPERTREE_GHD_SEARCH_COMMON_H_
+
+#include <algorithm>
+
+#include "bounds/lower_bounds.h"
+#include "graph/elimination_graph.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Lower bound on the best ghw-width achievable on the remaining (already
+/// partially eliminated, hence filled) graph: a minor-min-width treewidth
+/// bound L on the filled remaining graph forces a remaining bag with
+/// >= L+1 vertices, and covering it needs >= ceil((L+1)/r) hyperedges
+/// where r is the largest |edge ∩ active| (thesis §8.1 adapted to the
+/// search's residual instances).
+inline int RemainingGhwLowerBound(const EliminationGraph& eg,
+                                  const Hypergraph& h, Rng* rng) {
+  if (eg.NumActive() == 0) return 0;
+  int r = 1;
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    r = std::max(r, h.EdgeBits(e).IntersectCount(eg.ActiveBits()));
+  }
+  int tw_lb = MinorMinWidthLowerBound(eg.CurrentGraph(), rng);
+  int lb = (tw_lb + 1 + r - 1) / r;
+  return std::max(lb, 1);
+}
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GHD_SEARCH_COMMON_H_

@@ -1,0 +1,90 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+
+namespace hypertree {
+
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components) {
+  int n = g.NumVertices();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      const Bitset& nb = g.NeighborBits(u);
+      for (int v = nb.First(); v >= 0; v = nb.Next(v)) {
+        if (comp[v] == -1) {
+          comp[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+bool IsConnected(const Graph& g) {
+  int k = 0;
+  ConnectedComponents(g, &k);
+  return k <= 1;
+}
+
+int Degeneracy(const Graph& g, std::vector<int>* order) {
+  int n = g.NumVertices();
+  Bitset alive(n);
+  alive.SetAll();
+  std::vector<int> deg(n);
+  for (int v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  int degeneracy = 0;
+  if (order != nullptr) order->clear();
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    for (int v = alive.First(); v >= 0; v = alive.Next(v)) {
+      if (best == -1 || deg[v] < deg[best]) best = v;
+    }
+    degeneracy = std::max(degeneracy, deg[best]);
+    if (order != nullptr) order->push_back(best);
+    alive.Reset(best);
+    Bitset nb = g.NeighborBits(best) & alive;
+    for (int v = nb.First(); v >= 0; v = nb.Next(v)) --deg[v];
+  }
+  return degeneracy;
+}
+
+int GreedyCliqueSize(const Graph& g) {
+  int n = g.NumVertices();
+  if (n == 0) return 0;
+  int best = 0;
+  for (int seed = 0; seed < n; ++seed) {
+    // Grow a clique from `seed`, always adding the candidate with the most
+    // remaining candidates.
+    Bitset cand = g.NeighborBits(seed);
+    int size = 1;
+    while (cand.Any()) {
+      int pick = -1, pick_score = -1;
+      for (int v = cand.First(); v >= 0; v = cand.Next(v)) {
+        int score = cand.IntersectCount(g.NeighborBits(v));
+        if (score > pick_score) {
+          pick_score = score;
+          pick = v;
+        }
+      }
+      ++size;
+      cand &= g.NeighborBits(pick);
+    }
+    best = std::max(best, size);
+    if (best >= n) break;
+  }
+  return best;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,31 @@
+// Classic graph algorithms used as building blocks: connectivity,
+// degeneracy, greedy cliques.
+
+#ifndef HYPERTREE_GRAPH_ALGORITHMS_H_
+#define HYPERTREE_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hypertree {
+
+/// Returns the connected component id of each vertex (ids are dense,
+/// starting at 0, assigned in vertex order).
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components);
+
+/// True if `g` is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// Degeneracy of `g` (the max over subgraphs of the min degree); a classic
+/// treewidth lower bound. If `order` is non-null, stores a degeneracy
+/// ordering (repeatedly removing a minimum-degree vertex).
+int Degeneracy(const Graph& g, std::vector<int>* order = nullptr);
+
+/// Size of a clique found greedily (max-degree-first); a treewidth
+/// lower bound witness: tw >= clique - 1.
+int GreedyCliqueSize(const Graph& g);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GRAPH_ALGORITHMS_H_

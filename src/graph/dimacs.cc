@@ -1,0 +1,86 @@
+#include "graph/dimacs.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/stringutil.h"
+
+namespace hypertree {
+
+namespace {
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+}  // namespace
+
+std::optional<Graph> ReadDimacsGraph(std::istream& in, std::string* error) {
+  std::string line;
+  int n = -1;
+  std::optional<Graph> g;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string s = StripString(line);
+    if (s.empty() || s[0] == 'c') continue;
+    std::istringstream ls(s);
+    char tag;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      long m = 0;
+      ls >> kind >> n >> m;
+      if (!ls || n < 0) {
+        SetError(error, "bad problem line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      g.emplace(n);
+    } else if (tag == 'e') {
+      if (!g.has_value()) {
+        SetError(error, "edge before problem line at line " +
+                            std::to_string(line_no));
+        return std::nullopt;
+      }
+      int u = 0, v = 0;
+      ls >> u >> v;
+      if (!ls || u < 1 || v < 1 || u > n || v > n) {
+        SetError(error, "bad edge line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      g->AddEdge(u - 1, v - 1);
+    } else {
+      SetError(error,
+               "unknown line tag '" + std::string(1, tag) + "' at line " +
+                   std::to_string(line_no));
+      return std::nullopt;
+    }
+  }
+  if (!g.has_value()) SetError(error, "missing problem line");
+  return g;
+}
+
+std::optional<Graph> ReadDimacsGraphFile(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  auto g = ReadDimacsGraph(in, error);
+  if (g.has_value()) {
+    // Name the instance after the file stem.
+    size_t slash = path.find_last_of('/');
+    std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos) stem = stem.substr(0, dot);
+    g->set_name(stem);
+  }
+  return g;
+}
+
+void WriteDimacsGraph(const Graph& g, std::ostream& out) {
+  out << "c " << (g.name().empty() ? "hypertree graph" : g.name()) << "\n";
+  out << "p edge " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (auto [u, v] : g.Edges()) out << "e " << u + 1 << " " << v + 1 << "\n";
+}
+
+}  // namespace hypertree

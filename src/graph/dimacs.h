@@ -1,0 +1,32 @@
+// DIMACS graph-coloring (.col) format reader and writer.
+//
+// Format: comment lines start with 'c', one 'p edge <n> <m>' problem line,
+// and edge lines 'e <u> <v>' with 1-based vertex ids.
+
+#ifndef HYPERTREE_GRAPH_DIMACS_H_
+#define HYPERTREE_GRAPH_DIMACS_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace hypertree {
+
+/// Parses a DIMACS .col graph from `in`. On failure returns std::nullopt
+/// and, if `error` is non-null, stores a description.
+std::optional<Graph> ReadDimacsGraph(std::istream& in,
+                                     std::string* error = nullptr);
+
+/// Parses a DIMACS .col graph from the file at `path`.
+std::optional<Graph> ReadDimacsGraphFile(const std::string& path,
+                                         std::string* error = nullptr);
+
+/// Writes `g` in DIMACS .col format.
+void WriteDimacsGraph(const Graph& g, std::ostream& out);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GRAPH_DIMACS_H_

@@ -1,0 +1,118 @@
+#include "graph/elimination_graph.h"
+
+namespace hypertree {
+
+EliminationGraph::EliminationGraph(const Graph& g)
+    : n_(g.NumVertices()), active_count_(g.NumVertices()), alive_(n_) {
+  alive_.SetAll();
+  adj_.reserve(n_);
+  for (int v = 0; v < n_; ++v) adj_.push_back(g.NeighborBits(v));
+}
+
+int EliminationGraph::FillIn(int v) const {
+  Bitset nb = NeighborBits(v);
+  int fill = 0;
+  for (int a = nb.First(); a >= 0; a = nb.Next(a)) {
+    for (int b = nb.Next(a); b >= 0; b = nb.Next(b)) {
+      if (!adj_[a].Test(b)) ++fill;
+    }
+  }
+  return fill;
+}
+
+bool EliminationGraph::IsSimplicial(int v) const {
+  Bitset nb = NeighborBits(v);
+  for (int a = nb.First(); a >= 0; a = nb.Next(a)) {
+    Bitset rest = nb;
+    rest.Reset(a);
+    if (!rest.IsSubsetOf(adj_[a])) return false;
+  }
+  return true;
+}
+
+bool EliminationGraph::IsAlmostSimplicial(int v, int* special) const {
+  // Collect non-adjacent neighbor pairs; v is almost simplicial iff some
+  // single neighbor u participates in every such pair.
+  Bitset nb = NeighborBits(v);
+  int candidate = -1;
+  bool have_bad_pair = false;
+  Bitset allowed(n_);
+  allowed.SetAll();
+  for (int a = nb.First(); a >= 0; a = nb.Next(a)) {
+    for (int b = nb.Next(a); b >= 0; b = nb.Next(b)) {
+      if (adj_[a].Test(b)) continue;
+      if (!have_bad_pair) {
+        have_bad_pair = true;
+        allowed.Clear();
+        allowed.Set(a);
+        allowed.Set(b);
+      } else {
+        Bitset pair(n_);
+        pair.Set(a);
+        pair.Set(b);
+        allowed &= pair;
+        if (allowed.None()) return false;
+      }
+    }
+  }
+  if (!have_bad_pair) return false;  // simplicial, not *almost* simplicial
+  candidate = allowed.First();
+  if (special != nullptr) *special = candidate;
+  return true;
+}
+
+int EliminationGraph::Eliminate(int v) {
+  HT_CHECK(alive_.Test(v));
+  Record rec;
+  rec.vertex = v;
+  Bitset nb = NeighborBits(v);
+  rec.neighbors = nb.ToVector();
+  for (size_t i = 0; i < rec.neighbors.size(); ++i) {
+    int a = rec.neighbors[i];
+    for (size_t j = i + 1; j < rec.neighbors.size(); ++j) {
+      int b = rec.neighbors[j];
+      if (!adj_[a].Test(b)) {
+        adj_[a].Set(b);
+        adj_[b].Set(a);
+        rec.fill.emplace_back(a, b);
+      }
+    }
+  }
+  // Detach v from its (still-alive) neighbors.
+  for (int a : rec.neighbors) adj_[a].Reset(v);
+  alive_.Reset(v);
+  --active_count_;
+  int degree = static_cast<int>(rec.neighbors.size());
+  log_.push_back(std::move(rec));
+  return degree;
+}
+
+void EliminationGraph::UndoElimination() {
+  HT_CHECK(!log_.empty());
+  Record rec = std::move(log_.back());
+  log_.pop_back();
+  for (auto [a, b] : rec.fill) {
+    adj_[a].Reset(b);
+    adj_[b].Reset(a);
+  }
+  for (int a : rec.neighbors) adj_[a].Set(rec.vertex);
+  alive_.Set(rec.vertex);
+  ++active_count_;
+}
+
+Graph EliminationGraph::CurrentGraph(std::vector<int>* old_ids) const {
+  std::vector<int> ids = alive_.ToVector();
+  std::vector<int> new_id(n_, -1);
+  for (size_t i = 0; i < ids.size(); ++i) new_id[ids[i]] = static_cast<int>(i);
+  Graph g(static_cast<int>(ids.size()));
+  for (int u : ids) {
+    Bitset nb = adj_[u] & alive_;
+    for (int v = nb.Next(u); v >= 0; v = nb.Next(v)) {
+      g.AddEdge(new_id[u], new_id[v]);
+    }
+  }
+  if (old_ids != nullptr) *old_ids = std::move(ids);
+  return g;
+}
+
+}  // namespace hypertree

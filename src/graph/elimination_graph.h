@@ -1,0 +1,99 @@
+// A mutable view of a graph supporting vertex elimination with undo.
+//
+// Eliminating a vertex v turns its current neighborhood into a clique and
+// removes v (the core step of bucket/vertex elimination, branch-and-bound
+// and A* searches over elimination orderings; thesis §2.5.3 / §5.2.1).
+// Every elimination is recorded so it can be rolled back in LIFO order,
+// which lets the tree searches share one graph object across the whole
+// search instead of copying the graph per node.
+
+#ifndef HYPERTREE_GRAPH_ELIMINATION_GRAPH_H_
+#define HYPERTREE_GRAPH_ELIMINATION_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// Elimination view over a graph, with LIFO undo.
+class EliminationGraph {
+ public:
+  /// Takes a snapshot of `g`; the original graph is not modified.
+  explicit EliminationGraph(const Graph& g);
+
+  /// Number of vertices of the underlying (original) graph.
+  int NumVertices() const { return n_; }
+
+  /// Number of vertices still present.
+  int NumActive() const { return active_count_; }
+
+  /// True if `v` has not been eliminated.
+  bool IsActive(int v) const { return alive_.Test(v); }
+
+  /// Bitset of vertices still present.
+  const Bitset& ActiveBits() const { return alive_; }
+
+  /// Current degree of active vertex `v`.
+  int Degree(int v) const {
+    HT_DCHECK(alive_.Test(v));
+    return adj_[v].IntersectCount(alive_);
+  }
+
+  /// Current neighborhood of active vertex `v` (materialized bitset).
+  Bitset NeighborBits(int v) const {
+    HT_DCHECK(alive_.Test(v));
+    return adj_[v] & alive_;
+  }
+
+  /// Current neighborhood of active vertex `v` as a vertex list.
+  std::vector<int> Neighbors(int v) const { return NeighborBits(v).ToVector(); }
+
+  /// True if active vertices `u` and `v` are currently adjacent.
+  bool HasEdge(int u, int v) const { return adj_[u].Test(v); }
+
+  /// Number of edges that eliminating `v` would add (non-adjacent
+  /// neighbor pairs).
+  int FillIn(int v) const;
+
+  /// True if the current neighborhood of `v` is a clique.
+  bool IsSimplicial(int v) const;
+
+  /// True if all but one neighbor of `v` form a clique. If so and
+  /// `special` is non-null, stores the exempted neighbor.
+  bool IsAlmostSimplicial(int v, int* special) const;
+
+  /// Eliminates `v`: connects its neighbors pairwise and removes it.
+  /// Returns the degree of `v` at elimination time (the bag size - 1).
+  int Eliminate(int v);
+
+  /// Rolls back the most recent un-undone elimination.
+  void UndoElimination();
+
+  /// Number of eliminations that can be undone.
+  int UndoDepth() const { return static_cast<int>(log_.size()); }
+
+  /// Copies the current (remaining) graph into a standalone Graph whose
+  /// vertex ids are remapped to [0, NumActive()); `old_ids` (optional)
+  /// receives the original id of each new vertex.
+  Graph CurrentGraph(std::vector<int>* old_ids = nullptr) const;
+
+ private:
+  struct Record {
+    int vertex;
+    std::vector<int> neighbors;                 // neighbors at elimination time
+    std::vector<std::pair<int, int>> fill;      // edges added by elimination
+  };
+
+  int n_;
+  int active_count_;
+  Bitset alive_;
+  std::vector<Bitset> adj_;
+  std::vector<Record> log_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GRAPH_ELIMINATION_GRAPH_H_

@@ -1,0 +1,49 @@
+// Graph generators for the benchmark families.
+//
+// The structured DIMACS graph-coloring families used in the decomposition
+// literature are mathematical constructions, so the generators below
+// reproduce those instances exactly: queenN_N is the N x N queens graph,
+// mycielK is the iterated Mycielski construction, and the grid graphs are
+// plain 2D meshes. Random families (DSJC*, le450_*) are substituted by
+// seeded uniform random graphs with matching vertex/edge counts.
+
+#ifndef HYPERTREE_GRAPH_GENERATORS_H_
+#define HYPERTREE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hypertree {
+
+/// The rows x cols grid (mesh) graph. Treewidth of the n x n grid is n.
+Graph GridGraph(int rows, int cols);
+
+/// The n x n queens graph: vertices are board squares, edges join squares
+/// that share a row, column, or diagonal (DIMACS queenN_N).
+Graph QueensGraph(int n);
+
+/// The Mycielski graph M_k (DIMACS mycielK): M_2 = K_2, and M_{k+1} is the
+/// Mycielskian of M_k. Triangle-free with chromatic number k.
+Graph MycielskiGraph(int k);
+
+/// Complete graph K_n (treewidth n-1).
+Graph CompleteGraph(int n);
+
+/// Cycle C_n (treewidth 2 for n >= 3).
+Graph CycleGraph(int n);
+
+/// Path P_n (treewidth 1 for n >= 2).
+Graph PathGraph(int n);
+
+/// Uniform random graph with exactly `m` distinct edges (seeded; G(n, m)).
+Graph RandomGraph(int n, int m, uint64_t seed);
+
+/// Random k-tree: a maximal graph of treewidth exactly k, optionally with
+/// a fraction `keep` of edges retained (keep = 1.0 gives the full k-tree,
+/// whose treewidth is exactly k; partial k-trees have treewidth <= k).
+Graph RandomKTree(int n, int k, double keep, uint64_t seed);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GRAPH_GENERATORS_H_

@@ -1,0 +1,25 @@
+#include "graph/graph.h"
+
+namespace hypertree {
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(num_edges_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = adj_[u].Next(u); v >= 0; v = adj_[u].Next(v)) {
+      out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::IsClique(const Bitset& s) const {
+  for (int u = s.First(); u >= 0; u = s.Next(u)) {
+    for (int v = s.Next(u); v >= 0; v = s.Next(v)) {
+      if (!adj_[u].Test(v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hypertree

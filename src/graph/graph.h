@@ -1,0 +1,75 @@
+// Simple undirected graphs.
+//
+// Vertices are dense integers [0, n). The adjacency structure is a bitset
+// matrix, which makes the neighborhood algebra used by elimination-based
+// decomposition algorithms (clique tests, fill-in counts, subset checks)
+// word-parallel.
+
+#ifndef HYPERTREE_GRAPH_GRAPH_H_
+#define HYPERTREE_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// An undirected simple graph over vertices {0, ..., n-1}.
+class Graph {
+ public:
+  Graph() : n_(0), num_edges_(0) {}
+
+  /// Creates an edgeless graph on `n` vertices.
+  explicit Graph(int n) : n_(n), num_edges_(0), adj_(n, Bitset(n)) {}
+
+  /// Number of vertices.
+  int NumVertices() const { return n_; }
+
+  /// Number of edges.
+  int NumEdges() const { return num_edges_; }
+
+  /// Adds edge {u, v}; self-loops and duplicates are ignored.
+  void AddEdge(int u, int v) {
+    HT_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+    if (u == v || adj_[u].Test(v)) return;
+    adj_[u].Set(v);
+    adj_[v].Set(u);
+    ++num_edges_;
+  }
+
+  /// True if {u, v} is an edge.
+  bool HasEdge(int u, int v) const {
+    HT_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+    return adj_[u].Test(v);
+  }
+
+  /// Degree of `v`.
+  int Degree(int v) const { return adj_[v].Count(); }
+
+  /// Neighborhood of `v` as a bitset row (do not mutate).
+  const Bitset& NeighborBits(int v) const { return adj_[v]; }
+
+  /// Neighborhood of `v` as a sorted vertex list.
+  std::vector<int> Neighbors(int v) const { return adj_[v].ToVector(); }
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// True if every pair of vertices in `s` is adjacent.
+  bool IsClique(const Bitset& s) const;
+
+  /// Optional human-readable name (instance id in benchmark tables).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  int n_;
+  int num_edges_;
+  std::vector<Bitset> adj_;
+  std::string name_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_GRAPH_GRAPH_H_

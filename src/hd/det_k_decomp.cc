@@ -1,0 +1,255 @@
+#include "hd/det_k_decomp.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bounds/ghw_lower_bounds.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+namespace {
+
+class DetKSearch {
+ public:
+  DetKSearch(const Hypergraph& h, int k, const SearchOptions& opts)
+      : h_(h),
+        k_(k),
+        n_(h.NumVertices()),
+        m_(h.NumEdges()),
+        deadline_(opts.time_limit_seconds),
+        max_nodes_(opts.max_nodes) {}
+
+  bool aborted() const { return aborted_; }
+
+  std::optional<HypertreeDecomposition> Run() {
+    Bitset all_edges(m_);
+    all_edges.SetAll();
+    if (!Decompose(all_edges, Bitset(n_), -1)) return std::nullopt;
+    // Convert the recorded nodes into a HypertreeDecomposition (nodes were
+    // appended parent-first).
+    HypertreeDecomposition hd(n_);
+    for (size_t p = 0; p < chi_.size(); ++p) {
+      hd.AddNode(chi_[p], lambda_[p], parent_[p]);
+    }
+    return hd;
+  }
+
+ private:
+  Bitset VarsOfEdges(const Bitset& edges) const {
+    Bitset vars(n_);
+    for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
+      vars |= h_.EdgeBits(e);
+    }
+    return vars;
+  }
+
+  // Edge components of `comp` w.r.t. separator vertices `sep_vars`:
+  // edges not fully inside sep_vars, grouped by connectivity through
+  // vertices outside sep_vars.
+  std::vector<Bitset> Components(const Bitset& comp,
+                                 const Bitset& sep_vars) const {
+    std::vector<int> pending;
+    for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
+      if (!h_.EdgeBits(e).IsSubsetOf(sep_vars)) pending.push_back(e);
+    }
+    std::vector<Bitset> out;
+    std::vector<bool> assigned(m_, false);
+    for (int seed : pending) {
+      if (assigned[seed]) continue;
+      Bitset comp_edges(m_);
+      Bitset frontier_vars = h_.EdgeBits(seed) - sep_vars;
+      comp_edges.Set(seed);
+      assigned[seed] = true;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (int e : pending) {
+          if (assigned[e]) continue;
+          Bitset outside = h_.EdgeBits(e) - sep_vars;
+          if (outside.Intersects(frontier_vars)) {
+            comp_edges.Set(e);
+            assigned[e] = true;
+            frontier_vars |= outside;
+            grew = true;
+          }
+        }
+      }
+      out.push_back(comp_edges);
+    }
+    return out;
+  }
+
+  bool Failed(const Bitset& comp, const Bitset& conn) {
+    auto it = failed_.find(comp);
+    if (it == failed_.end()) return false;
+    for (const Bitset& c : it->second) {
+      if (c == conn) return true;
+    }
+    return false;
+  }
+
+  bool BudgetExceeded() {
+    if (aborted_) return true;
+    if ((++ticks_ & 63) == 0 && deadline_.Expired()) aborted_ = true;
+    if (max_nodes_ > 0 && ticks_ >= max_nodes_) aborted_ = true;
+    return aborted_;
+  }
+
+  // Tries to decompose `comp` under connecting vertices `conn`; appends
+  // decomposition nodes under `parent` on success (rolled back on fail).
+  bool Decompose(const Bitset& comp, const Bitset& conn, int parent) {
+    if (BudgetExceeded()) return false;
+    if (comp.None()) return true;
+    if (Failed(comp, conn)) return false;
+
+    Bitset comp_vars = VarsOfEdges(comp);
+    Bitset scope = comp_vars | conn;
+
+    // Candidate separator edges: must intersect the scope.
+    std::vector<int> candidates;
+    for (int e = 0; e < m_; ++e) {
+      if (h_.EdgeBits(e).Intersects(scope)) candidates.push_back(e);
+    }
+    // Prefer edges covering many connector vertices.
+    std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return h_.EdgeBits(a).IntersectCount(conn) >
+             h_.EdgeBits(b).IntersectCount(conn);
+    });
+
+    std::vector<int> sep;
+    bool ok = EnumerateSeparators(comp, conn, scope, candidates, 0, &sep,
+                                  Bitset(n_), parent);
+    if (!ok && !aborted_) failed_[comp].push_back(conn);
+    return ok;
+  }
+
+  // Recursively chooses up to k_ separator edges from candidates[from..).
+  bool EnumerateSeparators(const Bitset& comp, const Bitset& conn,
+                           const Bitset& scope,
+                           const std::vector<int>& candidates, size_t from,
+                           std::vector<int>* sep, Bitset sep_vars,
+                           int parent) {
+    if (aborted_) return false;
+    if (!sep->empty() && conn.IsSubsetOf(sep_vars)) {
+      if (TrySeparator(comp, scope, *sep, sep_vars, parent)) {
+        return true;
+      }
+    }
+    if (static_cast<int>(sep->size()) == k_) return false;
+    for (size_t i = from; i < candidates.size(); ++i) {
+      int e = candidates[i];
+      // Each added edge must contribute new scope vertices (otherwise it
+      // neither helps covering conn nor splitting comp).
+      Bitset contrib = h_.EdgeBits(e) & scope;
+      if (contrib.IsSubsetOf(sep_vars)) continue;
+      Bitset next_vars = sep_vars | h_.EdgeBits(e);
+      sep->push_back(e);
+      if (EnumerateSeparators(comp, conn, scope, candidates, i + 1, sep,
+                              next_vars, parent)) {
+        return true;
+      }
+      sep->pop_back();
+      if (aborted_) return false;
+    }
+    return false;
+  }
+
+  bool TrySeparator(const Bitset& comp, const Bitset& scope,
+                    const std::vector<int>& sep, const Bitset& sep_vars,
+                    int parent) {
+    std::vector<Bitset> comps = Components(comp, sep_vars);
+    int comp_size = comp.Count();
+    for (const Bitset& c : comps) {
+      if (c.Count() >= comp_size) return false;  // no progress
+    }
+    // Create the node; chi = var(lambda) ∩ (var(comp) ∪ conn).
+    Bitset chi = sep_vars & scope;
+    size_t rollback = chi_.size();
+    chi_.push_back(chi);
+    lambda_.push_back(sep);
+    parent_.push_back(parent);
+    int node = static_cast<int>(rollback);
+    for (const Bitset& c : comps) {
+      Bitset child_conn = VarsOfEdges(c) & sep_vars;
+      if (!Decompose(c, child_conn, node)) {
+        chi_.resize(rollback);
+        lambda_.resize(rollback);
+        parent_.resize(rollback);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Hypergraph& h_;
+  int k_;
+  int n_;
+  int m_;
+  Deadline deadline_;
+  long max_nodes_;
+  long ticks_ = 0;
+  bool aborted_ = false;
+  std::unordered_map<Bitset, std::vector<Bitset>> failed_;
+  std::vector<Bitset> chi_;
+  std::vector<std::vector<int>> lambda_;
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::optional<HypertreeDecomposition> DetKDecomp(const Hypergraph& h, int k,
+                                                 const SearchOptions& options,
+                                                 bool* aborted) {
+  HT_CHECK(k >= 1);
+  if (h.NumEdges() == 0) {
+    if (aborted != nullptr) *aborted = false;
+    return HypertreeDecomposition(h.NumVertices());
+  }
+  DetKSearch search(h, k, options);
+  auto result = search.Run();
+  if (aborted != nullptr) *aborted = search.aborted();
+  return result;
+}
+
+WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
+                           std::optional<HypertreeDecomposition>* witness) {
+  WidthResult res;
+  Timer timer;
+  Rng rng(options.seed);
+  int lb = GhwLowerBound(h, &rng);  // ghw <= hw
+  int m = h.NumEdges();
+  if (m == 0) {
+    res.exact = true;
+    res.seconds = timer.ElapsedSeconds();
+    return res;
+  }
+  res.lower_bound = lb;
+  res.upper_bound = m;  // trivial: one node with all edges
+  Deadline deadline(options.time_limit_seconds);
+  for (int k = std::max(1, lb); k <= m; ++k) {
+    SearchOptions sub = options;
+    if (options.time_limit_seconds > 0) {
+      sub.time_limit_seconds =
+          options.time_limit_seconds - deadline.ElapsedSeconds();
+      if (sub.time_limit_seconds <= 0) break;
+    }
+    bool aborted = false;
+    auto hd = DetKDecomp(h, k, sub, &aborted);
+    if (hd.has_value()) {
+      res.upper_bound = k;
+      res.lower_bound = k;
+      res.exact = true;
+      if (witness != nullptr) *witness = std::move(hd);
+      break;
+    }
+    if (aborted) break;       // budget ran out: bounds only
+    res.lower_bound = k + 1;  // hw > k proven
+  }
+  res.seconds = timer.ElapsedSeconds();
+  return res;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,98 @@
+#include "hd/hypertree_decomposition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+int HypertreeDecomposition::AddNode(const Bitset& chi, std::vector<int> lambda,
+                                    int parent) {
+  HT_CHECK(chi.size() == n_);
+  HT_CHECK(parent >= -1 && parent < NumNodes());
+  HT_CHECK((parent == -1) == (NumNodes() == 0));
+  int id = NumNodes();
+  chi_.push_back(chi);
+  lambda_.push_back(std::move(lambda));
+  parent_.push_back(parent);
+  children_.emplace_back();
+  if (parent >= 0) children_[parent].push_back(id);
+  return id;
+}
+
+int HypertreeDecomposition::Width() const {
+  size_t w = 0;
+  for (const auto& l : lambda_) w = std::max(w, l.size());
+  return static_cast<int>(w);
+}
+
+Bitset HypertreeDecomposition::SubtreeChi(int p) const {
+  Bitset acc = chi_[p];
+  for (int c : children_[p]) acc |= SubtreeChi(c);
+  return acc;
+}
+
+bool HypertreeDecomposition::IsValidFor(const Hypergraph& h,
+                                        std::string* why) const {
+  HT_CHECK(h.NumVertices() == n_);
+  int m = NumNodes();
+  if (m == 0) {
+    if (why != nullptr) *why = "empty decomposition";
+    return h.NumVertices() == 0;
+  }
+  // Condition 1: every hyperedge inside some chi bag.
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    bool covered = false;
+    for (int p = 0; p < m; ++p) {
+      if (h.EdgeBits(e).IsSubsetOf(chi_[p])) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      if (why != nullptr) *why = "hyperedge " + h.EdgeName(e) + " uncovered";
+      return false;
+    }
+  }
+  // Condition 2: connectedness. With parent pointers, equivalent to:
+  // for each vertex v, (#nodes with v) - 1 == #parent links where both
+  // endpoints contain v.
+  for (int v = 0; v < n_; ++v) {
+    int nodes = 0, links = 0;
+    for (int p = 0; p < m; ++p) {
+      if (!chi_[p].Test(v)) continue;
+      ++nodes;
+      if (parent_[p] != -1 && chi_[parent_[p]].Test(v)) ++links;
+    }
+    if (nodes > 0 && links != nodes - 1) {
+      if (why != nullptr)
+        *why = "vertex " + std::to_string(v) + " violates connectedness";
+      return false;
+    }
+  }
+  // Condition 3: chi(p) subset of var(lambda(p)).
+  for (int p = 0; p < m; ++p) {
+    Bitset covered(n_);
+    for (int e : lambda_[p]) covered |= h.EdgeBits(e);
+    if (!chi_[p].IsSubsetOf(covered)) {
+      if (why != nullptr)
+        *why = "node " + std::to_string(p) + ": chi exceeds var(lambda)";
+      return false;
+    }
+  }
+  // Condition 4: var(lambda(p)) ∩ chi(T_p) ⊆ chi(p).
+  for (int p = 0; p < m; ++p) {
+    Bitset lam_vars(n_);
+    for (int e : lambda_[p]) lam_vars |= h.EdgeBits(e);
+    Bitset sub = SubtreeChi(p);
+    lam_vars &= sub;
+    if (!lam_vars.IsSubsetOf(chi_[p])) {
+      if (why != nullptr)
+        *why = "node " + std::to_string(p) + ": descendant condition violated";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hypertree

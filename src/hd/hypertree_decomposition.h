@@ -1,0 +1,55 @@
+// Hypertree decompositions (Gottlob, Leone & Scarcello): generalized
+// hypertree decompositions satisfying the additional descendant condition
+//
+//   (4)  var(lambda(p)) ∩ chi(T_p)  ⊆  chi(p)
+//
+// where T_p is the subtree rooted at p. Condition 4 is what makes
+// "hw(H) <= k" decidable in polynomial time for fixed k (unlike ghw), and
+// ghw(H) <= hw(H) <= 3*ghw(H) + 1.
+
+#ifndef HYPERTREE_HD_HYPERTREE_DECOMPOSITION_H_
+#define HYPERTREE_HD_HYPERTREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// A rooted hypertree decomposition.
+class HypertreeDecomposition {
+ public:
+  explicit HypertreeDecomposition(int num_vertices) : n_(num_vertices) {}
+
+  /// Adds a node with chi bag `chi` and lambda label `lambda`; attaches it
+  /// under `parent` (-1 for the root). Returns the node id.
+  int AddNode(const Bitset& chi, std::vector<int> lambda, int parent);
+
+  int NumNodes() const { return static_cast<int>(chi_.size()); }
+  int root() const { return 0; }
+  const Bitset& Chi(int p) const { return chi_[p]; }
+  const std::vector<int>& Lambda(int p) const { return lambda_[p]; }
+  int Parent(int p) const { return parent_[p]; }
+  const std::vector<int>& Children(int p) const { return children_[p]; }
+
+  /// Width: max lambda size.
+  int Width() const;
+
+  /// Checks conditions 1-3 (GHD) plus the descendant condition 4.
+  bool IsValidFor(const Hypergraph& h, std::string* why = nullptr) const;
+
+ private:
+  Bitset SubtreeChi(int p) const;
+
+  int n_;
+  std::vector<Bitset> chi_;
+  std::vector<std::vector<int>> lambda_;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_HD_HYPERTREE_DECOMPOSITION_H_

@@ -1,0 +1,60 @@
+// Hypergraph generators reproducing the public CSP hypergraph benchmark
+// families (Vienna CSP hypergraph library style) plus synthetic workloads.
+//
+// The circuit families (adder_N, bridge_N) are regular constructions: the
+// library instances are derived from N-bit ripple-carry adders and N
+// bridged circuit blocks, so generated instances exercise the same code
+// paths and have the same known widths (adder ghw = 2, bridge ghw = 2).
+
+#ifndef HYPERTREE_HYPERGRAPH_GENERATORS_H_
+#define HYPERTREE_HYPERGRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+
+namespace hypertree {
+
+/// N-bit ripple-carry adder circuit hypergraph (family `adder_N`).
+/// Per bit i: variables a_i, b_i, s_i and carries c_i, c_{i+1}; two
+/// constraints per bit (sum and carry-out), chained through the carries.
+Hypergraph AdderHypergraph(int bits);
+
+/// Chain of N "bridge" blocks (family `bridge_N`): each block is a 4-cycle
+/// of binary constraints with a diagonal, bridged to the next block.
+Hypergraph BridgeHypergraph(int blocks);
+
+/// Clique hypergraph `clique_N`: one binary constraint per pair of N
+/// variables (the primal graph is K_N).
+Hypergraph CliqueHypergraph(int n);
+
+/// 2D grid hypergraph `grid2d_N`: N x N variables, binary constraints
+/// between horizontal and vertical neighbors.
+Hypergraph Grid2DHypergraph(int n);
+
+/// 3D grid hypergraph `grid3d_N`: N x N x N variables, binary constraints
+/// along the three axes.
+Hypergraph Grid3DHypergraph(int n);
+
+/// Cycle hypergraph: n vertices, n edges of size `arity` wrapping around
+/// (arity = 2 gives the plain cycle; larger arities overlap).
+Hypergraph CycleHypergraph(int n, int arity);
+
+/// Random CSP-style hypergraph: m hyperedges of cardinality in
+/// [min_arity, max_arity] over n vertices, seeded.
+Hypergraph RandomHypergraph(int n, int m, int min_arity, int max_arity,
+                            uint64_t seed);
+
+/// Random alpha-acyclic hypergraph built top-down from a random join tree:
+/// useful for testing acyclic solving (ghw = 1 by construction).
+Hypergraph RandomAcyclicHypergraph(int num_edges, int max_arity,
+                                   uint64_t seed);
+
+/// A circuit-style hypergraph mimicking the ISCAS `bNN` benchmark family:
+/// `gates` gate constraints (arity 2..4, fanin from earlier signals) over
+/// `gates + inputs` signal variables, seeded.
+Hypergraph CircuitHypergraph(int inputs, int gates, uint64_t seed);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_HYPERGRAPH_GENERATORS_H_

@@ -1,0 +1,98 @@
+// Hypergraphs: the structure of conjunctive queries and CSPs.
+//
+// Vertices (CSP variables / query variables) are dense ints [0, n); each
+// hyperedge (constraint scope / query atom) is a vertex set stored as a
+// bitset. Vertex and edge names are kept for parsing/printing benchmark
+// instances.
+
+#ifndef HYPERTREE_HYPERGRAPH_HYPERGRAPH_H_
+#define HYPERTREE_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// A hypergraph H = (V, H) with named vertices and hyperedges.
+class Hypergraph {
+ public:
+  Hypergraph() : n_(0) {}
+
+  /// Creates a hypergraph on `n` vertices with default names x0..x{n-1}.
+  explicit Hypergraph(int n);
+
+  /// Number of vertices.
+  int NumVertices() const { return n_; }
+
+  /// Number of hyperedges.
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds a hyperedge over `vertices`; returns its id. Duplicate edges are
+  /// allowed (benchmarks contain them); empty edges are rejected.
+  int AddEdge(const std::vector<int>& vertices, std::string name = "");
+
+  /// Adds a hyperedge from a bitset; returns its id.
+  int AddEdgeBits(const Bitset& vertices, std::string name = "");
+
+  /// The vertex set of edge `e` as a bitset.
+  const Bitset& EdgeBits(int e) const { return edges_[e]; }
+
+  /// The vertex set of edge `e` as a sorted list.
+  std::vector<int> EdgeVertices(int e) const { return edges_[e].ToVector(); }
+
+  /// Size of edge `e`.
+  int EdgeSize(int e) const { return edges_[e].Count(); }
+
+  /// Maximum hyperedge cardinality (the paper's rank / `r`).
+  int MaxEdgeSize() const;
+
+  /// Ids of the hyperedges containing vertex `v`.
+  const std::vector<int>& IncidentEdges(int v) const { return incident_[v]; }
+
+  /// Number of hyperedges containing vertex `v`.
+  int VertexDegree(int v) const {
+    return static_cast<int>(incident_[v].size());
+  }
+
+  /// The primal (Gaifman) graph: vertices of H, an edge between every two
+  /// vertices that co-occur in a hyperedge (Definition 3).
+  Graph PrimalGraph() const;
+
+  /// The dual graph: one vertex per hyperedge, edges between hyperedges
+  /// sharing a vertex (Definition 4).
+  Graph DualGraph() const;
+
+  /// The subhypergraph induced by restricting every edge to `keep` and
+  /// dropping edges that become empty. Vertex ids are preserved (universe
+  /// size stays n); `edge_origin` (optional) maps new edge ids to old.
+  Hypergraph InducedSubhypergraph(const Bitset& keep,
+                                  std::vector<int>* edge_origin = nullptr) const;
+
+  /// Name handling.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& VertexName(int v) const { return vertex_names_[v]; }
+  void SetVertexName(int v, std::string name) {
+    vertex_names_[v] = std::move(name);
+  }
+  const std::string& EdgeName(int e) const { return edge_names_[e]; }
+
+ private:
+  int n_;
+  std::vector<Bitset> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<std::string> vertex_names_;
+  std::vector<std::string> edge_names_;
+  std::string name_;
+};
+
+/// Views a regular graph as a hypergraph with one binary edge per graph
+/// edge (every graph is a hypergraph; Definition 2).
+Hypergraph HypergraphFromGraph(const Graph& g);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,164 @@
+#include "hypergraph/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/stringutil.h"
+
+namespace hypertree {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+struct RawEdge {
+  std::string name;
+  std::vector<std::string> vertices;
+};
+
+// Tokenizes `text` into edge statements, skipping comments.
+bool ParseStatements(const std::string& text, std::vector<RawEdge>* out,
+                     std::string* error) {
+  // Strip comment lines.
+  std::string clean;
+  {
+    std::istringstream ls(text);
+    std::string line;
+    while (std::getline(ls, line)) {
+      std::string s = StripString(line);
+      if (StartsWith(s, "%") || StartsWith(s, "#") || StartsWith(s, "//"))
+        continue;
+      clean += line;
+      clean += '\n';
+    }
+  }
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < clean.size() &&
+           (std::isspace(static_cast<unsigned char>(clean[i])) ||
+            clean[i] == ',' || clean[i] == '.'))
+      ++i;
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '[' || c == ']' || c == '\'';
+  };
+  while (true) {
+    skip_ws();
+    if (i >= clean.size()) break;
+    RawEdge e;
+    size_t start = i;
+    while (i < clean.size() && is_ident(clean[i])) ++i;
+    e.name = clean.substr(start, i - start);
+    if (e.name.empty()) {
+      SetError(error, "expected edge name at offset " + std::to_string(i));
+      return false;
+    }
+    skip_ws();
+    if (i >= clean.size() || clean[i] != '(') {
+      SetError(error, "expected '(' after edge name '" + e.name + "'");
+      return false;
+    }
+    ++i;  // consume '('
+    while (true) {
+      while (i < clean.size() &&
+             (std::isspace(static_cast<unsigned char>(clean[i])) ||
+              clean[i] == ','))
+        ++i;
+      if (i < clean.size() && clean[i] == ')') {
+        ++i;
+        break;
+      }
+      size_t vstart = i;
+      while (i < clean.size() && is_ident(clean[i])) ++i;
+      if (i == vstart) {
+        SetError(error, "expected vertex name in edge '" + e.name + "'");
+        return false;
+      }
+      e.vertices.push_back(clean.substr(vstart, i - vstart));
+    }
+    if (e.vertices.empty()) {
+      SetError(error, "edge '" + e.name + "' has no vertices");
+      return false;
+    }
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Hypergraph> ReadHypergraphFromString(const std::string& text,
+                                                   std::string* error) {
+  std::vector<RawEdge> raw;
+  if (!ParseStatements(text, &raw, error)) return std::nullopt;
+  if (raw.empty()) {
+    SetError(error, "no hyperedges found");
+    return std::nullopt;
+  }
+  std::map<std::string, int> vertex_id;
+  std::vector<std::string> names;
+  for (const RawEdge& e : raw) {
+    for (const std::string& v : e.vertices) {
+      if (vertex_id.emplace(v, static_cast<int>(names.size())).second) {
+        names.push_back(v);
+      }
+    }
+  }
+  Hypergraph h(static_cast<int>(names.size()));
+  for (size_t v = 0; v < names.size(); ++v)
+    h.SetVertexName(static_cast<int>(v), names[v]);
+  for (const RawEdge& e : raw) {
+    std::vector<int> vs;
+    vs.reserve(e.vertices.size());
+    for (const std::string& v : e.vertices) vs.push_back(vertex_id[v]);
+    h.AddEdge(vs, e.name);
+  }
+  return h;
+}
+
+std::optional<Hypergraph> ReadHypergraph(std::istream& in,
+                                         std::string* error) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadHypergraphFromString(buf.str(), error);
+}
+
+std::optional<Hypergraph> ReadHypergraphFile(const std::string& path,
+                                             std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  auto h = ReadHypergraph(in, error);
+  if (h.has_value()) {
+    size_t slash = path.find_last_of('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos) stem = stem.substr(0, dot);
+    h->set_name(stem);
+  }
+  return h;
+}
+
+void WriteHypergraph(const Hypergraph& h, std::ostream& out) {
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    out << h.EdgeName(e) << "(";
+    std::vector<int> vs = h.EdgeVertices(e);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.VertexName(vs[i]);
+    }
+    out << ")";
+    out << (e + 1 == h.NumEdges() ? ".\n" : ",\n");
+  }
+}
+
+}  // namespace hypertree

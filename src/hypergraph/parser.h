@@ -1,0 +1,40 @@
+// Reader/writer for the HyperBench / detkdecomp hypergraph format used by
+// the public CSP hypergraph benchmark libraries:
+//
+//   edge_name(vertex, vertex, ...),
+//   other_edge(vertex, ...).
+//
+// Statements are separated by commas; the file ends with a period (both are
+// tolerated if missing). '%'-prefixed lines are comments. Vertex names are
+// arbitrary identifiers and are interned in order of first appearance.
+
+#ifndef HYPERTREE_HYPERGRAPH_PARSER_H_
+#define HYPERTREE_HYPERGRAPH_PARSER_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace hypertree {
+
+/// Parses a hypergraph in HyperBench format from `in`.
+std::optional<Hypergraph> ReadHypergraph(std::istream& in,
+                                         std::string* error = nullptr);
+
+/// Parses a hypergraph in HyperBench format from a string.
+std::optional<Hypergraph> ReadHypergraphFromString(const std::string& text,
+                                                   std::string* error = nullptr);
+
+/// Parses a hypergraph from the file at `path`.
+std::optional<Hypergraph> ReadHypergraphFile(const std::string& path,
+                                             std::string* error = nullptr);
+
+/// Writes `h` in HyperBench format.
+void WriteHypergraph(const Hypergraph& h, std::ostream& out);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_HYPERGRAPH_PARSER_H_

@@ -1,0 +1,36 @@
+// Graphviz DOT export for graphs, hypergraphs and decompositions —
+// the inspection/debugging surface of the library.
+
+#ifndef HYPERTREE_IO_DOT_H_
+#define HYPERTREE_IO_DOT_H_
+
+#include <ostream>
+
+#include "ghd/ghd.h"
+#include "graph/graph.h"
+#include "hd/hypertree_decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Writes `g` as an undirected DOT graph.
+void WriteDot(const Graph& g, std::ostream& out);
+
+/// Writes `h` as a bipartite (vertex/edge) DOT graph.
+void WriteDot(const Hypergraph& h, std::ostream& out);
+
+/// Writes a tree decomposition with bag labels.
+void WriteDot(const TreeDecomposition& td, std::ostream& out);
+
+/// Writes a GHD with chi and lambda labels (edge names from `h`).
+void WriteDot(const GeneralizedHypertreeDecomposition& ghd,
+              const Hypergraph& h, std::ostream& out);
+
+/// Writes a hypertree decomposition with chi and lambda labels.
+void WriteDot(const HypertreeDecomposition& hd, const Hypergraph& h,
+              std::ostream& out);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_IO_DOT_H_

@@ -1,0 +1,133 @@
+#include "io/ghd_format.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "util/stringutil.h"
+
+namespace hypertree {
+
+namespace {
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+}  // namespace
+
+void WriteGhd(const GeneralizedHypertreeDecomposition& ghd,
+              const Hypergraph& h, std::ostream& out) {
+  out << "% ghd of " << (h.name().empty() ? "hypergraph" : h.name()) << "\n";
+  out << "s ghd " << ghd.NumNodes() << " " << ghd.Width() << " "
+      << h.NumVertices() << " " << h.NumEdges() << "\n";
+  for (int p = 0; p < ghd.NumNodes(); ++p) {
+    out << "n " << p + 1 << " c";
+    for (int v : ghd.td().Bag(p).ToVector()) out << " " << v + 1;
+    out << " ; l";
+    for (int e : ghd.Lambda(p)) out << " " << e + 1;
+    out << "\n";
+  }
+  for (auto [a, b] : ghd.td().TreeEdges()) {
+    out << "e " << a + 1 << " " << b + 1 << "\n";
+  }
+}
+
+std::optional<GeneralizedHypertreeDecomposition> ReadGhd(std::istream& in,
+                                                         std::string* error) {
+  std::string line;
+  int nodes = 0, n = 0, m = 0;
+  int line_no = 0;
+  std::optional<TreeDecomposition> td;
+  std::vector<std::vector<int>> lambdas;
+  std::vector<bool> seen;
+  std::vector<std::pair<int, int>> tree_edges;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string s = StripString(line);
+    if (s.empty() || s[0] == '%') continue;
+    std::istringstream ls(s);
+    char tag;
+    ls >> tag;
+    if (tag == 's') {
+      std::string kind;
+      int width;
+      ls >> kind >> nodes >> width >> n >> m;
+      if (!ls || kind != "ghd" || nodes < 0 || n < 0 || m < 0) {
+        SetError(error, "bad solution line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      td.emplace(n);
+      for (int i = 0; i < nodes; ++i) td->AddNode(Bitset(n));
+      lambdas.assign(nodes, {});
+      seen.assign(nodes, false);
+    } else if (tag == 'n') {
+      if (!td.has_value()) {
+        SetError(error, "node before solution line");
+        return std::nullopt;
+      }
+      int id;
+      char c;
+      ls >> id >> c;
+      if (!ls || c != 'c' || id < 1 || id > nodes || seen[id - 1]) {
+        SetError(error, "bad node line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      seen[id - 1] = true;
+      std::string token;
+      bool in_lambda = false;
+      while (ls >> token) {
+        if (token == ";") continue;
+        if (token == "l") {
+          in_lambda = true;
+          continue;
+        }
+        char* end = nullptr;
+        long parsed = std::strtol(token.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          SetError(error, "bad id at line " + std::to_string(line_no));
+          return std::nullopt;
+        }
+        int value = static_cast<int>(parsed);
+        if (in_lambda) {
+          if (value < 1 || value > m) {
+            SetError(error,
+                     "lambda id out of range at line " + std::to_string(line_no));
+            return std::nullopt;
+          }
+          lambdas[id - 1].push_back(value - 1);
+        } else {
+          if (value < 1 || value > n) {
+            SetError(error,
+                     "chi vertex out of range at line " + std::to_string(line_no));
+            return std::nullopt;
+          }
+          td->MutableBag(id - 1)->Set(value - 1);
+        }
+      }
+    } else if (tag == 'e') {
+      if (!td.has_value()) {
+        SetError(error, "edge before solution line");
+        return std::nullopt;
+      }
+      int a, b;
+      ls >> a >> b;
+      if (!ls || a < 1 || b < 1 || a > nodes || b > nodes || a == b) {
+        SetError(error, "bad tree edge at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      tree_edges.emplace_back(a - 1, b - 1);
+    } else {
+      SetError(error, "unknown tag at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+  }
+  if (!td.has_value()) {
+    SetError(error, "missing solution line");
+    return std::nullopt;
+  }
+  for (auto [a, b] : tree_edges) td->AddTreeEdge(a, b);
+  GeneralizedHypertreeDecomposition ghd(std::move(*td));
+  for (int p = 0; p < nodes; ++p) ghd.SetLambda(p, std::move(lambdas[p]));
+  return ghd;
+}
+
+}  // namespace hypertree

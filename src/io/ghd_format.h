@@ -1,0 +1,34 @@
+// A plain-text interchange format for generalized hypertree
+// decompositions (in the spirit of detkdecomp's output):
+//
+//   s ghd <nodes> <width> <vertices> <hyperedges>
+//   n <id> c <v1> <v2> ... ; l <e1> <e2> ...
+//   e <a> <b>
+//
+// All ids are 1-based; 'c' lists the chi bag, 'l' the lambda label,
+// 'e' lines are decomposition-tree edges. '%'-lines are comments.
+
+#ifndef HYPERTREE_IO_GHD_FORMAT_H_
+#define HYPERTREE_IO_GHD_FORMAT_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "ghd/ghd.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hypertree {
+
+/// Writes `ghd` (with vertex/edge names from `h` in comments).
+void WriteGhd(const GeneralizedHypertreeDecomposition& ghd,
+              const Hypergraph& h, std::ostream& out);
+
+/// Parses a GHD; the caller validates it against the hypergraph.
+std::optional<GeneralizedHypertreeDecomposition> ReadGhd(
+    std::istream& in, std::string* error = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_IO_GHD_FORMAT_H_

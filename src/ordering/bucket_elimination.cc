@@ -1,0 +1,38 @@
+#include "ordering/bucket_elimination.h"
+
+#include <algorithm>
+
+#include "graph/elimination_graph.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+EliminationTree BucketEliminate(const Graph& g,
+                                const EliminationOrdering& sigma) {
+  int n = g.NumVertices();
+  HT_CHECK(IsValidOrdering(sigma, n));
+  EliminationTree t;
+  t.order = sigma;
+  t.bags.assign(n, Bitset(n));
+  t.parent.assign(n, -1);
+  t.width = 0;
+  std::vector<int> pos = OrderingPositions(sigma);
+  EliminationGraph eg(g);
+  for (int i = n - 1; i >= 0; --i) {
+    int v = sigma[i];
+    Bitset nb = eg.NeighborBits(v);
+    t.bags[v] = nb;
+    t.bags[v].Set(v);
+    t.width = std::max(t.width, t.bags[v].Count() - 1);
+    // Parent bucket: the neighbor eliminated next (max position < i).
+    int best = -1;
+    for (int u = nb.First(); u >= 0; u = nb.Next(u)) {
+      if (best == -1 || pos[u] > pos[best]) best = u;
+    }
+    t.parent[v] = best;  // -1 when v had no remaining neighbors
+    eg.Eliminate(v);
+  }
+  return t;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,31 @@
+// Vertex/bucket elimination: turns an elimination ordering into the bag
+// tree underlying a tree decomposition (thesis §2.5, Figures 2.10/2.12).
+
+#ifndef HYPERTREE_ORDERING_BUCKET_ELIMINATION_H_
+#define HYPERTREE_ORDERING_BUCKET_ELIMINATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ordering/ordering.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// The bucket tree produced by eliminating `order` back-to-front: one bag
+/// per vertex (bag[v] = {v} union its neighbors at elimination time), and
+/// a parent pointer to the bucket of the next-eliminated neighbor.
+struct EliminationTree {
+  EliminationOrdering order;
+  std::vector<Bitset> bags;   // indexed by vertex id
+  std::vector<int> parent;    // parent[v] = vertex whose bucket is parent; -1 root
+  int width = -1;             // max |bag| - 1 (treewidth-style width)
+};
+
+/// Runs vertex elimination (equivalently bucket elimination) of `sigma`
+/// on `g`. sigma must be a permutation of g's vertices.
+EliminationTree BucketEliminate(const Graph& g, const EliminationOrdering& sigma);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_ORDERING_BUCKET_ELIMINATION_H_

@@ -1,0 +1,73 @@
+#include "ordering/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// Core of the indirect-fill evaluation. Calls visit(i, X) for each
+// position i from n-1 down to stop, where X is the set of not-yet-
+// eliminated neighbors of sigma[i] in the partially filled graph
+// (excluding sigma[i] itself). `visit` returns false to stop early.
+template <typename Visit>
+void ScanBags(const Graph& g, const EliminationOrdering& sigma, Visit visit) {
+  int n = g.NumVertices();
+  HT_DCHECK(IsValidOrdering(sigma, n));
+  std::vector<int> pos = OrderingPositions(sigma);
+  // Adjacency lists that accumulate propagated earlier-neighbors; entries
+  // may repeat, deduplication happens with the stamp array.
+  std::vector<std::vector<int>> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  std::vector<int> stamp(n, -1);
+  std::vector<int> bag;
+  for (int i = n - 1; i >= 0; --i) {
+    int v = sigma[i];
+    bag.clear();
+    for (int x : adj[v]) {
+      if (pos[x] < i && stamp[x] != i) {
+        stamp[x] = i;
+        bag.push_back(x);
+      }
+    }
+    if (!visit(i, bag)) return;
+    if (!bag.empty()) {
+      // Propagate to the neighbor eliminated next (max position).
+      int u = bag[0];
+      for (int x : bag) {
+        if (pos[x] > pos[u]) u = x;
+      }
+      for (int x : bag) {
+        if (x != u) adj[u].push_back(x);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int EvaluateOrderingWidth(const Graph& g, const EliminationOrdering& sigma) {
+  int width = 0;
+  ScanBags(g, sigma, [&width](int i, const std::vector<int>& bag) {
+    width = std::max(width, static_cast<int>(bag.size()));
+    // Once width >= i, the remaining i vertices cannot produce a larger
+    // bag (their bags live inside the first i positions).
+    return width < i;
+  });
+  return width;
+}
+
+std::vector<std::vector<int>> OrderingBags(const Graph& g,
+                                           const EliminationOrdering& sigma) {
+  std::vector<std::vector<int>> bags(sigma.size());
+  ScanBags(g, sigma, [&bags, &sigma](int i, const std::vector<int>& bag) {
+    bags[i] = bag;
+    bags[i].push_back(sigma[i]);
+    return true;
+  });
+  return bags;
+}
+
+}  // namespace hypertree

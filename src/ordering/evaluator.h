@@ -1,0 +1,30 @@
+// Fast evaluation of elimination orderings.
+//
+// The genetic algorithms evaluate millions of orderings, so the width
+// computation avoids materializing fill-in graphs: it propagates each
+// eliminated vertex's earlier-neighbor set to the next-eliminated neighbor
+// (thesis Figure 6.2, an adaptation of the perfect-elimination-ordering
+// test of Golumbic), running in O(V + E') with E' the filled edge set.
+
+#ifndef HYPERTREE_ORDERING_EVALUATOR_H_
+#define HYPERTREE_ORDERING_EVALUATOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ordering/ordering.h"
+
+namespace hypertree {
+
+/// Width (max bag size - 1) of the tree decomposition that bucket
+/// elimination builds from `sigma`; equals BucketEliminate(g, sigma).width.
+int EvaluateOrderingWidth(const Graph& g, const EliminationOrdering& sigma);
+
+/// All bags, as vertex lists: result[i] is the bag created when sigma[i]
+/// is eliminated (contains sigma[i] itself). Same O(V + E') algorithm.
+std::vector<std::vector<int>> OrderingBags(const Graph& g,
+                                           const EliminationOrdering& sigma);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_ORDERING_EVALUATOR_H_

@@ -1,0 +1,102 @@
+#include "ordering/heuristics.h"
+
+#include <vector>
+
+#include "graph/elimination_graph.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+namespace {
+
+// Shared scaffolding: repeatedly pick a vertex by `score` (lower is
+// better, random tie-break), place it at the next back position, then
+// apply `remove` to take it out of the working structure.
+template <typename ScoreFn, typename RemoveFn>
+EliminationOrdering GreedyBackToFront(int n, Rng* rng, ScoreFn score,
+                                      RemoveFn remove, const Bitset* seed) {
+  EliminationOrdering sigma(n);
+  Bitset alive = seed != nullptr ? *seed : Bitset(n);
+  if (seed == nullptr) alive.SetAll();
+  for (int pos = n - 1; pos >= 0; --pos) {
+    int best = -1;
+    long best_score = 0;
+    int ties = 0;
+    for (int v = alive.First(); v >= 0; v = alive.Next(v)) {
+      long sc = score(v);
+      if (best == -1 || sc < best_score) {
+        best = v;
+        best_score = sc;
+        ties = 1;
+      } else if (sc == best_score && rng != nullptr) {
+        // Reservoir-style uniform tie-break.
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = v;
+      }
+    }
+    sigma[pos] = best;
+    alive.Reset(best);
+    remove(best);
+  }
+  return sigma;
+}
+
+}  // namespace
+
+EliminationOrdering MinFillOrdering(const Graph& g, Rng* rng) {
+  EliminationGraph eg(g);
+  return GreedyBackToFront(
+      g.NumVertices(), rng, [&eg](int v) { return long{1} * eg.FillIn(v); },
+      [&eg](int v) { eg.Eliminate(v); }, nullptr);
+}
+
+EliminationOrdering MinDegreeOrdering(const Graph& g, Rng* rng) {
+  EliminationGraph eg(g);
+  return GreedyBackToFront(
+      g.NumVertices(), rng, [&eg](int v) { return long{1} * eg.Degree(v); },
+      [&eg](int v) { eg.Eliminate(v); }, nullptr);
+}
+
+EliminationOrdering MinWidthOrdering(const Graph& g, Rng* rng) {
+  // Track degrees in the shrinking graph without fill edges.
+  int n = g.NumVertices();
+  Bitset alive(n);
+  alive.SetAll();
+  return GreedyBackToFront(
+      n, rng,
+      [&](int v) { return long{1} * g.NeighborBits(v).IntersectCount(alive); },
+      [&](int v) { alive.Reset(v); }, nullptr);
+}
+
+EliminationOrdering McsOrdering(const Graph& g, Rng* rng) {
+  int n = g.NumVertices();
+  Bitset visited(n);
+  EliminationOrdering sigma(n);
+  // Visit order fills positions 0..n-1; elimination later runs back to
+  // front, i.e. reverse visit order, as MCS requires.
+  for (int pos = 0; pos < n; ++pos) {
+    int best = -1, best_score = -1, ties = 0;
+    for (int v = 0; v < n; ++v) {
+      if (visited.Test(v)) continue;
+      int sc = g.NeighborBits(v).IntersectCount(visited);
+      if (sc > best_score) {
+        best = v;
+        best_score = sc;
+        ties = 1;
+      } else if (sc == best_score && rng != nullptr) {
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = v;
+      }
+    }
+    sigma[pos] = best;
+    visited.Set(best);
+  }
+  return sigma;
+}
+
+EliminationOrdering RandomOrdering(int n, Rng* rng) {
+  HT_CHECK(rng != nullptr);
+  return rng->Permutation(n);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,37 @@
+// Greedy ordering heuristics for treewidth / ghw upper bounds.
+//
+// All heuristics fill the ordering from the back: the first vertex chosen
+// is eliminated first and therefore sits at position n-1 (bucket
+// elimination processes sigma back-to-front, thesis §2.5).
+
+#ifndef HYPERTREE_ORDERING_HEURISTICS_H_
+#define HYPERTREE_ORDERING_HEURISTICS_H_
+
+#include "graph/graph.h"
+#include "ordering/ordering.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// min-fill: repeatedly eliminate the vertex adding the fewest fill edges
+/// (ties broken randomly; thesis §4.4.2). The strongest greedy heuristic.
+EliminationOrdering MinFillOrdering(const Graph& g, Rng* rng);
+
+/// min-degree: repeatedly eliminate a vertex of minimum current degree.
+EliminationOrdering MinDegreeOrdering(const Graph& g, Rng* rng);
+
+/// min-width: like min-degree but without adding fill edges (only removes
+/// vertices), so it bounds bag sizes more optimistically.
+EliminationOrdering MinWidthOrdering(const Graph& g, Rng* rng);
+
+/// Maximum cardinality search: repeatedly visit the vertex with the most
+/// already-visited neighbors; elimination processes the reverse visit
+/// order (the returned ordering is already in our back-to-front format).
+EliminationOrdering McsOrdering(const Graph& g, Rng* rng);
+
+/// A uniformly random permutation.
+EliminationOrdering RandomOrdering(int n, Rng* rng);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_ORDERING_HEURISTICS_H_

@@ -1,0 +1,26 @@
+#include "ordering/ordering.h"
+
+#include "util/check.h"
+
+namespace hypertree {
+
+bool IsValidOrdering(const EliminationOrdering& sigma, int n) {
+  if (static_cast<int>(sigma.size()) != n) return false;
+  std::vector<bool> seen(n, false);
+  for (int v : sigma) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+std::vector<int> OrderingPositions(const EliminationOrdering& sigma) {
+  std::vector<int> pos(sigma.size());
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    HT_DCHECK(sigma[i] >= 0 && sigma[i] < static_cast<int>(sigma.size()));
+    pos[sigma[i]] = static_cast<int>(i);
+  }
+  return pos;
+}
+
+}  // namespace hypertree

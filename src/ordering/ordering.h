@@ -1,0 +1,26 @@
+// Elimination orderings: the shared search space for treewidth and
+// generalized hypertree width (thesis ch. 3).
+//
+// An elimination ordering sigma = (v_1, ..., v_n) is a permutation of the
+// vertices. Following the thesis' bucket-elimination convention, vertices
+// are *eliminated from the back*: position n first, position 1 last.
+
+#ifndef HYPERTREE_ORDERING_ORDERING_H_
+#define HYPERTREE_ORDERING_ORDERING_H_
+
+#include <vector>
+
+namespace hypertree {
+
+/// A permutation of {0, ..., n-1}; index = position in sigma.
+using EliminationOrdering = std::vector<int>;
+
+/// True if `sigma` is a permutation of {0, ..., n-1}.
+bool IsValidOrdering(const EliminationOrdering& sigma, int n);
+
+/// Positions: result[v] = index of v in sigma.
+std::vector<int> OrderingPositions(const EliminationOrdering& sigma);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_ORDERING_ORDERING_H_

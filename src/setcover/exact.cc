@@ -1,0 +1,124 @@
+#include "setcover/exact.h"
+
+#include <algorithm>
+
+#include "setcover/greedy.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+struct SearchState {
+  const std::vector<Bitset>* sets;       // restricted, domination-free
+  std::vector<std::vector<int>> covers;  // element -> set indices covering it
+  int max_set_size = 1;
+  int best = 0;
+  std::vector<int> best_sets;
+  std::vector<int> stack;
+};
+
+void Dfs(SearchState* st, Bitset* uncovered, int used) {
+  if (uncovered->None()) {
+    if (used < st->best) {
+      st->best = used;
+      st->best_sets = st->stack;
+    }
+    return;
+  }
+  // Density lower bound.
+  int lb = (uncovered->Count() + st->max_set_size - 1) / st->max_set_size;
+  if (used + lb >= st->best) return;
+  // Branch on the uncovered element with the fewest covering sets.
+  int pick = -1, pick_options = 0;
+  for (int e = uncovered->First(); e >= 0; e = uncovered->Next(e)) {
+    int options = static_cast<int>(st->covers[e].size());
+    if (pick == -1 || options < pick_options) {
+      pick = e;
+      pick_options = options;
+    }
+  }
+  // Candidate sets covering `pick`, largest marginal coverage first.
+  std::vector<int> branch = st->covers[pick];
+  std::sort(branch.begin(), branch.end(), [&](int a, int b) {
+    return (*st->sets)[a].IntersectCount(*uncovered) >
+           (*st->sets)[b].IntersectCount(*uncovered);
+  });
+  for (int s : branch) {
+    Bitset next = *uncovered;
+    next -= (*st->sets)[s];
+    st->stack.push_back(s);
+    Dfs(st, &next, used + 1);
+    st->stack.pop_back();
+    if (used + 1 >= st->best) break;  // deeper branches cannot improve
+  }
+}
+
+}  // namespace
+
+int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                  std::vector<int>* chosen) {
+  if (target.None()) {
+    if (chosen != nullptr) chosen->clear();
+    return 0;
+  }
+  // Restrict candidates to the target and remove dominated sets.
+  std::vector<Bitset> restricted;
+  std::vector<int> origin;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    Bitset r = candidates[i] & target;
+    if (r.None()) continue;
+    restricted.push_back(r);
+    origin.push_back(i);
+  }
+  std::vector<bool> dominated(restricted.size(), false);
+  for (size_t i = 0; i < restricted.size(); ++i) {
+    if (dominated[i]) continue;
+    for (size_t j = 0; j < restricted.size(); ++j) {
+      if (i == j || dominated[j]) continue;
+      if (restricted[i].IsSubsetOf(restricted[j]) &&
+          (restricted[i] != restricted[j] || i > j)) {
+        dominated[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Bitset> sets;
+  std::vector<int> set_origin;
+  for (size_t i = 0; i < restricted.size(); ++i) {
+    if (!dominated[i]) {
+      sets.push_back(restricted[i]);
+      set_origin.push_back(origin[i]);
+    }
+  }
+  HT_CHECK_MSG(!sets.empty(), "target not coverable");
+
+  SearchState st;
+  st.sets = &sets;
+  st.covers.assign(target.size(), {});
+  for (int s = 0; s < static_cast<int>(sets.size()); ++s) {
+    st.max_set_size = std::max(st.max_set_size, sets[s].Count());
+    for (int e = sets[s].First(); e >= 0; e = sets[s].Next(e)) {
+      st.covers[e].push_back(s);
+    }
+  }
+  for (int e = target.First(); e >= 0; e = target.Next(e)) {
+    HT_CHECK_MSG(!st.covers[e].empty(), "element %d not coverable", e);
+  }
+  // Warm start with the greedy solution.
+  std::vector<int> greedy_sets;
+  int greedy = GreedySetCover(sets, target, nullptr, &greedy_sets);
+  st.best = greedy;
+  st.best_sets = greedy_sets;
+
+  Bitset uncovered = target;
+  Dfs(&st, &uncovered, 0);
+
+  if (chosen != nullptr) {
+    chosen->clear();
+    for (int s : st.best_sets) chosen->push_back(set_origin[s]);
+  }
+  return st.best;
+}
+
+}  // namespace hypertree

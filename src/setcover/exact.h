@@ -1,0 +1,28 @@
+// Exact minimum set cover by branch and bound.
+//
+// The thesis' GHD constructions require *exact* bag covers (width under an
+// ordering is defined via the optimal cover, Definition 17). The instances
+// are bag-sized (tens of elements), so a branch-and-bound with domination
+// preprocessing and a density lower bound solves them exactly in
+// microseconds; it substitutes the IP solver used in the paper's setup.
+
+#ifndef HYPERTREE_SETCOVER_EXACT_H_
+#define HYPERTREE_SETCOVER_EXACT_H_
+
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+/// Exact minimum number of candidate sets needed to cover `target`.
+/// Stores witness indices in `chosen` if non-null. `ub_hint`, when > 0,
+/// primes the incumbent (pass a greedy solution size + its sets to make
+/// the search start warm). Requires coverability.
+int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                  std::vector<int>* chosen = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_SETCOVER_EXACT_H_

@@ -1,0 +1,42 @@
+#include "setcover/fractional.h"
+
+#include "setcover/simplex.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+double FractionalSetCover(const std::vector<Bitset>& candidates,
+                          const Bitset& target,
+                          std::vector<double>* weights) {
+  if (weights != nullptr) weights->assign(candidates.size(), 0.0);
+  if (target.None()) return 0.0;
+  // Keep only candidates intersecting the target.
+  std::vector<int> origin;
+  std::vector<Bitset> sets;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    if (candidates[i].Intersects(target)) {
+      sets.push_back(candidates[i] & target);
+      origin.push_back(i);
+    }
+  }
+  HT_CHECK_MSG(!sets.empty(), "target not fractionally coverable");
+  std::vector<int> elems = target.ToVector();
+  int m = static_cast<int>(elems.size());
+  int n = static_cast<int>(sets.size());
+  std::vector<std::vector<double>> a(m, std::vector<double>(n, 0.0));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      if (sets[j].Test(elems[i])) a[i][j] = 1.0;
+    }
+  }
+  std::vector<double> b(m, 1.0), c(n, 1.0);
+  LpResult res = SolveCoverLp(a, b, c);
+  HT_CHECK_MSG(res.status == LpResult::Status::kOptimal,
+               "cover LP must be feasible and bounded");
+  if (weights != nullptr) {
+    for (int j = 0; j < n; ++j) (*weights)[origin[j]] = res.x[j];
+  }
+  return res.objective;
+}
+
+}  // namespace hypertree

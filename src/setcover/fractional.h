@@ -1,0 +1,23 @@
+// Fractional set cover: the LP relaxation of minimum set cover, whose
+// optimum over a bag defines fractional hypertree width (Grohe & Marx).
+
+#ifndef HYPERTREE_SETCOVER_FRACTIONAL_H_
+#define HYPERTREE_SETCOVER_FRACTIONAL_H_
+
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// Optimal fractional cover weight of `target` using `candidates`:
+/// min sum(x_i) s.t. for each t in target, sum over candidates containing
+/// t of x_i >= 1, x >= 0. Stores per-candidate weights in `weights` if
+/// non-null. Requires coverability; returns 0 for an empty target.
+double FractionalSetCover(const std::vector<Bitset>& candidates,
+                          const Bitset& target,
+                          std::vector<double>* weights = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_SETCOVER_FRACTIONAL_H_

@@ -1,0 +1,33 @@
+#include "setcover/greedy.h"
+
+#include "util/check.h"
+
+namespace hypertree {
+
+int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                   Rng* rng, std::vector<int>* chosen) {
+  if (chosen != nullptr) chosen->clear();
+  Bitset uncovered = target;
+  int used = 0;
+  while (uncovered.Any()) {
+    int best = -1, best_cover = 0, ties = 0;
+    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+      int cover = candidates[i].IntersectCount(uncovered);
+      if (cover > best_cover) {
+        best = i;
+        best_cover = cover;
+        ties = 1;
+      } else if (cover == best_cover && cover > 0 && rng != nullptr) {
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = i;
+      }
+    }
+    HT_CHECK_MSG(best >= 0, "target not coverable by candidate sets");
+    uncovered -= candidates[best];
+    ++used;
+    if (chosen != nullptr) chosen->push_back(best);
+  }
+  return used;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,25 @@
+// Greedy set cover (Chvatal / Johnson; thesis Figure 7.2): repeatedly pick
+// the candidate set covering the most still-uncovered target elements.
+// ln(n)-approximate, and in practice near-optimal on the bag-cover
+// instances arising in bucket elimination.
+
+#ifndef HYPERTREE_SETCOVER_GREEDY_H_
+#define HYPERTREE_SETCOVER_GREEDY_H_
+
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Covers `target` with sets from `candidates`, greedily. Returns the
+/// number of sets used; stores the chosen candidate indices in `chosen`
+/// if non-null. Ties are broken randomly when `rng` is non-null, else by
+/// lowest index. Requires that the union of candidates contains target.
+int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                   Rng* rng = nullptr, std::vector<int>* chosen = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_SETCOVER_GREEDY_H_

@@ -1,0 +1,182 @@
+#include "setcover/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau simplex on the standard-form problem
+//   min c'^T y  s.t.  T y = b,  y >= 0
+// with an initial basic feasible solution given by `basis`.
+// tableau: rows x (cols + 1); last column is the rhs. The objective row is
+// maintained separately as `cost` (reduced costs) and `obj` (negated value).
+class Tableau {
+ public:
+  Tableau(std::vector<std::vector<double>> t, std::vector<int> basis)
+      : t_(std::move(t)), basis_(std::move(basis)) {
+    rows_ = static_cast<int>(t_.size());
+    cols_ = static_cast<int>(t_[0].size()) - 1;
+  }
+
+  // Runs simplex iterations for objective `c` (length cols_). Returns
+  // false if unbounded. On return the tableau is optimal for c.
+  bool Optimize(const std::vector<double>& c) {
+    // Build reduced cost row: z_j - c_j using current basis.
+    std::vector<double> cost(cols_ + 1, 0.0);
+    for (int j = 0; j <= cols_; ++j) {
+      double z = 0.0;
+      for (int i = 0; i < rows_; ++i) z += c[basis_[i]] * t_[i][j];
+      cost[j] = z - (j < cols_ ? c[j] : 0.0);
+    }
+    int guard = 0;
+    const int max_iter = 50 * (rows_ + cols_ + 10);
+    while (true) {
+      // Bland's rule: entering = smallest index with positive reduced cost.
+      int enter = -1;
+      for (int j = 0; j < cols_; ++j) {
+        if (cost[j] > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == -1) return true;  // optimal
+      // Ratio test; Bland tie-break on smallest basis variable.
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < rows_; ++i) {
+        if (t_[i][enter] > kEps) {
+          double ratio = t_[i][cols_] / t_[i][enter];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == -1 || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == -1) return false;  // unbounded
+      Pivot(leave, enter, &cost);
+      if (++guard > max_iter) {
+        // Should not happen with Bland's rule; fail loudly.
+        HT_CHECK_MSG(false, "simplex failed to converge");
+      }
+    }
+  }
+
+  double Rhs(int i) const { return t_[i][cols_]; }
+  int BasisVar(int i) const { return basis_[i]; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  // Pivot a non-basic artificial out of row i if possible (used between
+  // phases); returns true on success or if the row is degenerate-zero.
+  bool PivotOutArtificial(int i, int num_real_cols) {
+    for (int j = 0; j < num_real_cols; ++j) {
+      if (std::fabs(t_[i][j]) > kEps) {
+        std::vector<double> dummy(cols_ + 1, 0.0);
+        Pivot(i, j, &dummy);
+        return true;
+      }
+    }
+    return false;  // row is all zeros over real columns (redundant row)
+  }
+
+ private:
+  void Pivot(int leave, int enter, std::vector<double>* cost) {
+    double p = t_[leave][enter];
+    for (int j = 0; j <= cols_; ++j) t_[leave][j] /= p;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == leave) continue;
+      double f = t_[i][enter];
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j <= cols_; ++j) t_[i][j] -= f * t_[leave][j];
+    }
+    double f = (*cost)[enter];
+    if (std::fabs(f) > kEps) {
+      for (int j = 0; j <= cols_; ++j) (*cost)[j] -= f * t_[leave][j];
+    }
+    basis_[leave] = enter;
+  }
+
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+  int rows_, cols_;
+};
+
+}  // namespace
+
+LpResult SolveCoverLp(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c) {
+  int m = static_cast<int>(a.size());
+  int n = static_cast<int>(c.size());
+  LpResult res;
+  if (m == 0) {
+    res.status = LpResult::Status::kOptimal;
+    res.objective = 0.0;
+    res.x.assign(n, 0.0);
+    return res;
+  }
+  HT_CHECK(static_cast<int>(b.size()) == m);
+  for (double bi : b) HT_CHECK(bi >= 0.0);
+  // Standard form: A x - s + r = b with surplus s >= 0 and artificial
+  // r >= 0. Columns: [x (n)] [s (m)] [r (m)] [rhs].
+  int cols = n + 2 * m;
+  std::vector<std::vector<double>> t(m, std::vector<double>(cols + 1, 0.0));
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) {
+    HT_CHECK(static_cast<int>(a[i].size()) == n);
+    for (int j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = -1.0;      // surplus
+    t[i][n + m + i] = 1.0;   // artificial
+    t[i][cols] = b[i];
+    basis[i] = n + m + i;
+  }
+  Tableau tab(std::move(t), std::move(basis));
+  // Phase 1: minimize sum of artificials.
+  std::vector<double> phase1(cols, 0.0);
+  for (int i = 0; i < m; ++i) phase1[n + m + i] = 1.0;
+  // Our Optimize minimizes via reduced costs z_j - c_j > 0 entering; this
+  // is the standard min-simplex criterion.
+  bool ok = tab.Optimize(phase1);
+  HT_CHECK(ok);  // phase 1 is always bounded below by 0
+  double infeas = 0.0;
+  for (int i = 0; i < tab.rows(); ++i) {
+    if (tab.BasisVar(i) >= n + m) infeas += tab.Rhs(i);
+  }
+  if (infeas > 1e-7) {
+    res.status = LpResult::Status::kInfeasible;
+    return res;
+  }
+  // Drive any degenerate artificials out of the basis.
+  for (int i = 0; i < tab.rows(); ++i) {
+    if (tab.BasisVar(i) >= n + m) tab.PivotOutArtificial(i, n + m);
+  }
+  // Phase 2: real objective. Artificial columns get a prohibitive cost so
+  // they can never re-enter the basis (re-entering would silently relax
+  // the covering constraints).
+  std::vector<double> phase2(cols, 0.0);
+  for (int j = 0; j < n; ++j) phase2[j] = c[j];
+  for (int i = 0; i < m; ++i) phase2[n + m + i] = 1e9;
+  if (!tab.Optimize(phase2)) {
+    res.status = LpResult::Status::kUnbounded;
+    return res;
+  }
+  res.status = LpResult::Status::kOptimal;
+  res.x.assign(n, 0.0);
+  for (int i = 0; i < tab.rows(); ++i) {
+    int v = tab.BasisVar(i);
+    if (v < n) res.x[v] = tab.Rhs(i);
+  }
+  res.objective = 0.0;
+  for (int j = 0; j < n; ++j) res.objective += c[j] * res.x[j];
+  return res;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,36 @@
+// A small dense two-phase primal simplex solver for linear programs of the
+// form
+//
+//     minimize    c^T x
+//     subject to  A x >= b,   x >= 0,   b >= 0.
+//
+// This is exactly the shape of the fractional edge-cover LPs that define
+// fractional hypertree width; problem sizes are bag-sized (tens of rows
+// and columns), so a dense tableau with Bland's anti-cycling rule is both
+// simple and fast. Built from scratch: the paper's setup would use an
+// external LP/IP solver here.
+
+#ifndef HYPERTREE_SETCOVER_SIMPLEX_H_
+#define HYPERTREE_SETCOVER_SIMPLEX_H_
+
+#include <vector>
+
+namespace hypertree {
+
+/// Result of an LP solve.
+struct LpResult {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (original variables only)
+};
+
+/// Solves min c^T x s.t. A x >= b, x >= 0 with b >= 0 componentwise.
+/// `a` is row-major with `a.size()` rows and c.size() columns.
+LpResult SolveCoverLp(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_SETCOVER_SIMPLEX_H_

@@ -1,0 +1,202 @@
+#include "td/astar.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bounds/lower_bounds.h"
+#include "graph/elimination_graph.h"
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+namespace {
+
+struct State {
+  Bitset eliminated;
+  int parent = -1;  // arena index
+  int vertex = -1;  // vertex eliminated to reach this state
+  int g = 0;
+  int f = 0;
+  int depth = 0;
+};
+
+struct QueueEntry {
+  int f;
+  int depth;
+  long order;  // FIFO tie-break for determinism
+  int index;
+  bool operator<(const QueueEntry& o) const {
+    // priority_queue is a max-heap; we want the smallest f first and,
+    // among equals, the deepest state (thesis §5.3).
+    if (f != o.f) return f > o.f;
+    if (depth != o.depth) return depth < o.depth;
+    return order > o.order;
+  }
+};
+
+}  // namespace
+
+WidthResult AStarTreewidth(const Graph& g, const SearchOptions& options) {
+  Timer timer;
+  WidthResult res;
+  int n = g.NumVertices();
+  Rng rng(options.seed);
+  Deadline deadline(options.time_limit_seconds);
+
+  int lb = n == 0 ? 0 : TreewidthLowerBound(g, &rng);
+  EliminationOrdering greedy =
+      n == 0 ? EliminationOrdering{} : MinFillOrdering(g, &rng);
+  int ub = n == 0 ? 0 : EvaluateOrderingWidth(g, greedy);
+  if (options.initial_upper_bound > 0)
+    ub = std::min(ub, options.initial_upper_bound);
+  res.best_ordering = greedy;
+  if (lb >= ub || n == 0) {
+    res.lower_bound = res.upper_bound = ub;
+    res.exact = true;
+    res.seconds = timer.ElapsedSeconds();
+    return res;
+  }
+
+  std::vector<State> arena;
+  std::priority_queue<QueueEntry> open;
+  std::unordered_map<Bitset, int> best_g;  // eliminated set -> smallest g
+  long push_order = 0;
+
+  State root;
+  root.eliminated = Bitset(n);
+  root.g = 0;
+  root.f = lb;
+  arena.push_back(root);
+  open.push({lb, 0, push_order++, 0});
+  if (options.use_duplicate_detection) best_g[root.eliminated] = 0;
+
+  long popped = 0;
+  bool aborted = false;
+  int best_f_seen = lb;
+  int goal = -1;
+
+  EliminationGraph eg(g);
+  auto rebuild = [&eg, n](const Bitset& eliminated) {
+    while (eg.UndoDepth() > 0) eg.UndoElimination();
+    (void)n;
+    for (int v = eliminated.First(); v >= 0; v = eliminated.Next(v)) {
+      eg.Eliminate(v);
+    }
+  };
+
+  while (!open.empty()) {
+    if ((popped & 63) == 0 && deadline.Expired()) {
+      aborted = true;
+      break;
+    }
+    if (options.max_nodes > 0 &&
+        static_cast<long>(arena.size()) > options.max_nodes) {
+      aborted = true;
+      break;
+    }
+    QueueEntry top = open.top();
+    open.pop();
+    const State& s = arena[top.index];
+    if (top.f != s.f || (options.use_duplicate_detection &&
+                         best_g[s.eliminated] < s.g)) {
+      continue;  // stale entry
+    }
+    ++popped;
+    best_f_seen = std::max(best_f_seen, s.f);
+    rebuild(s.eliminated);
+    int remaining = eg.NumActive();
+    if (s.g >= remaining - 1) {
+      goal = top.index;
+      break;
+    }
+    // Simplicial reduction: a simplicial / strongly almost simplicial
+    // vertex may be eliminated next without loss of optimality.
+    std::vector<int> children;
+    if (options.use_simplicial_reduction) {
+      for (int v = eg.ActiveBits().First(); v >= 0;
+           v = eg.ActiveBits().Next(v)) {
+        if (eg.IsSimplicial(v) ||
+            (eg.Degree(v) <= s.f && eg.IsAlmostSimplicial(v, nullptr))) {
+          children.push_back(v);
+          break;
+        }
+      }
+    }
+    if (children.empty()) children = eg.ActiveBits().ToVector();
+
+    int parent_index = top.index;
+    int parent_g = s.g;
+    int parent_f = s.f;
+    Bitset parent_set = s.eliminated;  // copy: arena may reallocate below
+    int parent_depth = s.depth;
+    for (int v : children) {
+      int d = eg.Degree(v);
+      int child_g = std::max(parent_g, d);
+      if (child_g >= ub) continue;
+      eg.Eliminate(v);
+      int h = MinorMinWidthLowerBound(eg.CurrentGraph(), &rng);
+      eg.UndoElimination();
+      int f = std::max({child_g, h, parent_f});
+      if (f >= ub) continue;
+      Bitset child_set = parent_set;
+      child_set.Set(v);
+      if (options.use_duplicate_detection) {
+        auto it = best_g.find(child_set);
+        if (it != best_g.end() && it->second <= child_g) continue;
+        best_g[child_set] = child_g;
+      }
+      State t;
+      t.eliminated = std::move(child_set);
+      t.parent = parent_index;
+      t.vertex = v;
+      t.g = child_g;
+      t.f = f;
+      t.depth = parent_depth + 1;
+      arena.push_back(std::move(t));
+      open.push({f, parent_depth + 1, push_order++,
+                 static_cast<int>(arena.size()) - 1});
+    }
+  }
+
+  res.nodes = popped;
+  res.seconds = timer.ElapsedSeconds();
+  if (goal >= 0) {
+    // Reconstruct ordering: path suffix + arbitrary completion.
+    EliminationOrdering sigma(n);
+    std::vector<bool> used(n, false);
+    std::vector<int> path;
+    for (int i = goal; arena[i].parent != -1; i = arena[i].parent) {
+      path.push_back(arena[i].vertex);
+    }
+    std::reverse(path.begin(), path.end());  // elimination order
+    int pos = n - 1;
+    for (int v : path) {
+      sigma[pos--] = v;
+      used[v] = true;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!used[v]) sigma[pos--] = v;
+    }
+    res.best_ordering = sigma;
+    res.upper_bound = arena[goal].g;
+    res.lower_bound = arena[goal].g;
+    res.exact = true;
+  } else if (aborted) {
+    res.upper_bound = ub;
+    res.lower_bound = best_f_seen;
+    res.exact = res.lower_bound >= res.upper_bound;
+  } else {
+    // Open list exhausted: every state with f < ub was visited, so the
+    // greedy upper bound is the treewidth.
+    res.upper_bound = ub;
+    res.lower_bound = ub;
+    res.exact = true;
+  }
+  return res;
+}
+
+}  // namespace hypertree

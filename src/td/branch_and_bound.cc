@@ -1,0 +1,173 @@
+#include "td/branch_and_bound.h"
+
+#include <algorithm>
+
+#include "bounds/lower_bounds.h"
+#include "graph/elimination_graph.h"
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+namespace {
+
+class BbSearch {
+ public:
+  BbSearch(const Graph& g, const SearchOptions& opts)
+      : g_(g),
+        opts_(opts),
+        rng_(opts.seed),
+        deadline_(opts.time_limit_seconds),
+        eg_(g),
+        n_(g.NumVertices()) {}
+
+  WidthResult Run() {
+    WidthResult res;
+    Timer timer;
+    // Initial bounds.
+    int lb = n_ == 0 ? 0 : TreewidthLowerBound(g_, &rng_);
+    EliminationOrdering greedy = MinFillOrdering(g_, &rng_);
+    int greedy_width = n_ == 0 ? 0 : EvaluateOrderingWidth(g_, greedy);
+    ub_ = greedy_width;
+    best_ = greedy;
+    if (opts_.initial_upper_bound > 0 && opts_.initial_upper_bound < ub_) {
+      ub_ = opts_.initial_upper_bound;
+    }
+    if (n_ > 0 && lb < ub_) {
+      suffix_.clear();
+      Dfs(/*g_val=*/0, /*f_parent=*/lb, /*prev_vertex=*/-1,
+          /*prev_nb=*/Bitset(n_), /*parent_free=*/false);
+    }
+    res.upper_bound = ub_;
+    res.exact = !aborted_;
+    res.lower_bound = res.exact ? ub_ : lb;
+    res.nodes = nodes_;
+    res.seconds = timer.ElapsedSeconds();
+    res.best_ordering = best_;
+    return res;
+  }
+
+ private:
+  // Builds a full ordering: the current suffix occupies the back positions
+  // (eliminated first), remaining vertices fill the front arbitrarily.
+  EliminationOrdering BuildOrdering() const {
+    EliminationOrdering sigma(n_);
+    std::vector<bool> used(n_, false);
+    int pos = n_ - 1;
+    for (int v : suffix_) {
+      sigma[pos--] = v;
+      used[v] = true;
+    }
+    for (int v = 0; v < n_; ++v) {
+      if (!used[v]) sigma[pos--] = v;
+    }
+    return sigma;
+  }
+
+  bool BudgetExceeded() {
+    if (aborted_) return true;
+    if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) aborted_ = true;
+    if ((nodes_ & 255) == 0 && deadline_.Expired()) aborted_ = true;
+    return aborted_;
+  }
+
+  void Dfs(int g_val, int f_parent, int prev_vertex, const Bitset& prev_nb,
+           bool parent_free) {
+    if (BudgetExceeded()) return;
+    ++nodes_;
+    int remaining = eg_.NumActive();
+    if (remaining == 0) {
+      if (g_val < ub_) {
+        ub_ = g_val;
+        best_ = BuildOrdering();
+      }
+      return;
+    }
+    // PR1: any completion has width at most max(g, remaining - 1).
+    int w = std::max(g_val, remaining - 1);
+    if (w < ub_) {
+      ub_ = w;
+      best_ = BuildOrdering();
+    }
+    if (remaining - 1 <= g_val) return;  // cannot beat g_val below here
+
+    // Remaining-graph lower bound.
+    int h = MinorMinWidthLowerBound(eg_.CurrentGraph(), &rng_);
+    int f = std::max({g_val, h, f_parent});
+    if (f >= ub_) return;
+
+    // Reduction: a simplicial (or strongly almost simplicial) vertex can
+    // be eliminated next without loss of optimality.
+    int forced = -1;
+    if (opts_.use_simplicial_reduction) {
+      for (int v = eg_.ActiveBits().First(); v >= 0;
+           v = eg_.ActiveBits().Next(v)) {
+        if (eg_.IsSimplicial(v) ||
+            (eg_.Degree(v) <= f && eg_.IsAlmostSimplicial(v, nullptr))) {
+          forced = v;
+          break;
+        }
+      }
+    }
+
+    std::vector<int> children;
+    if (forced >= 0) {
+      children.push_back(forced);
+    } else {
+      children = eg_.ActiveBits().ToVector();
+      std::vector<int> deg(children.size());
+      for (size_t i = 0; i < children.size(); ++i)
+        deg[i] = eg_.Degree(children[i]);
+      std::vector<int> idx(children.size());
+      for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&deg](int a, int b) { return deg[a] < deg[b]; });
+      std::vector<int> sorted;
+      sorted.reserve(children.size());
+      for (int i : idx) sorted.push_back(children[i]);
+      children = std::move(sorted);
+    }
+
+    for (int v : children) {
+      // PR2 (swap symmetry, non-adjacent case): if the previous step
+      // eliminated u with u and v non-adjacent at that time, orderings
+      // "..., u, v" and "..., v, u" have equal width; keep only the one
+      // eliminating the smaller id first.
+      if (opts_.use_pr2 && forced < 0 && parent_free && prev_vertex >= 0 &&
+          v < prev_vertex && !prev_nb.Test(v)) {
+        continue;
+      }
+      int d = eg_.Degree(v);
+      if (std::max(g_val, d) >= ub_) continue;
+      Bitset nb = eg_.NeighborBits(v);
+      suffix_.push_back(v);
+      eg_.Eliminate(v);
+      Dfs(std::max(g_val, d), f, v, nb, forced < 0);
+      eg_.UndoElimination();
+      suffix_.pop_back();
+      if (aborted_) return;
+    }
+  }
+
+  const Graph& g_;
+  SearchOptions opts_;
+  Rng rng_;
+  Deadline deadline_;
+  EliminationGraph eg_;
+  int n_;
+  int ub_ = 0;
+  EliminationOrdering best_;
+  std::vector<int> suffix_;
+  long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+WidthResult BranchAndBoundTreewidth(const Graph& g,
+                                    const SearchOptions& options) {
+  return BbSearch(g, options).Run();
+}
+
+}  // namespace hypertree

@@ -1,0 +1,25 @@
+// Branch-and-bound treewidth (QuickBB / BB-tw style; thesis §4.4).
+//
+// Depth-first search over elimination orderings on a shared elimination
+// graph with undo. Prunes with f = max(g, h, parent f) where g is the
+// largest elimination degree on the path and h a minor-min-width lower
+// bound of the remaining graph; applies simplicial / strongly-almost-
+// simplicial reductions, pruning rule PR1 (remaining-size bound) and PR2
+// (adjacent-swap symmetry breaking).
+
+#ifndef HYPERTREE_TD_BRANCH_AND_BOUND_H_
+#define HYPERTREE_TD_BRANCH_AND_BOUND_H_
+
+#include "graph/graph.h"
+#include "td/exact.h"
+
+namespace hypertree {
+
+/// Computes the treewidth of `g` (exact if the budget allows; otherwise an
+/// anytime lower/upper bound pair).
+WidthResult BranchAndBoundTreewidth(const Graph& g,
+                                    const SearchOptions& options = {});
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_BRANCH_AND_BOUND_H_

@@ -1,0 +1,40 @@
+// Shared types for the exact width algorithms (BB and A*).
+
+#ifndef HYPERTREE_TD_EXACT_H_
+#define HYPERTREE_TD_EXACT_H_
+
+#include <cstdint>
+
+#include "ordering/ordering.h"
+#include "util/rng.h"
+
+namespace hypertree {
+
+/// Outcome of an exact (anytime) width computation.
+struct WidthResult {
+  int lower_bound = 0;   // proven lower bound on the width
+  int upper_bound = 0;   // width of the best decomposition found
+  bool exact = false;    // lower_bound == upper_bound proven
+  long nodes = 0;        // search nodes expanded
+  double seconds = 0.0;  // wall time spent
+  EliminationOrdering best_ordering;  // witnesses upper_bound
+};
+
+/// Budget/feature knobs for the exact searches.
+struct SearchOptions {
+  double time_limit_seconds = 0.0;  // <= 0: unlimited
+  long max_nodes = 0;               // <= 0: unlimited (A*: max stored states)
+  bool use_simplicial_reduction = true;  // thesis §4.4.3
+  bool use_pr2 = true;                   // swap pruning rule (thesis §4.4.5)
+  bool use_duplicate_detection = true;   // A* only: merge equal eliminated sets
+  /// A *known-valid* upper bound used to prime pruning (e.g. from a GA
+  /// run). If the search cannot improve on it, `upper_bound` reports this
+  /// hint while `best_ordering` keeps the best internally found ordering,
+  /// which may be wider. <= 0: compute via min-fill.
+  int initial_upper_bound = -1;
+  uint64_t seed = 1;                     // tie-breaking seed
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_EXACT_H_

@@ -1,0 +1,249 @@
+#include "td/leaf_normal_form.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+namespace {
+
+// Mutable working copy of a decomposition tree.
+struct WorkTree {
+  std::vector<Bitset> bags;
+  std::vector<std::vector<int>> adj;
+  std::vector<bool> alive;
+  std::vector<bool> mapped;  // is a leaf introduced for a hyperedge
+
+  int AddNode(const Bitset& bag) {
+    bags.push_back(bag);
+    adj.emplace_back();
+    alive.push_back(true);
+    mapped.push_back(false);
+    return static_cast<int>(bags.size()) - 1;
+  }
+
+  void AddEdge(int a, int b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+
+  int LiveDegree(int p) const {
+    int d = 0;
+    for (int q : adj[p])
+      if (alive[q]) ++d;
+    return d;
+  }
+};
+
+}  // namespace
+
+LeafNormalForm TransformLeafNormalForm(const Hypergraph& h,
+                                       const TreeDecomposition& td) {
+  int n = h.NumVertices();
+  HT_CHECK(td.NumGraphVertices() == n);
+  WorkTree wt;
+  for (int p = 0; p < td.NumNodes(); ++p) wt.AddNode(td.Bag(p));
+  for (auto [a, b] : td.TreeEdges()) wt.AddEdge(a, b);
+
+  // Step 2: one fresh leaf per hyperedge, attached to a covering node of
+  // the *original* decomposition.
+  std::vector<int> leaf_of_edge(h.NumEdges(), -1);
+  int original_nodes = td.NumNodes();
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    int host = -1;
+    for (int p = 0; p < original_nodes; ++p) {
+      if (h.EdgeBits(e).IsSubsetOf(wt.bags[p])) {
+        host = p;
+        break;
+      }
+    }
+    HT_CHECK_MSG(host >= 0, "input is not a tree decomposition of h");
+    Bitset bag(n);
+    bag |= h.EdgeBits(e);
+    int leaf = wt.AddNode(bag);
+    wt.mapped[leaf] = true;
+    wt.AddEdge(leaf, host);
+    leaf_of_edge[e] = leaf;
+  }
+
+  // Step 3: iteratively delete unmapped leaves.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t p = 0; p < wt.bags.size(); ++p) {
+      if (!wt.alive[p] || wt.mapped[p]) continue;
+      if (wt.LiveDegree(static_cast<int>(p)) <= 1 &&
+          static_cast<int>(wt.bags.size()) > 1) {
+        // Keep at least one node alive overall.
+        int live = 0;
+        for (bool a : wt.alive)
+          if (a) ++live;
+        if (live > 1) {
+          wt.alive[p] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Root the surviving tree at the leaf of hyperedge 0 (arbitrary).
+  int root = leaf_of_edge.empty() ? 0 : leaf_of_edge[0];
+  int total = static_cast<int>(wt.bags.size());
+  std::vector<int> parent(total, -1), depth(total, 0), bfs;
+  bfs.push_back(root);
+  std::vector<bool> seen(total, false);
+  seen[root] = true;
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    int p = bfs[i];
+    for (int q : wt.adj[p]) {
+      if (wt.alive[q] && !seen[q]) {
+        seen[q] = true;
+        parent[q] = p;
+        depth[q] = depth[p] + 1;
+        bfs.push_back(q);
+      }
+    }
+  }
+
+  // Step 4: shrink inner labels. For each vertex Y, count mapped leaves
+  // containing Y inside each subtree; an inner node keeps Y iff at least
+  // two "directions" (child subtrees or the up-side) contain such leaves.
+  // Process nodes bottom-up using the BFS order reversed.
+  for (int y = 0; y < n; ++y) {
+    std::vector<int> cnt(total, 0);
+    int total_leaves = 0;
+    for (int e : h.IncidentEdges(y)) {
+      ++cnt[leaf_of_edge[e]];
+      ++total_leaves;
+    }
+    for (size_t i = bfs.size(); i-- > 0;) {
+      int p = bfs[i];
+      if (parent[p] != -1) cnt[parent[p]] += cnt[p];
+    }
+    for (int p : bfs) {
+      if (wt.mapped[p]) continue;  // leaves keep their labels
+      if (!wt.bags[p].Test(y)) continue;
+      int directions = (total_leaves - cnt[p] >= 1) ? 1 : 0;
+      for (int q : wt.adj[p]) {
+        if (wt.alive[q] && parent[q] == p && cnt[q] >= 1) ++directions;
+        if (directions >= 2) break;
+      }
+      if (directions < 2) wt.bags[p].Reset(y);
+    }
+  }
+
+  // Rebuild a compact TreeDecomposition over the alive nodes.
+  LeafNormalForm out{TreeDecomposition(n), 0, {}, {}, {}};
+  std::vector<int> new_id(total, -1);
+  for (int p : bfs) new_id[p] = out.td.AddNode(wt.bags[p]);
+  for (int p : bfs) {
+    if (parent[p] != -1) out.td.AddTreeEdge(new_id[p], new_id[parent[p]]);
+  }
+  out.root = new_id[root];
+  out.leaf_of_edge.resize(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e)
+    out.leaf_of_edge[e] = new_id[leaf_of_edge[e]];
+  out.parent.assign(out.td.NumNodes(), -1);
+  out.depth.assign(out.td.NumNodes(), 0);
+  for (int p : bfs) {
+    if (parent[p] != -1) {
+      out.parent[new_id[p]] = new_id[parent[p]];
+      out.depth[new_id[p]] = depth[p];
+    }
+  }
+  return out;
+}
+
+bool IsLeafNormalForm(const Hypergraph& h, const LeafNormalForm& lnf) {
+  const TreeDecomposition& td = lnf.td;
+  int m = td.NumNodes();
+  // Leaves are exactly the mapped nodes, with bags equal to hyperedges.
+  std::vector<bool> is_mapped(m, false);
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    int leaf = lnf.leaf_of_edge[e];
+    if (leaf < 0 || leaf >= m) return false;
+    if (is_mapped[leaf]) return false;  // not one-to-one
+    is_mapped[leaf] = true;
+    Bitset expected(td.NumGraphVertices());
+    expected |= h.EdgeBits(e);
+    if (td.Bag(leaf) != expected) return false;
+  }
+  for (int p = 0; p < m; ++p) {
+    bool is_leaf =
+        td.TreeNeighbors(p).size() <= 1 && m > 1;  // degree-1 node in tree
+    if (m == 1) is_leaf = true;
+    if (is_leaf != is_mapped[p]) return false;
+  }
+  // Inner labels: Y present iff >= 2 directions hold mapped leaves with Y.
+  for (int p = 0; p < m; ++p) {
+    if (is_mapped[p]) continue;
+    for (int y = 0; y < td.NumGraphVertices(); ++y) {
+      // Count directions with a leaf containing y.
+      int directions = 0;
+      for (int q : td.TreeNeighbors(p)) {
+        // BFS into the q-side of the tree, counting mapped leaves with y.
+        std::vector<int> stack = {q};
+        std::vector<bool> seen(m, false);
+        seen[p] = true;
+        seen[q] = true;
+        bool found = false;
+        while (!stack.empty() && !found) {
+          int x = stack.back();
+          stack.pop_back();
+          if (is_mapped[x] && td.Bag(x).Test(y)) found = true;
+          for (int w : td.TreeNeighbors(x)) {
+            if (!seen[w]) {
+              seen[w] = true;
+              stack.push_back(w);
+            }
+          }
+        }
+        if (found) ++directions;
+      }
+      bool should_have = directions >= 2;
+      if (td.Bag(p).Test(y) != should_have) return false;
+    }
+  }
+  return true;
+}
+
+EliminationOrdering OrderingFromLeafNormalForm(const Hypergraph& h,
+                                               const LeafNormalForm& lnf) {
+  int n = h.NumVertices();
+  // dca(v): deepest common ancestor of the leaves containing v.
+  auto lift = [&lnf](int a, int b) {
+    while (a != b) {
+      if (lnf.depth[a] < lnf.depth[b]) std::swap(a, b);
+      a = lnf.parent[a];
+      HT_CHECK(a != -1 || lnf.depth[b] == 0);
+      if (a == -1) return lnf.root;
+    }
+    return a;
+  };
+  std::vector<int> dca_depth(n, 0);
+  for (int v = 0; v < n; ++v) {
+    const std::vector<int>& edges = h.IncidentEdges(v);
+    HT_CHECK_MSG(!edges.empty(), "vertex %d occurs in no hyperedge", v);
+    int dca = lnf.leaf_of_edge[edges[0]];
+    for (size_t i = 1; i < edges.size(); ++i) {
+      dca = lift(dca, lnf.leaf_of_edge[edges[i]]);
+    }
+    dca_depth[v] = lnf.depth[dca];
+  }
+  EliminationOrdering sigma(n);
+  std::iota(sigma.begin(), sigma.end(), 0);
+  std::stable_sort(sigma.begin(), sigma.end(), [&dca_depth](int a, int b) {
+    return dca_depth[a] < dca_depth[b];
+  });
+  return sigma;
+}
+
+EliminationOrdering OrderingFromTreeDecomposition(const Hypergraph& h,
+                                                  const TreeDecomposition& td) {
+  LeafNormalForm lnf = TransformLeafNormalForm(h, td);
+  return OrderingFromLeafNormalForm(h, lnf);
+}
+
+}  // namespace hypertree

@@ -1,0 +1,58 @@
+// The leaf normal form for tree decompositions (thesis ch. 3).
+//
+// A tree decomposition of a hypergraph is in leaf normal form when its
+// leaves are exactly the hyperedges (chi(leaf(h)) = h) and every inner bag
+// contains a vertex only if it lies on a path between two leaves holding
+// that vertex. Theorem 1: every tree decomposition can be transformed into
+// this form without growing any bag, and Lemma 13 then extracts an
+// elimination ordering whose bucket-elimination bags stay inside the
+// original bags — the key step in proving that elimination orderings are a
+// complete search space for generalized hypertree width (Theorems 2/3).
+
+#ifndef HYPERTREE_TD_LEAF_NORMAL_FORM_H_
+#define HYPERTREE_TD_LEAF_NORMAL_FORM_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "ordering/ordering.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Result of the leaf normal form transformation.
+struct LeafNormalForm {
+  TreeDecomposition td;          // the transformed decomposition
+  int root = 0;                  // root node used for depths
+  std::vector<int> leaf_of_edge; // node id of leaf(h) per hyperedge
+  std::vector<int> parent;       // parent per node (-1 at root)
+  std::vector<int> depth;        // node depth from root
+};
+
+/// Algorithm Transform Leaf Normal Form (thesis Figure 3.1). `td` must be
+/// a valid tree decomposition of `h`. Every output bag is a subset of some
+/// input bag (Theorem 1).
+LeafNormalForm TransformLeafNormalForm(const Hypergraph& h,
+                                       const TreeDecomposition& td);
+
+/// True if `td` satisfies the leaf-normal-form conditions for `h` with the
+/// given hyperedge->leaf mapping.
+bool IsLeafNormalForm(const Hypergraph& h, const LeafNormalForm& lnf);
+
+/// Derives an elimination ordering from a leaf normal form by sorting
+/// vertices by the depth of the deepest common ancestor of the leaves
+/// containing them (Lemma 13 / Figure 3.5); bucket-eliminating the result
+/// yields bags contained in the original decomposition's bags.
+EliminationOrdering OrderingFromLeafNormalForm(const Hypergraph& h,
+                                               const LeafNormalForm& lnf);
+
+/// Convenience: the full pipeline of ch. 3 — given any tree decomposition
+/// of `h`, returns an ordering sigma with width(sigma, primal) bags inside
+/// the original bags (used to realize Theorem 2: ghw is reachable through
+/// orderings).
+EliminationOrdering OrderingFromTreeDecomposition(const Hypergraph& h,
+                                                  const TreeDecomposition& td);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_LEAF_NORMAL_FORM_H_

@@ -1,0 +1,315 @@
+#include "td/nice_decomposition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+int NiceTreeDecomposition::Width() const {
+  int w = -1;
+  for (const Node& node : nodes_) w = std::max(w, node.bag.Count() - 1);
+  return w;
+}
+
+int NiceTreeDecomposition::AddNode(Node node) {
+  HT_CHECK(node.bag.size() == n_);
+  nodes_.push_back(std::move(node));
+  return NumNodes() - 1;
+}
+
+bool NiceTreeDecomposition::IsValidFor(const Graph& g,
+                                       std::string* why) const {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (root_ < 0 || root_ >= NumNodes()) return fail("missing root");
+  if (nodes_[root_].bag.Any()) return fail("root bag not empty");
+  // Node-type structure.
+  for (int i = 0; i < NumNodes(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.type) {
+      case NiceNodeType::kLeaf:
+        if (!node.children.empty() || node.bag.Any())
+          return fail("bad leaf node " + std::to_string(i));
+        break;
+      case NiceNodeType::kIntroduce: {
+        if (node.children.size() != 1 || node.vertex < 0)
+          return fail("bad introduce node " + std::to_string(i));
+        Bitset expected = nodes_[node.children[0]].bag;
+        if (expected.Test(node.vertex))
+          return fail("introduce of present vertex at " + std::to_string(i));
+        expected.Set(node.vertex);
+        if (node.bag != expected)
+          return fail("introduce bag mismatch at " + std::to_string(i));
+        break;
+      }
+      case NiceNodeType::kForget: {
+        if (node.children.size() != 1 || node.vertex < 0)
+          return fail("bad forget node " + std::to_string(i));
+        Bitset expected = nodes_[node.children[0]].bag;
+        if (!expected.Test(node.vertex))
+          return fail("forget of absent vertex at " + std::to_string(i));
+        expected.Reset(node.vertex);
+        if (node.bag != expected)
+          return fail("forget bag mismatch at " + std::to_string(i));
+        break;
+      }
+      case NiceNodeType::kJoin:
+        if (node.children.size() != 2 ||
+            nodes_[node.children[0]].bag != node.bag ||
+            nodes_[node.children[1]].bag != node.bag)
+          return fail("bad join node " + std::to_string(i));
+        break;
+    }
+  }
+  // Wrap into a TreeDecomposition for the generic condition checks.
+  TreeDecomposition td(n_);
+  for (int i = 0; i < NumNodes(); ++i) td.AddNode(nodes_[i].bag);
+  for (int i = 0; i < NumNodes(); ++i) {
+    for (int c : nodes_[i].children) td.AddTreeEdge(i, c);
+  }
+  return td.IsValidFor(g, why);
+}
+
+namespace {
+
+class NiceBuilder {
+ public:
+  explicit NiceBuilder(const TreeDecomposition& td)
+      : td_(td), n_(td.NumGraphVertices()), nice_(td.NumGraphVertices()) {}
+
+  NiceTreeDecomposition Build() {
+    if (td_.NumNodes() == 0) {
+      int leaf = nice_.AddNode(
+          {NiceNodeType::kLeaf, Bitset(n_), -1, {}});
+      nice_.SetRoot(leaf);
+      return std::move(nice_);
+    }
+    // Root the decomposition tree at node 0.
+    int m = td_.NumNodes();
+    parent_.assign(m, -1);
+    order_.clear();
+    std::vector<bool> seen(m, false);
+    order_.push_back(0);
+    seen[0] = true;
+    for (size_t i = 0; i < order_.size(); ++i) {
+      for (int q : td_.TreeNeighbors(order_[i])) {
+        if (!seen[q]) {
+          seen[q] = true;
+          parent_[q] = order_[i];
+          order_.push_back(q);
+        }
+      }
+    }
+    HT_CHECK_MSG(static_cast<int>(order_.size()) == m,
+                 "decomposition tree is disconnected");
+    int top = BuildSubtree(0);
+    // Forget the top bag down to the empty root.
+    Bitset bag = td_.Bag(0);
+    int cur = top;
+    for (int v = bag.First(); v >= 0; v = bag.Next(v)) {
+      Bitset next = nice_.GetNode(cur).bag;
+      next.Reset(v);
+      cur = nice_.AddNode({NiceNodeType::kForget, next, v, {cur}});
+    }
+    nice_.SetRoot(cur);
+    return std::move(nice_);
+  }
+
+ private:
+  // Returns a nice node id whose bag equals td.Bag(p).
+  int BuildSubtree(int p) {
+    std::vector<int> children;
+    for (int q : td_.TreeNeighbors(p)) {
+      if (parent_[q] == p) children.push_back(q);
+    }
+    const Bitset& target = td_.Bag(p);
+    if (children.empty()) {
+      // Leaf: introduce the bag vertex by vertex above an empty leaf.
+      int cur = nice_.AddNode({NiceNodeType::kLeaf, Bitset(n_), -1, {}});
+      for (int v = target.First(); v >= 0; v = target.Next(v)) {
+        Bitset next = nice_.GetNode(cur).bag;
+        next.Set(v);
+        cur = nice_.AddNode({NiceNodeType::kIntroduce, next, v, {cur}});
+      }
+      return cur;
+    }
+    // Morph each child's top bag into target, then join pairwise.
+    std::vector<int> tops;
+    for (int c : children) {
+      int cur = BuildSubtree(c);
+      Bitset to_forget = td_.Bag(c) - target;
+      for (int v = to_forget.First(); v >= 0; v = to_forget.Next(v)) {
+        Bitset next = nice_.GetNode(cur).bag;
+        next.Reset(v);
+        cur = nice_.AddNode({NiceNodeType::kForget, next, v, {cur}});
+      }
+      Bitset to_introduce = target - td_.Bag(c);
+      for (int v = to_introduce.First(); v >= 0; v = to_introduce.Next(v)) {
+        Bitset next = nice_.GetNode(cur).bag;
+        next.Set(v);
+        cur = nice_.AddNode({NiceNodeType::kIntroduce, next, v, {cur}});
+      }
+      tops.push_back(cur);
+    }
+    int combined = tops[0];
+    for (size_t i = 1; i < tops.size(); ++i) {
+      combined = nice_.AddNode(
+          {NiceNodeType::kJoin, target, -1, {combined, tops[i]}});
+    }
+    return combined;
+  }
+
+  const TreeDecomposition& td_;
+  int n_;
+  NiceTreeDecomposition nice_;
+  std::vector<int> parent_;
+  std::vector<int> order_;
+};
+
+using StateTable = std::unordered_map<Bitset, int>;
+
+}  // namespace
+
+NiceTreeDecomposition MakeNice(const TreeDecomposition& td) {
+  return NiceBuilder(td).Build();
+}
+
+int MaxIndependentSet(const Graph& g, const NiceTreeDecomposition& nice,
+                      std::vector<int>* witness) {
+  int m = nice.NumNodes();
+  HT_CHECK(m > 0 && g.NumVertices() == nice.NumGraphVertices());
+  std::vector<StateTable> tables(m);
+  // Post-order: children have larger... children were added before their
+  // parents by the builder, so ascending node ids is a valid bottom-up
+  // order only for built decompositions; compute a real post-order to be
+  // safe with hand-made instances.
+  std::vector<int> post;
+  {
+    std::vector<int> stack = {nice.root()};
+    while (!stack.empty()) {
+      int p = stack.back();
+      stack.pop_back();
+      post.push_back(p);
+      for (int c : nice.GetNode(p).children) stack.push_back(c);
+    }
+    std::reverse(post.begin(), post.end());
+  }
+  int n = g.NumVertices();
+  for (int p : post) {
+    const NiceTreeDecomposition::Node& node = nice.GetNode(p);
+    StateTable& table = tables[p];
+    switch (node.type) {
+      case NiceNodeType::kLeaf:
+        table[Bitset(n)] = 0;
+        break;
+      case NiceNodeType::kIntroduce: {
+        const StateTable& child = tables[node.children[0]];
+        int v = node.vertex;
+        for (const auto& [set, val] : child) {
+          auto it = table.find(set);
+          if (it == table.end() || it->second < val) table[set] = val;
+          if (!g.NeighborBits(v).Intersects(set)) {
+            Bitset with = set;
+            with.Set(v);
+            auto it2 = table.find(with);
+            if (it2 == table.end() || it2->second < val + 1)
+              table[with] = val + 1;
+          }
+        }
+        break;
+      }
+      case NiceNodeType::kForget: {
+        const StateTable& child = tables[node.children[0]];
+        int v = node.vertex;
+        for (const auto& [set, val] : child) {
+          Bitset without = set;
+          without.Reset(v);
+          auto it = table.find(without);
+          if (it == table.end() || it->second < val) table[without] = val;
+        }
+        break;
+      }
+      case NiceNodeType::kJoin: {
+        const StateTable& left = tables[node.children[0]];
+        const StateTable& right = tables[node.children[1]];
+        for (const auto& [set, lval] : left) {
+          auto it = right.find(set);
+          if (it != right.end()) {
+            table[set] = lval + it->second - set.Count();
+          }
+        }
+        break;
+      }
+    }
+  }
+  Bitset empty(n);
+  auto it = tables[nice.root()].find(empty);
+  HT_CHECK(it != tables[nice.root()].end());
+  int best = it->second;
+
+  if (witness != nullptr) {
+    witness->clear();
+    // Top-down reconstruction: descend with the (set, value) target.
+    struct Goal {
+      int node;
+      Bitset set;
+      int value;
+    };
+    std::vector<Goal> stack = {{nice.root(), empty, best}};
+    while (!stack.empty()) {
+      Goal goal = stack.back();
+      stack.pop_back();
+      const NiceTreeDecomposition::Node& node = nice.GetNode(goal.node);
+      switch (node.type) {
+        case NiceNodeType::kLeaf:
+          break;
+        case NiceNodeType::kIntroduce: {
+          int v = node.vertex;
+          if (goal.set.Test(v)) {
+            witness->push_back(v);
+            Bitset sub = goal.set;
+            sub.Reset(v);
+            stack.push_back({node.children[0], sub, goal.value - 1});
+          } else {
+            stack.push_back({node.children[0], goal.set, goal.value});
+          }
+          break;
+        }
+        case NiceNodeType::kForget: {
+          const StateTable& child = tables[node.children[0]];
+          Bitset with = goal.set;
+          with.Set(node.vertex);
+          auto w = child.find(with);
+          if (w != child.end() && w->second == goal.value) {
+            stack.push_back({node.children[0], with, goal.value});
+          } else {
+            stack.push_back({node.children[0], goal.set, goal.value});
+          }
+          break;
+        }
+        case NiceNodeType::kJoin: {
+          const StateTable& left = tables[node.children[0]];
+          const StateTable& right = tables[node.children[1]];
+          int lval = left.at(goal.set);
+          int rval = right.at(goal.set);
+          HT_CHECK(lval + rval - goal.set.Count() == goal.value);
+          stack.push_back({node.children[0], goal.set, lval});
+          stack.push_back({node.children[1], goal.set, rval});
+          break;
+        }
+      }
+    }
+    // Vertices inside a join bag are recorded once per branch: dedup.
+    std::sort(witness->begin(), witness->end());
+    witness->erase(std::unique(witness->begin(), witness->end()),
+                   witness->end());
+    HT_CHECK(static_cast<int>(witness->size()) == best);
+  }
+  return best;
+}
+
+}  // namespace hypertree

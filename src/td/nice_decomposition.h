@@ -1,0 +1,73 @@
+// Nice tree decompositions: the normalized form used by dynamic
+// programming over decompositions. Every node is one of
+//   leaf       — empty bag,
+//   introduce  — child bag plus one vertex,
+//   forget     — child bag minus one vertex,
+//   join       — two children with identical bags,
+// and the root has an empty bag. Any tree decomposition converts into a
+// nice one of the same width with O(width * nodes) nodes.
+//
+// The module also ships a classic consumer: maximum-independent-set DP in
+// time O(2^w poly) — the "answer" a treewidth decomposition buys you for
+// graph problems, mirroring what Yannakakis buys for queries.
+
+#ifndef HYPERTREE_TD_NICE_DECOMPOSITION_H_
+#define HYPERTREE_TD_NICE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Node kinds of a nice tree decomposition.
+enum class NiceNodeType { kLeaf, kIntroduce, kForget, kJoin };
+
+/// A rooted nice tree decomposition.
+class NiceTreeDecomposition {
+ public:
+  struct Node {
+    NiceNodeType type;
+    Bitset bag;
+    int vertex = -1;            // introduced/forgotten vertex
+    std::vector<int> children;  // 0 (leaf), 1 (intro/forget) or 2 (join)
+  };
+
+  explicit NiceTreeDecomposition(int num_vertices) : n_(num_vertices) {}
+
+  int NumGraphVertices() const { return n_; }
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return root_; }
+  const Node& GetNode(int i) const { return nodes_[i]; }
+
+  /// Width (max bag size - 1).
+  int Width() const;
+
+  /// Structural validation: node-type constraints, empty root bag, and the
+  /// tree-decomposition conditions against `g`.
+  bool IsValidFor(const Graph& g, std::string* why = nullptr) const;
+
+  /// Construction API (used by MakeNice).
+  int AddNode(Node node);
+  void SetRoot(int r) { root_ = r; }
+
+ private:
+  int n_;
+  int root_ = -1;
+  std::vector<Node> nodes_;
+};
+
+/// Converts any valid tree decomposition into a nice one of equal width.
+NiceTreeDecomposition MakeNice(const TreeDecomposition& td);
+
+/// Maximum independent set size of `g` by DP over a nice decomposition of
+/// it; runtime O(2^w * nodes). `witness` (optional) receives one maximum
+/// independent set.
+int MaxIndependentSet(const Graph& g, const NiceTreeDecomposition& nice,
+                      std::vector<int>* witness = nullptr);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_NICE_DECOMPOSITION_H_

@@ -1,0 +1,137 @@
+#include "td/pace.h"
+
+#include <sstream>
+
+#include "util/stringutil.h"
+
+namespace hypertree {
+
+namespace {
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+}  // namespace
+
+std::optional<Graph> ReadPaceGraph(std::istream& in, std::string* error) {
+  std::string line;
+  std::optional<Graph> g;
+  int n = 0;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string s = StripString(line);
+    if (s.empty() || s[0] == 'c') continue;
+    std::istringstream ls(s);
+    if (s[0] == 'p') {
+      char p;
+      std::string kind;
+      long m;
+      ls >> p >> kind >> n >> m;
+      if (!ls || kind != "tw" || n < 0) {
+        SetError(error, "bad problem line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      g.emplace(n);
+    } else {
+      if (!g.has_value()) {
+        SetError(error, "edge before problem line");
+        return std::nullopt;
+      }
+      int u, v;
+      ls >> u >> v;
+      if (!ls || u < 1 || v < 1 || u > n || v > n) {
+        SetError(error, "bad edge at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      g->AddEdge(u - 1, v - 1);
+    }
+  }
+  if (!g.has_value()) SetError(error, "missing problem line");
+  return g;
+}
+
+void WritePaceGraph(const Graph& g, std::ostream& out) {
+  out << "c " << (g.name().empty() ? "hypertree" : g.name()) << "\n";
+  out << "p tw " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (auto [u, v] : g.Edges()) out << u + 1 << " " << v + 1 << "\n";
+}
+
+std::optional<TreeDecomposition> ReadPaceTreeDecomposition(
+    std::istream& in, std::string* error) {
+  std::string line;
+  int bags = 0, n = 0;
+  std::optional<TreeDecomposition> td;
+  std::vector<bool> seen_bag;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string s = StripString(line);
+    if (s.empty() || s[0] == 'c') continue;
+    std::istringstream ls(s);
+    if (s[0] == 's') {
+      char tag;
+      std::string kind;
+      int maxbag;
+      ls >> tag >> kind >> bags >> maxbag >> n;
+      if (!ls || kind != "td" || bags < 0 || n < 0) {
+        SetError(error, "bad solution line at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      td.emplace(n);
+      // Pre-create empty bags so tree edges can reference any id.
+      for (int b = 0; b < bags; ++b) td->AddNode(Bitset(n));
+      seen_bag.assign(bags, false);
+    } else if (s[0] == 'b') {
+      if (!td.has_value()) {
+        SetError(error, "bag before solution line");
+        return std::nullopt;
+      }
+      char tag;
+      int id;
+      ls >> tag >> id;
+      if (!ls || id < 1 || id > bags || seen_bag[id - 1]) {
+        SetError(error, "bad bag id at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      seen_bag[id - 1] = true;
+      int v;
+      while (ls >> v) {
+        if (v < 1 || v > n) {
+          SetError(error, "bag vertex out of range at line " +
+                              std::to_string(line_no));
+          return std::nullopt;
+        }
+        td->MutableBag(id - 1)->Set(v - 1);
+      }
+    } else {
+      if (!td.has_value()) {
+        SetError(error, "tree edge before solution line");
+        return std::nullopt;
+      }
+      int a, b;
+      ls >> a >> b;
+      if (!ls || a < 1 || b < 1 || a > bags || b > bags || a == b) {
+        SetError(error, "bad tree edge at line " + std::to_string(line_no));
+        return std::nullopt;
+      }
+      td->AddTreeEdge(a - 1, b - 1);
+    }
+  }
+  if (!td.has_value()) SetError(error, "missing solution line");
+  return td;
+}
+
+void WritePaceTreeDecomposition(const TreeDecomposition& td,
+                                std::ostream& out) {
+  int maxbag = td.Width() + 1;
+  out << "s td " << td.NumNodes() << " " << maxbag << " "
+      << td.NumGraphVertices() << "\n";
+  for (int p = 0; p < td.NumNodes(); ++p) {
+    out << "b " << p + 1;
+    for (int v : td.Bag(p).ToVector()) out << " " << v + 1;
+    out << "\n";
+  }
+  for (auto [a, b] : td.TreeEdges()) out << a + 1 << " " << b + 1 << "\n";
+}
+
+}  // namespace hypertree

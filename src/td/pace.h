@@ -1,0 +1,40 @@
+// PACE 2017 treewidth formats: .gr graphs and .td tree decompositions.
+// This is the interchange format of the treewidth OSS ecosystem (htd,
+// tamaki, flow-cutter, ...), so decompositions computed here can be
+// validated against, and consumed by, those tools.
+//
+//   .gr :  c comment / p tw <n> <m> / one "<u> <v>" line per edge (1-based)
+//   .td :  c comment / s td <bags> <maxbagsize> <n> /
+//          b <bagid> <v1> <v2> ... / one "<b1> <b2>" line per tree edge
+
+#ifndef HYPERTREE_TD_PACE_H_
+#define HYPERTREE_TD_PACE_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+#include "td/tree_decomposition.h"
+
+namespace hypertree {
+
+/// Parses a PACE .gr graph.
+std::optional<Graph> ReadPaceGraph(std::istream& in,
+                                   std::string* error = nullptr);
+
+/// Writes `g` in PACE .gr format.
+void WritePaceGraph(const Graph& g, std::ostream& out);
+
+/// Parses a PACE .td tree decomposition (for a graph on `num_vertices`).
+std::optional<TreeDecomposition> ReadPaceTreeDecomposition(
+    std::istream& in, std::string* error = nullptr);
+
+/// Writes `td` in PACE .td format.
+void WritePaceTreeDecomposition(const TreeDecomposition& td,
+                                std::ostream& out);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_PACE_H_

@@ -1,0 +1,194 @@
+#include "td/tree_decomposition.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+int TreeDecomposition::AddNode(const Bitset& bag) {
+  HT_CHECK(bag.size() == n_);
+  int id = static_cast<int>(bags_.size());
+  bags_.push_back(bag);
+  tree_adj_.emplace_back();
+  return id;
+}
+
+void TreeDecomposition::AddTreeEdge(int a, int b) {
+  HT_CHECK(a >= 0 && a < NumNodes() && b >= 0 && b < NumNodes() && a != b);
+  tree_adj_[a].push_back(b);
+  tree_adj_[b].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+int TreeDecomposition::Width() const {
+  int w = -1;
+  for (const Bitset& bag : bags_) w = std::max(w, bag.Count() - 1);
+  return w;
+}
+
+bool TreeDecomposition::CheckTreeAndConnectedness(std::string* why) const {
+  int m = NumNodes();
+  if (m == 0) {
+    if (why != nullptr) *why = "no nodes";
+    return n_ == 0;
+  }
+  // Tree shape: connected with exactly m-1 edges.
+  if (static_cast<int>(edges_.size()) != m - 1) {
+    if (why != nullptr) *why = "edge count != nodes - 1";
+    return false;
+  }
+  std::vector<bool> seen(m, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    int p = stack.back();
+    stack.pop_back();
+    for (int q : tree_adj_[p]) {
+      if (!seen[q]) {
+        seen[q] = true;
+        ++reached;
+        stack.push_back(q);
+      }
+    }
+  }
+  if (reached != m) {
+    if (why != nullptr) *why = "decomposition tree is disconnected";
+    return false;
+  }
+  // Connectedness condition: for each graph vertex, the nodes whose bags
+  // contain it induce a connected subtree; in a tree this is equivalent to
+  // (#nodes containing v) - 1 == #tree edges with both endpoints
+  // containing v.
+  for (int v = 0; v < n_; ++v) {
+    int nodes = 0;
+    for (const Bitset& bag : bags_) {
+      if (bag.Test(v)) ++nodes;
+    }
+    if (nodes == 0) {
+      if (why != nullptr)
+        *why = "vertex " + std::to_string(v) + " appears in no bag";
+      return false;
+    }
+    int links = 0;
+    for (auto [a, b] : edges_) {
+      if (bags_[a].Test(v) && bags_[b].Test(v)) ++links;
+    }
+    if (links != nodes - 1) {
+      if (why != nullptr)
+        *why = "vertex " + std::to_string(v) + " violates connectedness";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TreeDecomposition::IsValidFor(const Graph& g, std::string* why) const {
+  HT_CHECK(g.NumVertices() == n_);
+  for (auto [u, v] : g.Edges()) {
+    bool covered = false;
+    for (const Bitset& bag : bags_) {
+      if (bag.Test(u) && bag.Test(v)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      if (why != nullptr)
+        *why = "edge {" + std::to_string(u) + "," + std::to_string(v) +
+               "} not inside any bag";
+      return false;
+    }
+  }
+  return CheckTreeAndConnectedness(why);
+}
+
+bool TreeDecomposition::IsValidForHypergraph(const Hypergraph& h,
+                                             std::string* why) const {
+  HT_CHECK(h.NumVertices() == n_);
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    bool covered = false;
+    for (const Bitset& bag : bags_) {
+      if (h.EdgeBits(e).IsSubsetOf(bag)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      if (why != nullptr) *why = "hyperedge " + h.EdgeName(e) + " not covered";
+      return false;
+    }
+  }
+  return CheckTreeAndConnectedness(why);
+}
+
+TreeDecomposition TreeDecompositionFromEliminationTree(
+    const EliminationTree& t) {
+  int n = static_cast<int>(t.bags.size());
+  TreeDecomposition td(n);
+  for (int v = 0; v < n; ++v) td.AddNode(t.bags[v]);
+  // Connect each bucket to its parent bucket; buckets without parents are
+  // roots of their connected components. Stitch components into one tree
+  // (bags of different components share no vertices, so stitching cannot
+  // break connectedness).
+  int first_root = -1;
+  for (int v = 0; v < n; ++v) {
+    if (t.parent[v] != -1) {
+      td.AddTreeEdge(v, t.parent[v]);
+    } else if (first_root == -1) {
+      first_root = v;
+    } else {
+      td.AddTreeEdge(v, first_root);
+    }
+  }
+  return td;
+}
+
+TreeDecomposition TreeDecompositionFromOrdering(
+    const Graph& g, const EliminationOrdering& sigma) {
+  return TreeDecompositionFromEliminationTree(BucketEliminate(g, sigma));
+}
+
+TreeDecomposition SimplifyTreeDecomposition(const TreeDecomposition& td) {
+  int m = td.NumNodes();
+  if (m == 0) return td;
+  // Union-find of merged nodes; the representative keeps its bag (merges
+  // only happen into supersets, so representatives' bags never change).
+  std::vector<int> rep(m);
+  for (int i = 0; i < m; ++i) rep[i] = i;
+  std::function<int(int)> find = [&rep, &find](int x) {
+    return rep[x] == x ? x : rep[x] = find(rep[x]);
+  };
+  // Work on a mutable edge list; merging a-b replaces a by b everywhere.
+  std::vector<std::pair<int, int>> edges = td.TreeEdges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [a, b] : edges) {
+      int ra = find(a), rb = find(b);
+      if (ra == rb) continue;
+      if (td.Bag(ra).IsSubsetOf(td.Bag(rb))) {
+        rep[ra] = rb;
+        changed = true;
+      } else if (td.Bag(rb).IsSubsetOf(td.Bag(ra))) {
+        rep[rb] = ra;
+        changed = true;
+      }
+    }
+  }
+  // Renumber surviving representatives and rebuild.
+  std::vector<int> new_id(m, -1);
+  TreeDecomposition out(td.NumGraphVertices());
+  for (int i = 0; i < m; ++i) {
+    if (find(i) == i) new_id[i] = out.AddNode(td.Bag(i));
+  }
+  for (auto [a, b] : edges) {
+    int ra = find(a), rb = find(b);
+    if (ra != rb) out.AddTreeEdge(new_id[ra], new_id[rb]);
+  }
+  return out;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,85 @@
+// Tree decompositions (Robertson & Seymour; Definition 11).
+
+#ifndef HYPERTREE_TD_TREE_DECOMPOSITION_H_
+#define HYPERTREE_TD_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+#include "ordering/bucket_elimination.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// A tree decomposition <T, chi>: a tree whose nodes carry vertex bags.
+class TreeDecomposition {
+ public:
+  /// Creates an empty decomposition for a (hyper)graph on `num_vertices`.
+  explicit TreeDecomposition(int num_vertices) : n_(num_vertices) {}
+
+  /// Universe size (vertices of the decomposed graph).
+  int NumGraphVertices() const { return n_; }
+
+  /// Number of decomposition nodes.
+  int NumNodes() const { return static_cast<int>(bags_.size()); }
+
+  /// Adds a node with bag `bag`; returns its id.
+  int AddNode(const Bitset& bag);
+
+  /// Connects decomposition nodes `a` and `b`.
+  void AddTreeEdge(int a, int b);
+
+  /// The bag of node `p`.
+  const Bitset& Bag(int p) const { return bags_[p]; }
+
+  /// Mutable bag access (leaf-normal-form surgery).
+  Bitset* MutableBag(int p) { return &bags_[p]; }
+
+  /// Neighbors of node `p` in the decomposition tree.
+  const std::vector<int>& TreeNeighbors(int p) const { return tree_adj_[p]; }
+
+  /// All tree edges (a < b).
+  const std::vector<std::pair<int, int>>& TreeEdges() const { return edges_; }
+
+  /// Width: max bag size - 1 (-1 for an empty decomposition).
+  int Width() const;
+
+  /// Checks the tree-decomposition conditions against graph `g`:
+  /// every edge inside some bag, per-vertex connectedness, tree shape.
+  bool IsValidFor(const Graph& g, std::string* why = nullptr) const;
+
+  /// Checks the conditions against hypergraph `h` (every hyperedge inside
+  /// some bag; Lemma 1 makes this equivalent to validity for the primal
+  /// graph).
+  bool IsValidForHypergraph(const Hypergraph& h,
+                            std::string* why = nullptr) const;
+
+ private:
+  bool CheckTreeAndConnectedness(std::string* why) const;
+
+  int n_;
+  std::vector<Bitset> bags_;
+  std::vector<std::vector<int>> tree_adj_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+/// Converts a bucket tree (vertex elimination output) into a tree
+/// decomposition with one node per vertex of the graph.
+TreeDecomposition TreeDecompositionFromEliminationTree(
+    const EliminationTree& t);
+
+/// Convenience: bucket-eliminates `sigma` on `g` and wraps the result.
+TreeDecomposition TreeDecompositionFromOrdering(
+    const Graph& g, const EliminationOrdering& sigma);
+
+/// Contracts tree edges whose one endpoint's bag is contained in the
+/// other's, repeatedly. Width and validity are preserved; the result has
+/// no adjacent subsumed bags (bucket-tree decompositions typically shrink
+/// from n nodes to the number of maximal cliques of the filled graph).
+TreeDecomposition SimplifyTreeDecomposition(const TreeDecomposition& td);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_TD_TREE_DECOMPOSITION_H_

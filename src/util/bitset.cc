@@ -1,0 +1,20 @@
+#include "util/bitset.h"
+
+#include <sstream>
+
+namespace hypertree {
+
+std::string Bitset::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int i = First(); i >= 0; i = Next(i)) {
+    if (!first) os << ", ";
+    os << i;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace hypertree

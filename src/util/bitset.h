@@ -1,0 +1,200 @@
+// A dynamically sized bitset specialized for the vertex/edge sets that
+// decomposition algorithms manipulate: unions, intersections, population
+// counts, subset tests and iteration over set bits.
+//
+// std::vector<bool> lacks word-level operations and std::bitset is fixed
+// size, so the exact algorithms (branch and bound, A*, det-k-decomp) use
+// this type for O(n/64) set algebra.
+
+#ifndef HYPERTREE_UTIL_BITSET_H_
+#define HYPERTREE_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+/// Dynamically sized bitset with word-parallel set algebra.
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+
+  /// Creates a bitset holding `size` bits, all zero.
+  explicit Bitset(int size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of bits (the universe size, not the population count).
+  int size() const { return size_; }
+
+  /// Sets bit `i` to one.
+  void Set(int i) {
+    HT_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  /// Clears bit `i`.
+  void Reset(int i) {
+    HT_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Returns whether bit `i` is set.
+  bool Test(int i) const {
+    HT_DCHECK(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears all bits.
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Sets all bits in [0, size).
+  void SetAll() {
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    TrimTail();
+  }
+
+  /// Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  /// True if no bit is set.
+  bool None() const {
+    for (uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// True if any bit is set.
+  bool Any() const { return !None(); }
+
+  /// Index of the lowest set bit, or -1 if empty.
+  int First() const {
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] != 0)
+        return static_cast<int>(i * 64 + __builtin_ctzll(words_[i]));
+    return -1;
+  }
+
+  /// Index of the lowest set bit strictly greater than `i`, or -1.
+  int Next(int i) const {
+    ++i;
+    if (i >= size_) return -1;
+    size_t w = static_cast<size_t>(i) >> 6;
+    uint64_t cur = words_[w] & (~uint64_t{0} << (i & 63));
+    while (true) {
+      if (cur != 0) return static_cast<int>(w * 64 + __builtin_ctzll(cur));
+      if (++w >= words_.size()) return -1;
+      cur = words_[w];
+    }
+  }
+
+  /// In-place union.
+  Bitset& operator|=(const Bitset& o) {
+    HT_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection.
+  Bitset& operator&=(const Bitset& o) {
+    HT_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  /// In-place set difference (this \ o).
+  Bitset& operator-=(const Bitset& o) {
+    HT_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
+
+  bool operator==(const Bitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+  bool operator!=(const Bitset& o) const { return !(*this == o); }
+
+  /// True if this is a subset of `o`.
+  bool IsSubsetOf(const Bitset& o) const {
+    HT_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// True if this and `o` share at least one set bit.
+  bool Intersects(const Bitset& o) const {
+    HT_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    return false;
+  }
+
+  /// Population count of the intersection, without materializing it.
+  int IntersectCount(const Bitset& o) const {
+    HT_DCHECK(size_ == o.size_);
+    int c = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+      c += __builtin_popcountll(words_[i] & o.words_[i]);
+    return c;
+  }
+
+  /// The set bits as a sorted vector of indices.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(Count());
+    for (int i = First(); i >= 0; i = Next(i)) out.push_back(i);
+    return out;
+  }
+
+  /// Builds a bitset of universe `size` with the given bits set.
+  static Bitset FromVector(int size, const std::vector<int>& bits) {
+    Bitset b(size);
+    for (int i : bits) b.Set(i);
+    return b;
+  }
+
+  /// Stable 64-bit hash of the contents (for visited-state tables).
+  uint64_t Hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size_);
+    for (uint64_t w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  /// Debug rendering, e.g. "{0, 3, 7}".
+  std::string ToString() const;
+
+ private:
+  void TrimTail() {
+    int tail = size_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+
+  int size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hypertree
+
+template <>
+struct std::hash<hypertree::Bitset> {
+  size_t operator()(const hypertree::Bitset& b) const {
+    return static_cast<size_t>(b.Hash());
+  }
+};
+
+#endif  // HYPERTREE_UTIL_BITSET_H_

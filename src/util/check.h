@@ -1,0 +1,44 @@
+// Lightweight assertion macros used throughout the library.
+//
+// The library follows Google-style error handling: logic errors (broken
+// invariants, misuse of the API) abort the process with a message, while
+// recoverable conditions (bad input files, infeasible parameters) are
+// reported through return values.
+
+#ifndef HYPERTREE_UTIL_CHECK_H_
+#define HYPERTREE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message if `cond` is false. Enabled in all build types:
+/// decomposition validity bugs must never silently produce wrong widths.
+#define HT_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HT_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// HT_CHECK with a printf-style explanation appended to the failure report.
+#define HT_CHECK_MSG(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HT_CHECK failed at %s:%d: %s\n  ", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Cheap debug-only check for hot loops.
+#ifdef NDEBUG
+#define HT_DCHECK(cond) ((void)0)
+#else
+#define HT_DCHECK(cond) HT_CHECK(cond)
+#endif
+
+#endif  // HYPERTREE_UTIL_CHECK_H_

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Rng is header-only; this translation unit anchors the library target.
+namespace hypertree {}

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (ordering heuristics with random
+// tie-breaking, genetic algorithms, workload generators) draw from this
+// xoshiro256** generator so experiments are reproducible from a seed.
+
+#ifndef HYPERTREE_UTIL_RNG_H_
+#define HYPERTREE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hypertree {
+
+/// xoshiro256** seeded through SplitMix64; fast, high-quality, reproducible.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    for (int i = 0; i < 4; ++i) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  int UniformInt(int bound) {
+    HT_DCHECK(bound > 0);
+    // Lemire-style rejection-free-enough bounded draw.
+    return static_cast<int>(
+        (static_cast<__uint128_t>(Next()) * static_cast<uint64_t>(bound)) >>
+        64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformRange(int lo, int hi) {
+    HT_DCHECK(lo <= hi);
+    return lo + UniformInt(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Approximate standard normal via the sum of 12 uniforms (Irwin-Hall).
+  double Gaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += UniformDouble();
+    return s - 6.0;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n) {
+    std::vector<int> p(n);
+    for (int i = 0; i < n; ++i) p[i] = i;
+    Shuffle(&p);
+    return p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_UTIL_RNG_H_

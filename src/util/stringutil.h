@@ -1,0 +1,28 @@
+// Small string helpers shared by the parsers and table printers.
+
+#ifndef HYPERTREE_UTIL_STRINGUTIL_H_
+#define HYPERTREE_UTIL_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypertree {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// Removes leading and trailing whitespace.
+std::string StripString(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_UTIL_STRINGUTIL_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit anchors the library target.
+namespace hypertree {}

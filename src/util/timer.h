@@ -1,0 +1,54 @@
+// Wall-clock timing and cooperative deadlines for the anytime algorithms.
+
+#ifndef HYPERTREE_UTIL_TIMER_H_
+#define HYPERTREE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hypertree {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline the exact search algorithms poll to stop as anytime methods.
+/// A non-positive budget means "no deadline".
+class Deadline {
+ public:
+  /// Creates a deadline `budget_seconds` from now (<= 0: never expires).
+  explicit Deadline(double budget_seconds = 0.0)
+      : budget_seconds_(budget_seconds) {}
+
+  /// True once the budget is exhausted.
+  bool Expired() const {
+    return budget_seconds_ > 0.0 && timer_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  /// Seconds consumed so far.
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  Timer timer_;
+  double budget_seconds_;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_UTIL_TIMER_H_

@@ -1,0 +1,117 @@
+// The degrees-of-acyclicity hierarchy (survey):
+// Berge-acyclic => beta-acyclic => alpha-acyclic, with all inclusions
+// strict — verified on the classic separating examples and by property
+// sweeps against brute-force definitions.
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+// Brute force: beta-acyclic iff every edge subset is alpha-acyclic.
+bool BruteForceBeta(const Hypergraph& h) {
+  int m = h.NumEdges();
+  for (int mask = 1; mask < (1 << m); ++mask) {
+    Hypergraph sub(h.NumVertices());
+    for (int e = 0; e < m; ++e) {
+      if ((mask >> e) & 1) sub.AddEdge(h.EdgeVertices(e));
+    }
+    if (!IsAlphaAcyclic(sub)) return false;
+  }
+  return true;
+}
+
+TEST(AcyclicityDegreesTest, BergeExamples) {
+  // A chain of edges overlapping in single vertices is Berge-acyclic.
+  Hypergraph chain(5);
+  chain.AddEdge({0, 1});
+  chain.AddEdge({1, 2, 3});
+  chain.AddEdge({3, 4});
+  EXPECT_TRUE(IsBergeAcyclic(chain));
+  EXPECT_TRUE(IsBetaAcyclic(chain));
+  EXPECT_TRUE(IsAlphaAcyclic(chain));
+  // Two edges sharing two vertices: an incidence cycle.
+  Hypergraph pair(3);
+  pair.AddEdge({0, 1, 2});
+  pair.AddEdge({0, 1});
+  EXPECT_FALSE(IsBergeAcyclic(pair));
+  EXPECT_TRUE(IsBetaAcyclic(pair));  // beta but not Berge: strictness
+}
+
+TEST(AcyclicityDegreesTest, AlphaNotBeta) {
+  // Covered triangle: alpha-acyclic but the triangle subhypergraph is
+  // cyclic, so not beta-acyclic.
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  h.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+  EXPECT_FALSE(IsBetaAcyclic(h));
+  EXPECT_FALSE(IsBergeAcyclic(h));
+}
+
+TEST(AcyclicityDegreesTest, TriangleIsNothing) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+  EXPECT_FALSE(IsBetaAcyclic(h));
+  EXPECT_FALSE(IsBergeAcyclic(h));
+}
+
+class DegreeHierarchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegreeHierarchyTest, ImplicationsHoldOnRandomInstances) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  int n = 4 + rng.UniformInt(5);
+  // At least n edge slots so every vertex can be covered.
+  int num_edges = n + rng.UniformInt(4);
+  Hypergraph h = RandomHypergraph(n, num_edges, 1, std::min(4, n), seed * 3);
+  bool berge = IsBergeAcyclic(h);
+  bool beta = IsBetaAcyclic(h);
+  bool alpha = IsAlphaAcyclic(h);
+  if (berge) {
+    EXPECT_TRUE(beta) << "seed " << seed;
+  }
+  if (beta) {
+    EXPECT_TRUE(alpha) << "seed " << seed;
+  }
+  // Nest-point elimination agrees with the brute-force definition.
+  EXPECT_EQ(beta, BruteForceBeta(h)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegreeHierarchyTest, ::testing::Range(0, 30));
+
+TEST(AcyclicityDegreesTest, GeneratedAcyclicFamilyIsAlphaOnly) {
+  // The RandomAcyclicHypergraph family guarantees alpha; the stricter
+  // notions may or may not hold but the implication direction must.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomAcyclicHypergraph(10, 4, seed);
+    EXPECT_TRUE(IsAlphaAcyclic(h));
+    if (IsBetaAcyclic(h)) {
+      // fine: beta implies alpha, already checked
+    } else {
+      EXPECT_FALSE(IsBergeAcyclic(h)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AcyclicityDegreesTest, EmptyAndSingleEdge) {
+  Hypergraph empty(0);
+  EXPECT_TRUE(IsBergeAcyclic(empty));
+  EXPECT_TRUE(IsBetaAcyclic(empty));
+  Hypergraph single(4);
+  single.AddEdge({0, 1, 2, 3});
+  EXPECT_TRUE(IsBergeAcyclic(single));
+  EXPECT_TRUE(IsBetaAcyclic(single));
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,82 @@
+#include "csp/adaptive_consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "csp/backtracking.h"
+#include "csp/generators.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(AdaptiveConsistencyTest, SolvesAustralia) {
+  Csp csp = AustraliaMapColoring();
+  auto solution = AdaptiveConsistencySolve(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(AdaptiveConsistencyTest, DetectsUnsat) {
+  Csp csp = SatCsp(2, {{1}, {-1}, {2}});
+  EXPECT_FALSE(AdaptiveConsistencySolve(csp).has_value());
+  Csp coloring = GraphColoringCsp(CompleteGraph(4), 3);
+  EXPECT_FALSE(AdaptiveConsistencySolve(coloring).has_value());
+}
+
+class AdaptiveAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveAgreementTest, MatchesBacktracking) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(10, 11, 2, 3, seed * 7 + 5);
+  for (double tightness : {0.2, 0.5}) {
+    Csp csp = RandomCspFromHypergraph(h, 2, tightness, false, seed);
+    bool expected = BacktrackingSolve(csp).has_value();
+    auto solution = AdaptiveConsistencySolve(csp);
+    EXPECT_EQ(solution.has_value(), expected)
+        << "seed " << seed << " t " << tightness;
+    if (solution.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*solution));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveAgreementTest, ::testing::Range(0, 15));
+
+TEST(AdaptiveConsistencyTest, ExplicitOrderingAndStats) {
+  Csp csp = GraphColoringCsp(CycleGraph(8), 3);
+  Rng rng(2);
+  AdaptiveConsistencyStats stats;
+  auto solution =
+      AdaptiveConsistencySolve(csp, rng.Permutation(8), &stats);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+  EXPECT_GT(stats.tuples_materialized, 0);
+  EXPECT_GT(stats.max_relation, 0);
+}
+
+TEST(AdaptiveConsistencyTest, FreeVariablesGetValues) {
+  Csp csp(4, 3);
+  Relation r({0, 1});
+  r.AddTuple({1, 2});
+  csp.AddConstraint({0, 1}, std::move(r));
+  // Variables 2 and 3 are unconstrained.
+  auto solution = AdaptiveConsistencySolve(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 1);
+  EXPECT_EQ((*solution)[1], 2);
+}
+
+TEST(AdaptiveConsistencyTest, PlantedAlwaysSolved) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = Grid2DHypergraph(4);
+    Csp csp = RandomCspFromHypergraph(h, 2, 0.3, true, seed);
+    auto solution = AdaptiveConsistencySolve(csp);
+    ASSERT_TRUE(solution.has_value()) << "seed " << seed;
+    EXPECT_TRUE(csp.IsSolution(*solution));
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

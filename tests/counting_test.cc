@@ -1,0 +1,98 @@
+#include "csp/counting.h"
+
+#include <gtest/gtest.h>
+
+#include "csp/backtracking.h"
+#include "csp/generators.h"
+#include "ghd/ghw_from_ordering.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+struct Decomps {
+  TreeDecomposition td;
+  GeneralizedHypertreeDecomposition ghd;
+};
+
+Decomps Decompose(const Csp& csp, uint64_t seed) {
+  Hypergraph h = csp.ConstraintHypergraph();
+  GhwEvaluator eval(h);
+  Rng rng(seed);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  return {TreeDecompositionFromOrdering(eval.primal(), sigma),
+          eval.BuildGhd(sigma, CoverMode::kExact)};
+}
+
+TEST(CountingTest, TriangleColorings) {
+  Csp csp = GraphColoringCsp(CompleteGraph(3), 3);
+  Decomps d = Decompose(csp, 1);
+  EXPECT_EQ(CountViaTreeDecomposition(csp, d.td), 6);
+  EXPECT_EQ(CountViaGhd(csp, d.ghd), 6);
+}
+
+TEST(CountingTest, PathColoringsClosedForm) {
+  // Proper q-colorings of a path with n vertices: q * (q-1)^(n-1).
+  Csp csp = GraphColoringCsp(PathGraph(6), 3);
+  Decomps d = Decompose(csp, 2);
+  EXPECT_EQ(CountViaTreeDecomposition(csp, d.td), 3 * 32);
+  EXPECT_EQ(CountViaGhd(csp, d.ghd), 3 * 32);
+}
+
+TEST(CountingTest, CycleColoringsClosedForm) {
+  // Proper q-colorings of a cycle C_n: (q-1)^n + (-1)^n (q-1).
+  Csp csp = GraphColoringCsp(CycleGraph(5), 3);
+  Decomps d = Decompose(csp, 3);
+  EXPECT_EQ(CountViaTreeDecomposition(csp, d.td), 32 - 2);
+}
+
+TEST(CountingTest, UnsatCountsZero) {
+  Csp csp = SatCsp(2, {{1}, {-1}});
+  Decomps d = Decompose(csp, 4);
+  EXPECT_EQ(CountViaTreeDecomposition(csp, d.td), 0);
+  EXPECT_EQ(CountViaGhd(csp, d.ghd), 0);
+}
+
+class CountingAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountingAgreementTest, MatchesBacktrackingOnRandomCsps) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(8, 9, 2, 3, seed * 19 + 2);
+  for (double tightness : {0.3, 0.6}) {
+    Csp csp = RandomCspFromHypergraph(h, 2, tightness, false, seed);
+    long expected = BacktrackingCountSolutions(csp);
+    Decomps d = Decompose(csp, seed);
+    EXPECT_EQ(CountViaTreeDecomposition(csp, d.td), expected)
+        << "td seed " << seed << " t " << tightness;
+    EXPECT_EQ(CountViaGhd(csp, d.ghd), expected)
+        << "ghd seed " << seed << " t " << tightness;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountingAgreementTest, ::testing::Range(0, 12));
+
+TEST(CountingTest, AcyclicCountMatchesBacktracking) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomAcyclicHypergraph(7, 3, seed);
+    Csp csp = RandomCspFromHypergraph(h, 2, 0.5, false, seed + 9);
+    EXPECT_EQ(CountAcyclicCsp(csp), BacktrackingCountSolutions(csp))
+        << "seed " << seed;
+  }
+}
+
+TEST(CountingTest, FreeVariablesMultiplyDomains) {
+  // One binary constraint over {0,1}; variable 2 unconstrained with
+  // domain 3: counts multiply.
+  Csp csp(3, 3);
+  Relation r({0, 1});
+  r.AddTuple({0, 0});
+  r.AddTuple({1, 2});
+  csp.AddConstraint({0, 1}, std::move(r));
+  EXPECT_EQ(CountAcyclicCsp(csp), 2 * 3);
+}
+
+}  // namespace
+}  // namespace hypertree

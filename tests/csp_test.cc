@@ -1,0 +1,105 @@
+#include "csp/csp.h"
+
+#include <gtest/gtest.h>
+
+#include "csp/backtracking.h"
+#include "csp/generators.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(CspTest, AustraliaIsThreeColorable) {
+  Csp csp = AustraliaMapColoring();
+  EXPECT_EQ(csp.NumVariables(), 7);
+  EXPECT_EQ(csp.NumConstraints(), 9);
+  auto solution = BacktrackingSolve(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(CspTest, AustraliaNotTwoColorable) {
+  Csp csp = AustraliaMapColoring();
+  for (int v = 0; v < 7; ++v) csp.SetDomainSize(v, 2);
+  // Domains shrank but relations still allow 3 values; rebuild instead.
+  Csp two(7, 2);
+  const Csp& src = AustraliaMapColoring();
+  for (int c = 0; c < src.NumConstraints(); ++c) {
+    const Constraint& con = src.GetConstraint(c);
+    Relation r(con.scope);
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        if (a != b) r.AddTuple({a, b});
+      }
+    }
+    two.AddConstraint(con.scope, std::move(r));
+  }
+  EXPECT_FALSE(BacktrackingSolve(two).has_value());
+}
+
+TEST(CspTest, ConstraintHypergraphShape) {
+  Csp csp = AustraliaMapColoring();
+  Hypergraph h = csp.ConstraintHypergraph();
+  // TAS has no constraints: gets a unary free edge.
+  EXPECT_EQ(h.NumVertices(), 7);
+  EXPECT_EQ(h.NumEdges(), 10);
+}
+
+TEST(CspTest, SatExampleFromThesis) {
+  // phi = (!x1 v x2 v x3) & (x1 v !x4) & (!x3 v !x5)   (Example 2)
+  Csp csp = SatCsp(5, {{-1, 2, 3}, {1, -4}, {-3, -5}});
+  auto solution = BacktrackingSolve(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+  // Known satisfying assignment x1=t,x2=t,x3=f,x4=t,x5=f.
+  EXPECT_TRUE(csp.IsSolution({1, 1, 0, 1, 0}));
+  EXPECT_FALSE(csp.IsSolution({0, 0, 0, 1, 0}));  // clause 2 violated
+}
+
+TEST(CspTest, UnsatisfiableSat) {
+  Csp csp = SatCsp(1, {{1}, {-1}});
+  EXPECT_FALSE(BacktrackingSolve(csp).has_value());
+  EXPECT_EQ(BacktrackingCountSolutions(csp), 0);
+}
+
+TEST(CspTest, CountSolutionsTriangleColoring) {
+  // 3-coloring a triangle: 3! = 6 proper colorings.
+  Csp csp = GraphColoringCsp(CompleteGraph(3), 3);
+  EXPECT_EQ(BacktrackingCountSolutions(csp), 6);
+}
+
+TEST(CspTest, PlantedSolutionAlwaysSatisfiable) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(10, 12, 2, 3, seed);
+    Csp csp = RandomCspFromHypergraph(h, 3, 0.3, /*plant_solution=*/true,
+                                      seed + 1);
+    auto solution = BacktrackingSolve(csp);
+    ASSERT_TRUE(solution.has_value()) << "seed " << seed;
+    EXPECT_TRUE(csp.IsSolution(*solution));
+  }
+}
+
+TEST(CspTest, NodeBudgetAborts) {
+  // Satisfiable instance with 36 variables: any solver must make at least
+  // 36 assignments, so a 10-node budget is guaranteed to abort.
+  Csp csp = GraphColoringCsp(QueensGraph(6), 7);
+  BacktrackStats stats;
+  auto solution = BacktrackingSolve(csp, /*max_nodes=*/10, &stats);
+  EXPECT_FALSE(solution.has_value());
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_LE(stats.nodes, 11);
+}
+
+TEST(CspTest, ConstraintHypergraphOfGeneratedCspMatches) {
+  Hypergraph h = Grid2DHypergraph(3);
+  Csp csp = RandomCspFromHypergraph(h, 2, 0.5, true, 3);
+  Hypergraph back = csp.ConstraintHypergraph();
+  EXPECT_EQ(back.NumEdges(), h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    EXPECT_EQ(back.EdgeVertices(e), h.EdgeVertices(e));
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,98 @@
+// The shipped benchmark instances under data/ must parse, be structurally
+// sound (every vertex covered), and have the widths their family
+// guarantees.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ghd/branch_and_bound.h"
+#include "graph/dimacs.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/parser.h"
+#include "td/pace.h"
+
+namespace hypertree {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(HYPERTREE_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(DataInstancesTest, AllHypergraphsParse) {
+  const char* files[] = {
+      "adder_8.hg",   "bridge_8.hg",  "clique_8.hg",
+      "grid2d_4.hg",  "grid3d_3.hg",  "cycle_10_3.hg",
+      "circuit_40.hg", "random_25_30.hg", "acyclic_18.hg",
+  };
+  for (const char* f : files) {
+    std::string error;
+    auto h = ReadHypergraphFile(DataPath(f), &error);
+    ASSERT_TRUE(h.has_value()) << f << ": " << error;
+    EXPECT_GT(h->NumVertices(), 0) << f;
+    EXPECT_GT(h->NumEdges(), 0) << f;
+    // Every vertex in at least one edge (solvers rely on it).
+    for (int v = 0; v < h->NumVertices(); ++v) {
+      EXPECT_GE(h->VertexDegree(v), 1) << f << " vertex " << v;
+    }
+  }
+}
+
+TEST(DataInstancesTest, KnownWidths) {
+  {
+    auto h = ReadHypergraphFile(DataPath("adder_8.hg"));
+    ASSERT_TRUE(h.has_value());
+    GhwSearchOptions opts;
+    opts.time_limit_seconds = 10.0;
+    WidthResult ghw = BranchAndBoundGhw(*h, opts);
+    if (ghw.exact) {
+      EXPECT_EQ(ghw.upper_bound, 2);
+    }
+    EXPECT_GE(ghw.upper_bound, 2);
+  }
+  {
+    auto h = ReadHypergraphFile(DataPath("acyclic_18.hg"));
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(IsAlphaAcyclic(*h));
+    WidthResult ghw = BranchAndBoundGhw(*h);
+    ASSERT_TRUE(ghw.exact);
+    EXPECT_EQ(ghw.upper_bound, 1);
+  }
+  {
+    auto h = ReadHypergraphFile(DataPath("clique_8.hg"));
+    ASSERT_TRUE(h.has_value());
+    WidthResult ghw = BranchAndBoundGhw(*h);
+    ASSERT_TRUE(ghw.exact);
+    EXPECT_EQ(ghw.upper_bound, 4);  // ceil(8/2)
+  }
+}
+
+TEST(DataInstancesTest, GraphFormatsParse) {
+  {
+    std::string error;
+    auto g = ReadDimacsGraphFile(DataPath("queen5_5.col"), &error);
+    ASSERT_TRUE(g.has_value()) << error;
+    EXPECT_EQ(g->NumVertices(), 25);
+    EXPECT_EQ(g->NumEdges(), 160);
+  }
+  {
+    std::string error;
+    auto g = ReadDimacsGraphFile(DataPath("myciel4.col"), &error);
+    ASSERT_TRUE(g.has_value()) << error;
+    EXPECT_EQ(g->NumVertices(), 23);
+    EXPECT_EQ(g->NumEdges(), 71);
+  }
+  {
+    std::ifstream in(DataPath("grid5.gr"));
+    ASSERT_TRUE(in.good());
+    std::string error;
+    auto g = ReadPaceGraph(in, &error);
+    ASSERT_TRUE(g.has_value()) << error;
+    EXPECT_EQ(g->NumVertices(), 25);
+    EXPECT_EQ(g->NumEdges(), 40);
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

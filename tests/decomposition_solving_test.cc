@@ -1,0 +1,104 @@
+#include "csp/decomposition_solving.h"
+
+#include <gtest/gtest.h>
+
+#include "csp/backtracking.h"
+#include "csp/generators.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "td/tree_decomposition.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+// Builds a TD and a GHD of the CSP's constraint hypergraph via min-fill.
+struct Decompositions {
+  TreeDecomposition td;
+  GeneralizedHypertreeDecomposition ghd;
+};
+
+Decompositions Decompose(const Csp& csp, uint64_t seed) {
+  Hypergraph h = csp.ConstraintHypergraph();
+  GhwEvaluator eval(h);
+  Rng rng(seed);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  return {TreeDecompositionFromOrdering(eval.primal(), sigma),
+          eval.BuildGhd(sigma, CoverMode::kExact)};
+}
+
+TEST(DecompositionSolvingTest, AustraliaViaTd) {
+  Csp csp = AustraliaMapColoring();
+  Decompositions d = Decompose(csp, 1);
+  DecompositionSolveStats stats;
+  auto solution = SolveViaTreeDecomposition(csp, d.td, &stats);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+  EXPECT_GT(stats.bag_tuples, 0);
+}
+
+TEST(DecompositionSolvingTest, AustraliaViaGhd) {
+  Csp csp = AustraliaMapColoring();
+  Decompositions d = Decompose(csp, 2);
+  auto solution = SolveViaGhd(csp, d.ghd);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, AllSolversAgreeOnSatisfiability) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(9, 10, 2, 3, seed * 13);
+  for (double tightness : {0.15, 0.4}) {
+    Csp csp =
+        RandomCspFromHypergraph(h, 2, tightness, /*plant_solution=*/false,
+                                seed * 7 + static_cast<uint64_t>(tightness * 10));
+    bool direct = BacktrackingSolve(csp).has_value();
+    Decompositions d = Decompose(csp, seed);
+    auto td_solution = SolveViaTreeDecomposition(csp, d.td);
+    auto ghd_solution = SolveViaGhd(csp, d.ghd);
+    EXPECT_EQ(td_solution.has_value(), direct)
+        << "TD seed " << seed << " t " << tightness;
+    EXPECT_EQ(ghd_solution.has_value(), direct)
+        << "GHD seed " << seed << " t " << tightness;
+    if (td_solution.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*td_solution));
+    }
+    if (ghd_solution.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*ghd_solution));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreementTest, ::testing::Range(0, 12));
+
+TEST(DecompositionSolvingTest, PlantedLargeInstanceSolvedViaTd) {
+  // A 40-variable planted instance that plain backtracking can also solve,
+  // but the decomposition path exercises big bag relations.
+  Hypergraph h = Grid2DHypergraph(6);
+  Csp csp = RandomCspFromHypergraph(h, 2, 0.6, /*plant_solution=*/true, 9);
+  Decompositions d = Decompose(csp, 3);
+  auto solution = SolveViaTreeDecomposition(csp, d.td);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(DecompositionSolvingTest, SatViaGhd) {
+  Csp csp = SatCsp(5, {{-1, 2, 3}, {1, -4}, {-3, -5}});
+  Decompositions d = Decompose(csp, 4);
+  auto solution = SolveViaGhd(csp, d.ghd);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(DecompositionSolvingTest, UnsatDetected) {
+  Csp csp = SatCsp(2, {{1}, {-1}});
+  Decompositions d = Decompose(csp, 5);
+  EXPECT_FALSE(SolveViaTreeDecomposition(csp, d.td).has_value());
+  EXPECT_FALSE(SolveViaGhd(csp, d.ghd).has_value());
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,96 @@
+#include "hd/det_k_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "ghd/branch_and_bound.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(DetKDecompTest, AcyclicHasHwOne) {
+  Hypergraph h = RandomAcyclicHypergraph(10, 4, 2);
+  ASSERT_TRUE(IsAlphaAcyclic(h));
+  auto hd = DetKDecomp(h, 1);
+  ASSERT_TRUE(hd.has_value());
+  std::string why;
+  EXPECT_TRUE(hd->IsValidFor(h, &why)) << why;
+  EXPECT_LE(hd->Width(), 1);
+}
+
+TEST(DetKDecompTest, TriangleNeedsTwo) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  EXPECT_FALSE(DetKDecomp(h, 1).has_value());
+  auto hd = DetKDecomp(h, 2);
+  ASSERT_TRUE(hd.has_value());
+  EXPECT_TRUE(hd->IsValidFor(h, nullptr));
+}
+
+TEST(DetKDecompTest, WitnessesAreValidHds) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomHypergraph(10, 9, 2, 4, seed * 7 + 3);
+    WidthResult hw = HypertreeWidth(h);
+    ASSERT_TRUE(hw.exact) << "seed " << seed;
+    std::optional<HypertreeDecomposition> witness;
+    SearchOptions opts;
+    bool aborted = false;
+    auto hd = DetKDecomp(h, hw.upper_bound, opts, &aborted);
+    ASSERT_TRUE(hd.has_value()) << "seed " << seed;
+    std::string why;
+    EXPECT_TRUE(hd->IsValidFor(h, &why)) << "seed " << seed << ": " << why;
+    EXPECT_LE(hd->Width(), hw.upper_bound);
+    (void)witness;
+  }
+}
+
+TEST(DetKDecompTest, HwSandwichedByGhw) {
+  // ghw <= hw always; and hw <= 3*ghw + 1 (GLS); on these tiny instances
+  // usually hw == ghw or ghw+1.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 11 + 5);
+    WidthResult ghw = BranchAndBoundGhw(h);
+    WidthResult hw = HypertreeWidth(h);
+    ASSERT_TRUE(ghw.exact && hw.exact) << "seed " << seed;
+    EXPECT_LE(ghw.upper_bound, hw.upper_bound) << "seed " << seed;
+    EXPECT_LE(hw.upper_bound, 3 * ghw.upper_bound + 1) << "seed " << seed;
+  }
+}
+
+TEST(DetKDecompTest, GridHypertreeWidth) {
+  // grid2d_3 (3x3 grid of binary constraints): hw = 2? At least it is
+  // exactly computable and >= ghw = 2.
+  Hypergraph h = Grid2DHypergraph(3);
+  WidthResult hw = HypertreeWidth(h);
+  ASSERT_TRUE(hw.exact);
+  WidthResult ghw = BranchAndBoundGhw(h);
+  ASSERT_TRUE(ghw.exact);
+  EXPECT_GE(hw.upper_bound, ghw.upper_bound);
+  EXPECT_LE(hw.upper_bound, ghw.upper_bound + 1);
+}
+
+TEST(DetKDecompTest, BudgetExhaustionReported) {
+  Hypergraph h = Grid2DHypergraph(4);
+  SearchOptions opts;
+  opts.max_nodes = 5;
+  bool aborted = false;
+  auto hd = DetKDecomp(h, 2, opts, &aborted);
+  if (!hd.has_value()) {
+    EXPECT_TRUE(aborted);  // 5 ticks cannot decide this instance
+  }
+}
+
+TEST(DetKDecompTest, SingleEdge) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  auto hd = DetKDecomp(h, 1);
+  ASSERT_TRUE(hd.has_value());
+  EXPECT_TRUE(hd->IsValidFor(h, nullptr));
+  EXPECT_EQ(hd->Width(), 1);
+}
+
+}  // namespace
+}  // namespace hypertree

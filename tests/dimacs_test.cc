@@ -1,0 +1,66 @@
+#include "graph/dimacs.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(DimacsTest, ParseBasic) {
+  std::istringstream in(
+      "c a comment\n"
+      "p edge 4 3\n"
+      "e 1 2\n"
+      "e 2 3\n"
+      "e 3 4\n");
+  std::string error;
+  auto g = ReadDimacsGraph(in, &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  EXPECT_EQ(g->NumVertices(), 4);
+  EXPECT_EQ(g->NumEdges(), 3);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 3));
+}
+
+TEST(DimacsTest, DuplicateEdgesCollapse) {
+  std::istringstream in("p edge 3 2\ne 1 2\ne 2 1\n");
+  auto g = ReadDimacsGraph(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1);
+}
+
+TEST(DimacsTest, RejectsEdgeBeforeProblemLine) {
+  std::istringstream in("e 1 2\n");
+  std::string error;
+  EXPECT_FALSE(ReadDimacsGraph(in, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DimacsTest, RejectsOutOfRangeVertex) {
+  std::istringstream in("p edge 2 1\ne 1 5\n");
+  std::string error;
+  EXPECT_FALSE(ReadDimacsGraph(in, &error).has_value());
+}
+
+TEST(DimacsTest, RejectsMissingProblemLine) {
+  std::istringstream in("c only comments\n");
+  std::string error;
+  EXPECT_FALSE(ReadDimacsGraph(in, &error).has_value());
+}
+
+TEST(DimacsTest, RoundTrip) {
+  Graph g = QueensGraph(4);
+  std::ostringstream out;
+  WriteDimacsGraph(g, out);
+  std::istringstream in(out.str());
+  auto back = ReadDimacsGraph(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumVertices(), g.NumVertices());
+  EXPECT_EQ(back->Edges(), g.Edges());
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,68 @@
+#include "io/dot.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "graph/generators.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(DotTest, GraphExport) {
+  std::ostringstream out;
+  WriteDot(CycleGraph(4), out);
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v3"), std::string::npos);
+  EXPECT_EQ(dot.find("v1 -- v0"), std::string::npos);  // each edge once
+}
+
+TEST(DotTest, HypergraphExportIsBipartite) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1, 2}, "abc");
+  std::ostringstream out;
+  WriteDot(h, out);
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("e0 -- v0"), std::string::npos);
+  EXPECT_NE(dot.find("e0 -- v2"), std::string::npos);
+  EXPECT_NE(dot.find("abc"), std::string::npos);
+}
+
+TEST(DotTest, DecompositionExports) {
+  Hypergraph h = Grid2DHypergraph(3);
+  GhwEvaluator eval(h);
+  Rng rng(1);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  TreeDecomposition td = TreeDecompositionFromOrdering(eval.primal(), sigma);
+  {
+    std::ostringstream out;
+    WriteDot(td, out);
+    EXPECT_NE(out.str().find("tree_decomposition"), std::string::npos);
+    EXPECT_NE(out.str().find("b0"), std::string::npos);
+  }
+  {
+    GeneralizedHypertreeDecomposition ghd =
+        eval.BuildGhd(sigma, CoverMode::kExact);
+    std::ostringstream out;
+    WriteDot(ghd, h, out);
+    EXPECT_NE(out.str().find("lambda="), std::string::npos);
+    EXPECT_NE(out.str().find("chi="), std::string::npos);
+  }
+  {
+    auto hd = DetKDecomp(h, 3);
+    ASSERT_TRUE(hd.has_value());
+    std::ostringstream out;
+    WriteDot(*hd, h, out);
+    EXPECT_NE(out.str().find("graph hd"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,105 @@
+#include "graph/elimination_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(EliminationGraphTest, EliminateConnectsNeighbors) {
+  // Path 0-1-2: eliminating 1 must connect 0 and 2.
+  Graph g = PathGraph(3);
+  EliminationGraph eg(g);
+  EXPECT_FALSE(eg.HasEdge(0, 2));
+  int degree = eg.Eliminate(1);
+  EXPECT_EQ(degree, 2);
+  EXPECT_TRUE(eg.HasEdge(0, 2));
+  EXPECT_FALSE(eg.IsActive(1));
+  EXPECT_EQ(eg.NumActive(), 2);
+}
+
+TEST(EliminationGraphTest, UndoRestoresExactState) {
+  Graph g = CycleGraph(5);
+  EliminationGraph eg(g);
+  eg.Eliminate(0);
+  eg.Eliminate(2);
+  eg.UndoElimination();
+  eg.UndoElimination();
+  EXPECT_EQ(eg.NumActive(), 5);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_TRUE(eg.IsActive(v));
+    EXPECT_EQ(eg.Degree(v), 2);
+  }
+  EXPECT_TRUE(eg.HasEdge(0, 1));
+  EXPECT_TRUE(eg.HasEdge(0, 4));
+  EXPECT_FALSE(eg.HasEdge(1, 4));
+}
+
+TEST(EliminationGraphTest, RandomEliminateUndoRoundTrip) {
+  Rng rng(5);
+  Graph g = RandomGraph(30, 120, 99);
+  EliminationGraph eg(g);
+  // Snapshot initial adjacency.
+  auto snapshot = [&eg](int n) {
+    std::vector<std::vector<int>> adj(n);
+    for (int v = 0; v < n; ++v) {
+      if (eg.IsActive(v)) adj[v] = eg.Neighbors(v);
+    }
+    return adj;
+  };
+  auto before = snapshot(30);
+  std::vector<int> order = rng.Permutation(30);
+  for (int i = 0; i < 20; ++i) eg.Eliminate(order[i]);
+  for (int i = 0; i < 20; ++i) eg.UndoElimination();
+  EXPECT_EQ(snapshot(30), before);
+}
+
+TEST(EliminationGraphTest, FillInCounts) {
+  // Star center: all leaf pairs are non-adjacent.
+  Graph g(5);
+  for (int leaf = 1; leaf < 5; ++leaf) g.AddEdge(0, leaf);
+  EliminationGraph eg(g);
+  EXPECT_EQ(eg.FillIn(0), 6);  // C(4,2) missing edges
+  EXPECT_EQ(eg.FillIn(1), 0);  // leaf has a single neighbor
+}
+
+TEST(EliminationGraphTest, Simplicial) {
+  Graph g = CompleteGraph(4);
+  EliminationGraph eg(g);
+  for (int v = 0; v < 4; ++v) EXPECT_TRUE(eg.IsSimplicial(v));
+  Graph path = PathGraph(3);
+  EliminationGraph ep(path);
+  EXPECT_TRUE(ep.IsSimplicial(0));   // endpoint
+  EXPECT_FALSE(ep.IsSimplicial(1));  // middle of the path
+}
+
+TEST(EliminationGraphTest, AlmostSimplicial) {
+  // C4: each vertex has two non-adjacent neighbors; removing either one
+  // leaves a single vertex (trivially a clique) -> almost simplicial.
+  Graph g = CycleGraph(4);
+  EliminationGraph eg(g);
+  int special = -1;
+  EXPECT_TRUE(eg.IsAlmostSimplicial(0, &special));
+  EXPECT_TRUE(special == 1 || special == 3);
+  // A simplicial vertex is not *almost* simplicial.
+  Graph k = CompleteGraph(3);
+  EliminationGraph ek(k);
+  EXPECT_FALSE(ek.IsAlmostSimplicial(0, nullptr));
+}
+
+TEST(EliminationGraphTest, CurrentGraphRemaps) {
+  Graph g = CycleGraph(4);
+  EliminationGraph eg(g);
+  eg.Eliminate(0);
+  std::vector<int> old_ids;
+  Graph cur = eg.CurrentGraph(&old_ids);
+  EXPECT_EQ(cur.NumVertices(), 3);
+  EXPECT_EQ(old_ids, (std::vector<int>{1, 2, 3}));
+  // After eliminating 0 in C4: 1-3 edge filled; triangle 1,2,3.
+  EXPECT_EQ(cur.NumEdges(), 3);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,69 @@
+#include "ordering/evaluator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ordering/bucket_elimination.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(EvaluatorTest, MatchesBucketEliminationOnKnownGraphs) {
+  Rng rng(1);
+  for (const Graph& g :
+       {PathGraph(8), CycleGraph(8), GridGraph(4, 4), CompleteGraph(6)}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      EliminationOrdering sigma = rng.Permutation(g.NumVertices());
+      EXPECT_EQ(EvaluateOrderingWidth(g, sigma),
+                BucketEliminate(g, sigma).width)
+          << g.name();
+    }
+  }
+}
+
+class EvaluatorRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorRandomTest, MatchesBucketEliminationOnRandomGraphs) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  int n = 5 + rng.UniformInt(30);
+  int max_m = n * (n - 1) / 2;
+  int m = rng.UniformInt(max_m + 1);
+  Graph g = RandomGraph(n, m, seed + 1000);
+  for (int trial = 0; trial < 5; ++trial) {
+    EliminationOrdering sigma = rng.Permutation(n);
+    EXPECT_EQ(EvaluateOrderingWidth(g, sigma), BucketEliminate(g, sigma).width)
+        << "n=" << n << " m=" << m << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorRandomTest, ::testing::Range(0, 20));
+
+TEST(EvaluatorTest, BagsMatchBucketElimination) {
+  Rng rng(7);
+  Graph g = GridGraph(4, 4);
+  EliminationOrdering sigma = rng.Permutation(16);
+  auto bags = OrderingBags(g, sigma);
+  EliminationTree t = BucketEliminate(g, sigma);
+  ASSERT_EQ(bags.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<int> got = bags[i];
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, t.bags[sigma[i]].ToVector()) << "position " << i;
+  }
+}
+
+TEST(EvaluatorTest, EmptyAndTinyGraphs) {
+  Graph g1(1);
+  EXPECT_EQ(EvaluateOrderingWidth(g1, {0}), 0);
+  Graph g2(2);
+  g2.AddEdge(0, 1);
+  EXPECT_EQ(EvaluateOrderingWidth(g2, {0, 1}), 1);
+  EXPECT_EQ(EvaluateOrderingWidth(g2, {1, 0}), 1);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,58 @@
+#include "fhw/fractional_hypertree.h"
+
+#include <gtest/gtest.h>
+
+#include "ghd/branch_and_bound.h"
+#include "hypergraph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(FhwTest, TriangleCoverNumber) {
+  // rho*(triangle of binary edges) = 1.5.
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  EXPECT_NEAR(FractionalEdgeCoverNumber(h), 1.5, 1e-7);
+}
+
+TEST(FhwTest, SingleEdgeCoverNumberOne) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  EXPECT_NEAR(FractionalEdgeCoverNumber(h), 1.0, 1e-7);
+}
+
+TEST(FhwTest, FhwUpperBoundedByGhw) {
+  // fhw <= ghw: the fractional width of any ordering is at most its
+  // integral width.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(10, 9, 2, 4, seed * 29);
+    WidthResult ghw = BranchAndBoundGhw(h);
+    ASSERT_TRUE(ghw.exact);
+    double fhw_of_witness = FractionalWidthOfOrdering(h, ghw.best_ordering);
+    EXPECT_LE(fhw_of_witness, ghw.upper_bound + 1e-7) << "seed " << seed;
+    // The heuristic upper bound is at least 1 (and usually <= ghw, but
+    // only the witness-ordering inequality is guaranteed).
+    double ub = FhwUpperBound(h, 3, seed);
+    EXPECT_GE(ub, 1.0 - 1e-7);
+  }
+}
+
+TEST(FhwTest, AcyclicHasFhwOne) {
+  Hypergraph h = RandomAcyclicHypergraph(10, 4, 4);
+  EXPECT_NEAR(FhwUpperBound(h, 2, 1), 1.0, 1e-7);
+}
+
+TEST(FhwTest, TriangleCycleFhwBetweenOneAndTwo) {
+  // For the triangle, fhw = 1.5 (single bag with the fractional cover).
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({0, 2});
+  double ub = FhwUpperBound(h, 2, 3);
+  EXPECT_NEAR(ub, 1.5, 1e-7);
+}
+
+}  // namespace
+}  // namespace hypertree

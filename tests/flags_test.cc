@@ -1,0 +1,53 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = ParseArgs({"--name=value", "--n=42", "--ratio=0.5"});
+  EXPECT_TRUE(f.Has("name"));
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio"), 0.5);
+}
+
+TEST(FlagsTest, ValuesOnlyAttachWithEquals) {
+  // "--plant input.hg" must keep input.hg positional (boolean flag
+  // followed by a file), so space-separated values are not supported.
+  Flags f = ParseArgs({"--plant", "input.hg"});
+  EXPECT_TRUE(f.GetBool("plant"));
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"input.hg"}));
+}
+
+TEST(FlagsTest, BareBooleans) {
+  Flags f = ParseArgs({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet", true));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, Positional) {
+  Flags f = ParseArgs({"--a=1", "input.hg", "more"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.hg", "more"}));
+}
+
+TEST(FlagsTest, DefaultsOnAbsentOrBad) {
+  Flags f = ParseArgs({"--n=notanumber"});
+  EXPECT_EQ(f.GetInt("n", 9), 9);
+  EXPECT_EQ(f.GetInt("missing", -3), -3);
+  EXPECT_EQ(f.GetString("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace hypertree

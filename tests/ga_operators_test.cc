@@ -1,0 +1,112 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ga/crossover.h"
+#include "ga/mutation.h"
+#include "ordering/ordering.h"
+
+namespace hypertree {
+namespace {
+
+bool IsPermutation(const std::vector<int>& p) {
+  return IsValidOrdering(p, static_cast<int>(p.size()));
+}
+
+// Property sweep: every crossover operator must map permutations to
+// permutations, for all sizes and seeds.
+class CrossoverPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossoverPropertyTest, OffspringAreValidPermutations) {
+  auto [op_index, seed] = GetParam();
+  CrossoverOp op = kAllCrossovers[op_index];
+  Rng rng(seed);
+  for (int n : {1, 2, 3, 5, 8, 20, 57}) {
+    std::vector<int> p1 = rng.Permutation(n);
+    std::vector<int> p2 = rng.Permutation(n);
+    std::vector<int> c1, c2;
+    Crossover(op, p1, p2, &rng, &c1, &c2);
+    EXPECT_TRUE(IsPermutation(c1))
+        << CrossoverName(op) << " child1 invalid, n=" << n;
+    EXPECT_TRUE(IsPermutation(c2))
+        << CrossoverName(op) << " child2 invalid, n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpsAndSeeds, CrossoverPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+class MutationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MutationPropertyTest, MutantsAreValidPermutations) {
+  auto [op_index, seed] = GetParam();
+  MutationOp op = kAllMutations[op_index];
+  Rng rng(seed);
+  for (int n : {1, 2, 3, 5, 8, 20, 57}) {
+    std::vector<int> p = rng.Permutation(n);
+    for (int rep = 0; rep < 10; ++rep) {
+      Mutate(op, &p, &rng);
+      ASSERT_TRUE(IsPermutation(p))
+          << MutationName(op) << " broke the permutation, n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpsAndSeeds, MutationPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+TEST(CrossoverTest, IdenticalParentsReproduceForSegmentOps) {
+  Rng rng(5);
+  std::vector<int> p = rng.Permutation(12);
+  for (CrossoverOp op : kAllCrossovers) {
+    std::vector<int> c1, c2;
+    Crossover(op, p, p, &rng, &c1, &c2);
+    EXPECT_EQ(c1, p) << CrossoverName(op);
+    EXPECT_EQ(c2, p) << CrossoverName(op);
+  }
+}
+
+TEST(CrossoverTest, CxPreservesPositions) {
+  // Every gene of a CX child occupies the same position as in one of the
+  // parents.
+  Rng rng(6);
+  std::vector<int> p1 = rng.Permutation(15);
+  std::vector<int> p2 = rng.Permutation(15);
+  std::vector<int> c1, c2;
+  Crossover(CrossoverOp::kCx, p1, p2, &rng, &c1, &c2);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(c1[i] == p1[i] || c1[i] == p2[i]) << "position " << i;
+    EXPECT_TRUE(c2[i] == p1[i] || c2[i] == p2[i]) << "position " << i;
+  }
+}
+
+TEST(MutationTest, EmPreservesAllButTwo) {
+  Rng rng(7);
+  std::vector<int> p = rng.Permutation(20);
+  std::vector<int> before = p;
+  Mutate(MutationOp::kEm, &p, &rng);
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (p[i] != before[i]) ++changed;
+  }
+  EXPECT_TRUE(changed == 0 || changed == 2);
+}
+
+TEST(MutationTest, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (MutationOp op : kAllMutations) names.push_back(MutationName(op));
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+  std::vector<std::string> xnames;
+  for (CrossoverOp op : kAllCrossovers) xnames.push_back(CrossoverName(op));
+  std::sort(xnames.begin(), xnames.end());
+  EXPECT_TRUE(std::adjacent_find(xnames.begin(), xnames.end()) ==
+              xnames.end());
+}
+
+}  // namespace
+}  // namespace hypertree

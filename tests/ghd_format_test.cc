@@ -1,0 +1,90 @@
+#include "io/ghd_format.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+GeneralizedHypertreeDecomposition MakeGhd(const Hypergraph& h,
+                                          uint64_t seed) {
+  GhwEvaluator eval(h);
+  Rng rng(seed);
+  return eval.BuildGhd(MinFillOrdering(eval.primal(), &rng),
+                       CoverMode::kExact);
+}
+
+TEST(GhdFormatTest, RoundTrip) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Hypergraph h = RandomHypergraph(12, 14, 2, 4, seed * 3 + 1);
+    GeneralizedHypertreeDecomposition ghd = MakeGhd(h, seed);
+    std::ostringstream out;
+    WriteGhd(ghd, h, out);
+    std::istringstream in(out.str());
+    std::string error;
+    auto back = ReadGhd(in, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->NumNodes(), ghd.NumNodes());
+    EXPECT_EQ(back->Width(), ghd.Width());
+    for (int p = 0; p < ghd.NumNodes(); ++p) {
+      EXPECT_EQ(back->td().Bag(p), ghd.td().Bag(p));
+      EXPECT_EQ(back->Lambda(p), ghd.Lambda(p));
+    }
+    std::string why;
+    EXPECT_TRUE(back->IsValidFor(h, &why)) << "seed " << seed << ": " << why;
+  }
+}
+
+TEST(GhdFormatTest, HandWrittenExample) {
+  // Example 5's width-2 GHD, written by hand.
+  std::istringstream in(
+      "% by hand\n"
+      "s ghd 2 2 6 3\n"
+      "n 1 c 1 3 4 5 6 ; l 2 3\n"
+      "n 2 c 1 2 3 ; l 1\n"
+      "e 1 2\n");
+  std::string error;
+  auto ghd = ReadGhd(in, &error);
+  ASSERT_TRUE(ghd.has_value()) << error;
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({0, 4, 5});
+  h.AddEdge({2, 3, 4});
+  std::string why;
+  EXPECT_TRUE(ghd->IsValidFor(h, &why)) << why;
+  EXPECT_EQ(ghd->Width(), 2);
+}
+
+TEST(GhdFormatTest, ParseErrors) {
+  {
+    std::istringstream in("n 1 c 1 ; l 1\n");
+    std::string error;
+    EXPECT_FALSE(ReadGhd(in, &error).has_value());  // node before header
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    std::istringstream in("s ghd 1 1 2 1\nn 1 c 9 ; l 1\n");
+    EXPECT_FALSE(ReadGhd(in).has_value());  // chi out of range
+  }
+  {
+    std::istringstream in("s ghd 1 1 2 1\nn 1 c 1 ; l 5\n");
+    EXPECT_FALSE(ReadGhd(in).has_value());  // lambda out of range
+  }
+  {
+    std::istringstream in("s ghd 2 1 2 1\nn 1 c 1 ; l 1\nn 1 c 2 ; l 1\n");
+    EXPECT_FALSE(ReadGhd(in).has_value());  // duplicate node id
+  }
+  {
+    std::istringstream in("s ghd 1 1 1 1\nz\n");
+    EXPECT_FALSE(ReadGhd(in).has_value());  // unknown tag
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

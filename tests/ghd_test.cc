@@ -1,0 +1,136 @@
+#include "ghd/ghd.h"
+
+#include <gtest/gtest.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+Hypergraph Example5() {
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2}, "C1");
+  h.AddEdge({0, 4, 5}, "C2");
+  h.AddEdge({2, 3, 4}, "C3");
+  return h;
+}
+
+TEST(GhdTest, ManualWidthTwoDecomposition) {
+  // Thesis Figure 2.7: a width-2 GHD of Example 5.
+  Hypergraph h = Example5();
+  TreeDecomposition td(6);
+  int root = td.AddNode(Bitset::FromVector(6, {0, 2, 3, 4, 5}));
+  int leaf = td.AddNode(Bitset::FromVector(6, {0, 1, 2}));
+  td.AddTreeEdge(root, leaf);
+  GeneralizedHypertreeDecomposition ghd(std::move(td));
+  ghd.SetLambda(root, {1, 2});  // C2 + C3 cover {0,2,3,4,5}
+  ghd.SetLambda(leaf, {0});     // C1
+  std::string why;
+  EXPECT_TRUE(ghd.IsValidFor(h, &why)) << why;
+  EXPECT_EQ(ghd.Width(), 2);
+}
+
+TEST(GhdTest, DetectsUncoveredChi) {
+  Hypergraph h = Example5();
+  TreeDecomposition td(6);
+  int a = td.AddNode(Bitset::FromVector(6, {0, 1, 2, 3, 4, 5}));
+  GeneralizedHypertreeDecomposition ghd(std::move(td));
+  ghd.SetLambda(a, {0});  // C1 does not cover x4, x5, x6
+  std::string why;
+  EXPECT_FALSE(ghd.IsValidFor(h, &why));
+  EXPECT_NE(why.find("lambda"), std::string::npos);
+}
+
+TEST(GhdTest, CompletionAddsMissingEdges) {
+  Hypergraph h = Example5();
+  GhwEvaluator eval(h);
+  Rng rng(2);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(sigma, CoverMode::kExact);
+  ASSERT_TRUE(ghd.IsValidFor(h, nullptr));
+  int width_before = ghd.Width();
+  ghd.MakeComplete(h);
+  EXPECT_TRUE(ghd.IsComplete(h));
+  EXPECT_TRUE(ghd.IsValidFor(h, nullptr));
+  // Lemma 2: completion preserves the width.
+  EXPECT_EQ(ghd.Width(), width_before);
+}
+
+TEST(GhdTest, BuildGhdFromOrderingIsValid) {
+  Rng rng(3);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(14, 18, 2, 4, seed);
+    GhwEvaluator eval(h);
+    EliminationOrdering sigma = RandomOrdering(h.NumVertices(), &rng);
+    for (CoverMode mode : {CoverMode::kGreedy, CoverMode::kExact}) {
+      GeneralizedHypertreeDecomposition ghd = eval.BuildGhd(sigma, mode, &rng);
+      std::string why;
+      EXPECT_TRUE(ghd.IsValidFor(h, &why)) << "seed " << seed << ": " << why;
+    }
+    // With exact covers the built GHD's width equals width(sigma, H).
+    GeneralizedHypertreeDecomposition exact_ghd =
+        eval.BuildGhd(sigma, CoverMode::kExact);
+    EXPECT_EQ(exact_ghd.Width(),
+              eval.EvaluateOrdering(sigma, CoverMode::kExact));
+  }
+}
+
+TEST(GhdTest, ExactCoverNeverWiderThanGreedy) {
+  Rng rng(4);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(16, 20, 2, 5, seed + 100);
+    GhwEvaluator eval(h);
+    EliminationOrdering sigma = RandomOrdering(h.NumVertices(), &rng);
+    int exact = eval.EvaluateOrdering(sigma, CoverMode::kExact);
+    int greedy = eval.EvaluateOrdering(sigma, CoverMode::kGreedy, &rng);
+    EXPECT_LE(exact, greedy) << "seed " << seed;
+  }
+}
+
+TEST(GhdTest, SimplifyGhdPreservesValidityAndWidth) {
+  Rng rng(9);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = RandomHypergraph(14, 16, 2, 4, seed + 400);
+    GhwEvaluator eval(h);
+    GeneralizedHypertreeDecomposition ghd = eval.BuildGhd(
+        MinFillOrdering(eval.primal(), &rng), CoverMode::kExact);
+    GeneralizedHypertreeDecomposition simple = SimplifyGhd(h, ghd);
+    std::string why;
+    EXPECT_TRUE(simple.IsValidFor(h, &why)) << "seed " << seed << ": " << why;
+    EXPECT_LE(simple.Width(), ghd.Width()) << "seed " << seed;
+    EXPECT_LE(simple.NumNodes(), ghd.NumNodes()) << "seed " << seed;
+  }
+}
+
+TEST(GhdTest, SimplifySingleEdgeHypergraphToOneNode) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  GhwEvaluator eval(h);
+  Rng rng(10);
+  GeneralizedHypertreeDecomposition ghd = eval.BuildGhd(
+      MinFillOrdering(eval.primal(), &rng), CoverMode::kExact);
+  GeneralizedHypertreeDecomposition simple = SimplifyGhd(h, ghd);
+  EXPECT_EQ(simple.NumNodes(), 1);
+  EXPECT_EQ(simple.Width(), 1);
+  EXPECT_TRUE(simple.IsValidFor(h, nullptr));
+}
+
+TEST(GhdTest, AcyclicHypergraphReachesWidthOne) {
+  // ghw = 1 for alpha-acyclic hypergraphs; a good ordering realizes it.
+  Hypergraph h = RandomAcyclicHypergraph(12, 4, 9);
+  GhwEvaluator eval(h);
+  Rng rng(5);
+  int best = h.NumEdges();
+  for (int trial = 0; trial < 30; ++trial) {
+    EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+    best = std::min(best, eval.EvaluateOrdering(sigma, CoverMode::kExact));
+  }
+  EXPECT_EQ(best, 1);
+}
+
+}  // namespace
+}  // namespace hypertree

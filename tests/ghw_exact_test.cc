@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "bounds/ghw_lower_bounds.h"
+#include "ghd/astar.h"
+#include "ghd/branch_and_bound.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(GhwExactTest, KnownFamilies) {
+  // Acyclic: ghw 1.
+  {
+    Hypergraph h = RandomAcyclicHypergraph(10, 4, 1);
+    WidthResult bb = BranchAndBoundGhw(h);
+    EXPECT_TRUE(bb.exact);
+    EXPECT_EQ(bb.upper_bound, 1);
+  }
+  // Binary cycle: ghw 2.
+  {
+    Hypergraph h = CycleHypergraph(8, 2);
+    WidthResult bb = BranchAndBoundGhw(h);
+    EXPECT_TRUE(bb.exact);
+    EXPECT_EQ(bb.upper_bound, 2);
+  }
+  // clique_6 (binary edges on K6): ghw = 3 (ceil(6/2)).
+  {
+    Hypergraph h = CliqueHypergraph(6);
+    WidthResult bb = BranchAndBoundGhw(h);
+    EXPECT_TRUE(bb.exact);
+    EXPECT_EQ(bb.upper_bound, 3);
+  }
+}
+
+TEST(GhwExactTest, BbAndAStarAgree) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 17);
+    WidthResult bb = BranchAndBoundGhw(h);
+    WidthResult as = AStarGhw(h);
+    ASSERT_TRUE(bb.exact) << "seed " << seed;
+    ASSERT_TRUE(as.exact) << "seed " << seed;
+    EXPECT_EQ(bb.upper_bound, as.upper_bound) << "seed " << seed;
+  }
+}
+
+TEST(GhwExactTest, WitnessOrderingAchievesWidth) {
+  Hypergraph h = Grid2DHypergraph(3);
+  WidthResult bb = BranchAndBoundGhw(h);
+  ASSERT_TRUE(bb.exact);
+  GhwEvaluator eval(h);
+  EXPECT_EQ(eval.EvaluateOrdering(bb.best_ordering, CoverMode::kExact),
+            bb.upper_bound);
+  WidthResult as = AStarGhw(h);
+  ASSERT_TRUE(as.exact);
+  EXPECT_EQ(eval.EvaluateOrdering(as.best_ordering, CoverMode::kExact),
+            as.upper_bound);
+  EXPECT_EQ(bb.upper_bound, as.upper_bound);
+}
+
+TEST(GhwExactTest, AdderBlocksAreWidthTwo) {
+  // The gate-level adder family has ghw 2 (the thesis' best upper bounds
+  // for adder_* are 2).
+  Hypergraph h = AdderHypergraph(3);
+  WidthResult bb = BranchAndBoundGhw(h);
+  ASSERT_TRUE(bb.exact);
+  EXPECT_EQ(bb.upper_bound, 2);
+}
+
+TEST(GhwExactTest, GreedyCoverAblationNeverBetter) {
+  // With greedy covers the search loses the exactness guarantee and can
+  // only report a width >= the true ghw.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 23 + 7);
+    GhwSearchOptions greedy;
+    greedy.cover_mode = CoverMode::kGreedy;
+    WidthResult g = BranchAndBoundGhw(h, greedy);
+    WidthResult e = BranchAndBoundGhw(h);
+    ASSERT_TRUE(e.exact);
+    EXPECT_FALSE(g.exact);
+    EXPECT_GE(g.upper_bound, e.upper_bound) << "seed " << seed;
+  }
+}
+
+TEST(GhwExactTest, GreedyModeAStarBoundsAreSound) {
+  // With greedy covers the search's g-values overestimate costs; the
+  // reported lower bound must still be valid (fall back to the static
+  // bound, never the inflated f-values).
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 47 + 13);
+    WidthResult truth = BranchAndBoundGhw(h);
+    ASSERT_TRUE(truth.exact);
+    GhwSearchOptions greedy;
+    greedy.cover_mode = CoverMode::kGreedy;
+    WidthResult as = AStarGhw(h, greedy);
+    EXPECT_LE(as.lower_bound, truth.upper_bound) << "seed " << seed;
+    EXPECT_GE(as.upper_bound, truth.upper_bound) << "seed " << seed;
+  }
+}
+
+TEST(GhwExactTest, BudgetedRunReturnsBounds) {
+  Hypergraph h = Grid2DHypergraph(5);
+  GhwSearchOptions opts;
+  opts.max_nodes = 20;
+  WidthResult bb = BranchAndBoundGhw(h, opts);
+  EXPECT_LE(bb.lower_bound, bb.upper_bound);
+  WidthResult as = AStarGhw(h, opts);
+  EXPECT_LE(as.lower_bound, as.upper_bound);
+}
+
+TEST(GhwExactTest, LowerBoundNeverExceedsExactWidth) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(8, 7, 2, 4, seed + 31);
+    WidthResult bb = BranchAndBoundGhw(h);
+    ASSERT_TRUE(bb.exact);
+    Rng rng(seed);
+    EXPECT_LE(GhwLowerBound(h, &rng), bb.upper_bound) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,58 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(AlgorithmsTest, ConnectedComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  int k = 0;
+  std::vector<int> comp = ConnectedComponents(g, &k);
+  EXPECT_EQ(k, 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(AlgorithmsTest, IsConnected) {
+  EXPECT_TRUE(IsConnected(CycleGraph(5)));
+  EXPECT_TRUE(IsConnected(Graph(0)));
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(AlgorithmsTest, DegeneracyOfKnownGraphs) {
+  EXPECT_EQ(Degeneracy(PathGraph(10)), 1);
+  EXPECT_EQ(Degeneracy(CycleGraph(10)), 2);
+  EXPECT_EQ(Degeneracy(CompleteGraph(6)), 5);
+  EXPECT_EQ(Degeneracy(GridGraph(4, 4)), 2);
+}
+
+TEST(AlgorithmsTest, DegeneracyOrderHasFullLength) {
+  std::vector<int> order;
+  Degeneracy(GridGraph(3, 3), &order);
+  EXPECT_EQ(order.size(), 9u);
+}
+
+TEST(AlgorithmsTest, GreedyCliqueOnCompleteGraph) {
+  EXPECT_EQ(GreedyCliqueSize(CompleteGraph(7)), 7);
+}
+
+TEST(AlgorithmsTest, GreedyCliqueBoundsOnTriangleFree) {
+  // Mycielski graphs are triangle-free: max clique is 2.
+  EXPECT_EQ(GreedyCliqueSize(MycielskiGraph(4)), 2);
+  EXPECT_EQ(GreedyCliqueSize(CycleGraph(7)), 2);
+}
+
+}  // namespace
+}  // namespace hypertree

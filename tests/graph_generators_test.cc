@@ -1,0 +1,73 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace hypertree {
+namespace {
+
+TEST(GeneratorsTest, GridGraphShape) {
+  Graph g = GridGraph(3, 4);
+  EXPECT_EQ(g.NumVertices(), 12);
+  // Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.NumEdges(), 17);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, QueensGraphMatchesDimacs) {
+  // The DIMACS queen .col files list every edge twice, so the table's edge
+  // counts (320/580/952) are twice the simple-graph counts checked here.
+  Graph q5 = QueensGraph(5);
+  EXPECT_EQ(q5.NumVertices(), 25);
+  EXPECT_EQ(q5.NumEdges(), 160);
+  Graph q6 = QueensGraph(6);
+  EXPECT_EQ(q6.NumVertices(), 36);
+  EXPECT_EQ(q6.NumEdges(), 290);
+  Graph q7 = QueensGraph(7);
+  EXPECT_EQ(q7.NumVertices(), 49);
+  EXPECT_EQ(q7.NumEdges(), 476);
+}
+
+TEST(GeneratorsTest, MycielskiMatchesDimacs) {
+  // DIMACS myciel3: 11 vertices, 20 edges; myciel4: 23/71; myciel5: 47/236.
+  Graph m3 = MycielskiGraph(4);  // M_4 in the iterated construction
+  EXPECT_EQ(m3.NumVertices(), 11);
+  EXPECT_EQ(m3.NumEdges(), 20);
+  Graph m4 = MycielskiGraph(5);
+  EXPECT_EQ(m4.NumVertices(), 23);
+  EXPECT_EQ(m4.NumEdges(), 71);
+  Graph m5 = MycielskiGraph(6);
+  EXPECT_EQ(m5.NumVertices(), 47);
+  EXPECT_EQ(m5.NumEdges(), 236);
+}
+
+TEST(GeneratorsTest, CompleteCyclePath) {
+  EXPECT_EQ(CompleteGraph(6).NumEdges(), 15);
+  EXPECT_EQ(CycleGraph(6).NumEdges(), 6);
+  EXPECT_EQ(PathGraph(6).NumEdges(), 5);
+}
+
+TEST(GeneratorsTest, RandomGraphExactEdgeCount) {
+  Graph g = RandomGraph(50, 200, 7);
+  EXPECT_EQ(g.NumVertices(), 50);
+  EXPECT_EQ(g.NumEdges(), 200);
+}
+
+TEST(GeneratorsTest, RandomGraphDeterministicInSeed) {
+  Graph a = RandomGraph(30, 100, 11);
+  Graph b = RandomGraph(30, 100, 11);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = RandomGraph(30, 100, 12);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(GeneratorsTest, FullKTreeDegeneracyIsK) {
+  Graph g = RandomKTree(30, 4, 1.0, 3);
+  // A k-tree has degeneracy exactly k (and treewidth k).
+  EXPECT_EQ(Degeneracy(g), 4);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace hypertree

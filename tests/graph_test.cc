@@ -1,0 +1,64 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 0);
+}
+
+TEST(GraphTest, AddEdgeSymmetric) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+}
+
+TEST(GraphTest, DuplicatesAndLoopsIgnored) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, EdgesEnumeratedOnce) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 0);
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (auto [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(5);
+  g.AddEdge(2, 4);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.Neighbors(2), (std::vector<int>{0, 3, 4}));
+}
+
+TEST(GraphTest, IsClique) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.IsClique(Bitset::FromVector(5, {0, 1, 2})));
+  EXPECT_TRUE(g.IsClique(Bitset::FromVector(5, {0, 1})));
+  EXPECT_TRUE(g.IsClique(Bitset::FromVector(5, {3})));
+  EXPECT_FALSE(g.IsClique(Bitset::FromVector(5, {0, 1, 3})));
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,87 @@
+#include "hypergraph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "hypergraph/acyclicity.h"
+
+namespace hypertree {
+namespace {
+
+TEST(HypergraphGeneratorsTest, AdderShape) {
+  Hypergraph h = AdderHypergraph(10);
+  EXPECT_EQ(h.NumVertices(), 6 * 10 + 11);
+  EXPECT_EQ(h.NumEdges(), 50);  // five gates per bit
+  EXPECT_EQ(h.MaxEdgeSize(), 3);
+  EXPECT_TRUE(IsConnected(h.PrimalGraph()));
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+}
+
+TEST(HypergraphGeneratorsTest, BridgeShape) {
+  Hypergraph h = BridgeHypergraph(5);
+  EXPECT_EQ(h.NumVertices(), 16);
+  EXPECT_EQ(h.NumEdges(), 25);
+  EXPECT_EQ(h.MaxEdgeSize(), 2);
+  EXPECT_TRUE(IsConnected(h.PrimalGraph()));
+}
+
+TEST(HypergraphGeneratorsTest, CliqueShape) {
+  Hypergraph h = CliqueHypergraph(6);
+  EXPECT_EQ(h.NumVertices(), 6);
+  EXPECT_EQ(h.NumEdges(), 15);
+  EXPECT_EQ(h.PrimalGraph().NumEdges(), 15);
+}
+
+TEST(HypergraphGeneratorsTest, GridShapes) {
+  Hypergraph g2 = Grid2DHypergraph(4);
+  EXPECT_EQ(g2.NumVertices(), 16);
+  EXPECT_EQ(g2.NumEdges(), 24);
+  Hypergraph g3 = Grid3DHypergraph(3);
+  EXPECT_EQ(g3.NumVertices(), 27);
+  EXPECT_EQ(g3.NumEdges(), 54);
+}
+
+TEST(HypergraphGeneratorsTest, CycleHypergraph) {
+  Hypergraph h = CycleHypergraph(8, 3);
+  EXPECT_EQ(h.NumVertices(), 8);
+  EXPECT_EQ(h.NumEdges(), 8);
+  EXPECT_EQ(h.MaxEdgeSize(), 3);
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+}
+
+TEST(HypergraphGeneratorsTest, RandomHypergraphRespectsArity) {
+  Hypergraph h = RandomHypergraph(40, 60, 2, 5, 21);
+  EXPECT_EQ(h.NumEdges(), 60);
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    EXPECT_GE(h.EdgeSize(e), 2);
+    EXPECT_LE(h.EdgeSize(e), 5);
+  }
+}
+
+TEST(HypergraphGeneratorsTest, RandomHypergraphDeterministic) {
+  Hypergraph a = RandomHypergraph(20, 30, 2, 4, 5);
+  Hypergraph b = RandomHypergraph(20, 30, 2, 4, 5);
+  for (int e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeVertices(e), b.EdgeVertices(e));
+  }
+}
+
+TEST(HypergraphGeneratorsTest, RandomAcyclicIsAcyclic) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomAcyclicHypergraph(20, 4, seed);
+    EXPECT_TRUE(IsAlphaAcyclic(h)) << "seed " << seed;
+  }
+}
+
+TEST(HypergraphGeneratorsTest, CircuitShape) {
+  Hypergraph h = CircuitHypergraph(8, 40, 13);
+  EXPECT_EQ(h.NumVertices(), 48);
+  EXPECT_EQ(h.NumEdges(), 40);
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    EXPECT_GE(h.EdgeSize(e), 2);
+    EXPECT_LE(h.EdgeSize(e), 4);
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,80 @@
+#include "hypergraph/parser.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+TEST(HypergraphParserTest, ParseBasic) {
+  std::string text =
+      "edge1(a, b, c),\n"
+      "edge2(c, d),\n"
+      "edge3(d, e, a).\n";
+  std::string error;
+  auto h = ReadHypergraphFromString(text, &error);
+  ASSERT_TRUE(h.has_value()) << error;
+  EXPECT_EQ(h->NumVertices(), 5);
+  EXPECT_EQ(h->NumEdges(), 3);
+  EXPECT_EQ(h->EdgeName(0), "edge1");
+  EXPECT_EQ(h->VertexName(0), "a");
+  // edge3 over d, e, a -> vertex ids 3, 4, 0.
+  EXPECT_EQ(h->EdgeVertices(2), (std::vector<int>{0, 3, 4}));
+}
+
+TEST(HypergraphParserTest, SkipsComments) {
+  std::string text =
+      "% comment line\n"
+      "e(a,b),\n"
+      "# another comment\n"
+      "f(b,c).\n";
+  auto h = ReadHypergraphFromString(text);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->NumEdges(), 2);
+}
+
+TEST(HypergraphParserTest, ToleratesWhitespaceAndMissingTerminator) {
+  std::string text = "e ( a , b )\nf(b,c)";
+  auto h = ReadHypergraphFromString(text);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->NumEdges(), 2);
+  EXPECT_EQ(h->NumVertices(), 3);
+}
+
+TEST(HypergraphParserTest, RejectsMissingParen) {
+  std::string error;
+  EXPECT_FALSE(ReadHypergraphFromString("edge a, b).", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HypergraphParserTest, RejectsEmpty) {
+  std::string error;
+  EXPECT_FALSE(ReadHypergraphFromString("", &error).has_value());
+}
+
+TEST(HypergraphParserTest, RoundTrip) {
+  std::string text = "c1(x1,x2,x3),\nc2(x1,x5,x6),\nc3(x3,x4,x5).\n";
+  auto h = ReadHypergraphFromString(text);
+  ASSERT_TRUE(h.has_value());
+  std::ostringstream out;
+  WriteHypergraph(*h, out);
+  auto back = ReadHypergraphFromString(out.str());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumVertices(), h->NumVertices());
+  EXPECT_EQ(back->NumEdges(), h->NumEdges());
+  for (int e = 0; e < h->NumEdges(); ++e) {
+    EXPECT_EQ(back->EdgeVertices(e), h->EdgeVertices(e));
+    EXPECT_EQ(back->EdgeName(e), h->EdgeName(e));
+  }
+}
+
+TEST(HypergraphParserTest, StreamOverload) {
+  std::istringstream in("a(x,y), b(y,z).");
+  auto h = ReadHypergraph(in);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->NumEdges(), 2);
+}
+
+}  // namespace
+}  // namespace hypertree

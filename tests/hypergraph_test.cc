@@ -1,0 +1,89 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hypertree {
+namespace {
+
+Hypergraph Example5Hypergraph() {
+  // Thesis Example 5: x1..x6, edges {x1,x2,x3}, {x1,x5,x6}, {x3,x4,x5}.
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2}, "C1");
+  h.AddEdge({0, 4, 5}, "C2");
+  h.AddEdge({2, 3, 4}, "C3");
+  return h;
+}
+
+TEST(HypergraphTest, BasicAccessors) {
+  Hypergraph h = Example5Hypergraph();
+  EXPECT_EQ(h.NumVertices(), 6);
+  EXPECT_EQ(h.NumEdges(), 3);
+  EXPECT_EQ(h.EdgeVertices(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(h.EdgeSize(1), 3);
+  EXPECT_EQ(h.MaxEdgeSize(), 3);
+  EXPECT_EQ(h.EdgeName(2), "C3");
+}
+
+TEST(HypergraphTest, IncidentEdges) {
+  Hypergraph h = Example5Hypergraph();
+  EXPECT_EQ(h.IncidentEdges(0), (std::vector<int>{0, 1}));  // x1 in C1, C2
+  EXPECT_EQ(h.IncidentEdges(3), (std::vector<int>{2}));     // x4 in C3
+  EXPECT_EQ(h.VertexDegree(2), 2);
+}
+
+TEST(HypergraphTest, PrimalGraph) {
+  Hypergraph h = Example5Hypergraph();
+  Graph p = h.PrimalGraph();
+  EXPECT_EQ(p.NumVertices(), 6);
+  // Each size-3 edge contributes a triangle; edges overlap in vertices but
+  // not pairs, so 9 distinct primal edges.
+  EXPECT_EQ(p.NumEdges(), 9);
+  EXPECT_TRUE(p.HasEdge(0, 1));
+  EXPECT_TRUE(p.HasEdge(4, 5));
+  EXPECT_FALSE(p.HasEdge(1, 3));
+}
+
+TEST(HypergraphTest, DualGraph) {
+  Hypergraph h = Example5Hypergraph();
+  Graph d = h.DualGraph();
+  EXPECT_EQ(d.NumVertices(), 3);
+  // All three edges pairwise share a vertex.
+  EXPECT_EQ(d.NumEdges(), 3);
+}
+
+TEST(HypergraphTest, InducedSubhypergraph) {
+  Hypergraph h = Example5Hypergraph();
+  Bitset keep = Bitset::FromVector(6, {0, 1, 2, 3});
+  std::vector<int> origin;
+  Hypergraph sub = h.InducedSubhypergraph(keep, &origin);
+  // C2 restricted to {x1}; C3 restricted to {x3, x4}.
+  EXPECT_EQ(sub.NumEdges(), 3);
+  EXPECT_EQ(origin, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sub.EdgeVertices(1), (std::vector<int>{0}));
+  EXPECT_EQ(sub.EdgeVertices(2), (std::vector<int>{2, 3}));
+}
+
+TEST(HypergraphTest, InducedDropsEmptyEdges) {
+  Hypergraph h = Example5Hypergraph();
+  Bitset keep = Bitset::FromVector(6, {1, 2});
+  std::vector<int> origin;
+  Hypergraph sub = h.InducedSubhypergraph(keep, &origin);
+  EXPECT_EQ(sub.NumEdges(), 2);  // C2 = {x5,x6,x1} loses all kept vertices?
+  // C1 -> {1,2}; C2 -> {} dropped; C3 -> {2}.
+  EXPECT_EQ(origin, (std::vector<int>{0, 2}));
+}
+
+TEST(HypergraphTest, FromGraph) {
+  Graph g = CycleGraph(4);
+  Hypergraph h = HypergraphFromGraph(g);
+  EXPECT_EQ(h.NumVertices(), 4);
+  EXPECT_EQ(h.NumEdges(), 4);
+  EXPECT_EQ(h.MaxEdgeSize(), 2);
+  Graph back = h.PrimalGraph();
+  EXPECT_EQ(back.Edges(), g.Edges());
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,106 @@
+// End-to-end pipelines across modules: parse -> decompose -> validate ->
+// solve, mirroring how a downstream user consumes the library.
+
+#include <gtest/gtest.h>
+
+#include "csp/decomposition_solving.h"
+#include "csp/generators.h"
+#include "ga/ga_ghw.h"
+#include "ghd/astar.h"
+#include "ghd/branch_and_bound.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/parser.h"
+#include "ordering/heuristics.h"
+#include "td/astar.h"
+#include "td/branch_and_bound.h"
+#include "td/tree_decomposition.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+constexpr char kInstance[] = R"(
+% a small cyclic CSP instance in HyperBench format
+c1(x1, x2, x3),
+c2(x1, x5, x6),
+c3(x3, x4, x5),
+c4(x2, x4).
+)";
+
+TEST(IntegrationTest, ParseDecomposeValidateSolve) {
+  std::string error;
+  auto h = ReadHypergraphFromString(kInstance, &error);
+  ASSERT_TRUE(h.has_value()) << error;
+  ASSERT_EQ(h->NumVertices(), 6);
+  ASSERT_EQ(h->NumEdges(), 4);
+
+  // Exact ghw via both searches.
+  WidthResult bb = BranchAndBoundGhw(*h);
+  WidthResult as = AStarGhw(*h);
+  ASSERT_TRUE(bb.exact && as.exact);
+  EXPECT_EQ(bb.upper_bound, as.upper_bound);
+
+  // Materialize the witness decomposition and check it.
+  GhwEvaluator eval(*h);
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(bb.best_ordering, CoverMode::kExact);
+  std::string why;
+  ASSERT_TRUE(ghd.IsValidFor(*h, &why)) << why;
+  EXPECT_EQ(ghd.Width(), bb.upper_bound);
+
+  // Attach a planted CSP and solve it through the decomposition.
+  Csp csp = RandomCspFromHypergraph(*h, 3, 0.2, /*plant_solution=*/true, 7);
+  auto solution = SolveViaGhd(csp, ghd);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(IntegrationTest, TreewidthPipelineOnColoring) {
+  // Color a wheel-ish graph via its optimal tree decomposition.
+  Graph g(6);
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);
+    g.AddEdge(i, 5);  // hub
+  }
+  WidthResult tw = AStarTreewidth(g);
+  ASSERT_TRUE(tw.exact);
+  EXPECT_EQ(tw.upper_bound, 3);  // wheel W5: treewidth 3
+  TreeDecomposition td = TreeDecompositionFromOrdering(g, tw.best_ordering);
+  ASSERT_TRUE(td.IsValidFor(g, nullptr));
+  EXPECT_EQ(td.Width(), 3);
+  Csp csp = GraphColoringCsp(g, 4);
+  auto solution = SolveViaTreeDecomposition(csp, td);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(IntegrationTest, GaSeedsExactSearch) {
+  // Use the GA's upper bound to prime BB-ghw (a standard pipeline).
+  Hypergraph h = RandomHypergraph(12, 13, 2, 4, 5);
+  GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.max_iterations = 30;
+  cfg.seed = 3;
+  GaResult ga = GaGhw(h, cfg, CoverMode::kExact);
+  GhwSearchOptions opts;
+  opts.initial_upper_bound = ga.best_fitness;
+  WidthResult bb = BranchAndBoundGhw(h, opts);
+  ASSERT_TRUE(bb.exact);
+  EXPECT_LE(bb.upper_bound, ga.best_fitness);
+}
+
+TEST(IntegrationTest, WidthMeasuresConsistentOnOneInstance) {
+  auto h = ReadHypergraphFromString(kInstance);
+  ASSERT_TRUE(h.has_value());
+  WidthResult ghw = BranchAndBoundGhw(*h);
+  WidthResult hw = HypertreeWidth(*h);
+  WidthResult tw = BranchAndBoundTreewidth(h->PrimalGraph());
+  ASSERT_TRUE(ghw.exact && hw.exact && tw.exact);
+  EXPECT_LE(ghw.upper_bound, hw.upper_bound);
+  EXPECT_LE(hw.upper_bound, tw.upper_bound + 1);
+}
+
+}  // namespace
+}  // namespace hypertree

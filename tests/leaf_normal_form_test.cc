@@ -1,0 +1,99 @@
+#include "td/leaf_normal_form.h"
+
+#include <gtest/gtest.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/bucket_elimination.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+// Checks Theorem 1's contract: every LNF bag is inside some original bag.
+void ExpectBagsContained(const TreeDecomposition& original,
+                         const LeafNormalForm& lnf) {
+  for (int p = 0; p < lnf.td.NumNodes(); ++p) {
+    bool contained = false;
+    for (int q = 0; q < original.NumNodes() && !contained; ++q) {
+      contained = lnf.td.Bag(p).IsSubsetOf(original.Bag(q));
+    }
+    EXPECT_TRUE(contained) << "LNF bag " << lnf.td.Bag(p).ToString()
+                           << " not inside any original bag";
+  }
+}
+
+class LnfSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LnfSweepTest, TransformProducesValidLeafNormalForm) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  Hypergraph h = RandomHypergraph(12, 14, 2, 4, seed * 31 + 5);
+  Graph primal = h.PrimalGraph();
+  TreeDecomposition td =
+      TreeDecompositionFromOrdering(primal, MinFillOrdering(primal, &rng));
+  ASSERT_TRUE(td.IsValidForHypergraph(h, nullptr));
+  LeafNormalForm lnf = TransformLeafNormalForm(h, td);
+  std::string why;
+  EXPECT_TRUE(lnf.td.IsValidForHypergraph(h, &why)) << why;
+  EXPECT_TRUE(IsLeafNormalForm(h, lnf));
+  ExpectBagsContained(td, lnf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LnfSweepTest, ::testing::Range(0, 12));
+
+TEST(LnfTest, SingleEdgeHypergraph) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1, 2});
+  TreeDecomposition td(3);
+  td.AddNode(Bitset::FromVector(3, {0, 1, 2}));
+  LeafNormalForm lnf = TransformLeafNormalForm(h, td);
+  EXPECT_TRUE(lnf.td.IsValidForHypergraph(h, nullptr));
+  EXPECT_TRUE(IsLeafNormalForm(h, lnf));
+}
+
+TEST(LnfTest, OrderingFromLnfRespectsDcaDepths) {
+  // Lemma 13: bucket-eliminating the dca-depth ordering keeps every bag
+  // inside some original bag, hence width does not increase.
+  Rng rng(3);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomHypergraph(14, 16, 2, 4, seed);
+    Graph primal = h.PrimalGraph();
+    TreeDecomposition td =
+        TreeDecompositionFromOrdering(primal, MinFillOrdering(primal, &rng));
+    EliminationOrdering sigma = OrderingFromTreeDecomposition(h, td);
+    ASSERT_TRUE(IsValidOrdering(sigma, h.NumVertices()));
+    EliminationTree t = BucketEliminate(primal, sigma);
+    for (int v = 0; v < h.NumVertices(); ++v) {
+      bool contained = false;
+      for (int q = 0; q < td.NumNodes() && !contained; ++q) {
+        contained = t.bags[v].IsSubsetOf(td.Bag(q));
+      }
+      EXPECT_TRUE(contained)
+          << "seed " << seed << ": derived bag " << t.bags[v].ToString()
+          << " escapes the original decomposition";
+    }
+    EXPECT_LE(t.width, td.Width());
+  }
+}
+
+TEST(LnfTest, OrderingRecoversGhwOnExample) {
+  // Theorem 2 in action: starting from a width-2 GHD-ish decomposition of
+  // the thesis Example 5 hypergraph, the derived ordering achieves
+  // width(sigma, H) <= 2.
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({0, 4, 5});
+  h.AddEdge({2, 3, 4});
+  Graph primal = h.PrimalGraph();
+  Rng rng(4);
+  TreeDecomposition td =
+      TreeDecompositionFromOrdering(primal, MinFillOrdering(primal, &rng));
+  EliminationOrdering sigma = OrderingFromTreeDecomposition(h, td);
+  GhwEvaluator eval(h);
+  EXPECT_LE(eval.EvaluateOrdering(sigma, CoverMode::kExact), 2);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,77 @@
+#include "bounds/lower_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "bounds/ghw_lower_bounds.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+
+namespace hypertree {
+namespace {
+
+TEST(LowerBoundsTest, KnownValues) {
+  Rng rng(1);
+  EXPECT_EQ(MinorMinWidthLowerBound(PathGraph(10), &rng), 1);
+  EXPECT_EQ(MinorMinWidthLowerBound(CycleGraph(10), &rng), 2);
+  EXPECT_EQ(MinorMinWidthLowerBound(CompleteGraph(7), &rng), 6);
+  // Grids: minor-min-width gives at least 2 on an n x n grid.
+  EXPECT_GE(MinorMinWidthLowerBound(GridGraph(5, 5), &rng), 2);
+}
+
+TEST(LowerBoundsTest, GammaROnCompleteGraph) {
+  Rng rng(2);
+  EXPECT_EQ(MinorGammaRLowerBound(CompleteGraph(6), &rng), 5);
+}
+
+TEST(LowerBoundsTest, LowerBoundNeverExceedsUpperBound) {
+  Rng rng(3);
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = RandomGraph(20, 5 + static_cast<int>(seed) * 10, seed);
+    int lb = TreewidthLowerBound(g, &rng);
+    int ub = EvaluateOrderingWidth(g, MinFillOrdering(g, &rng));
+    EXPECT_LE(lb, ub) << "seed " << seed;
+    EXPECT_GE(lb, 0);
+  }
+}
+
+TEST(LowerBoundsTest, KTreeSandwich) {
+  // For a full k-tree, treewidth is exactly k: bounds must bracket it.
+  Rng rng(4);
+  for (int k : {2, 3, 5}) {
+    Graph g = RandomKTree(30, k, 1.0, 77 + k);
+    int lb = TreewidthLowerBound(g, &rng);
+    int ub = EvaluateOrderingWidth(g, MinFillOrdering(g, &rng));
+    EXPECT_LE(lb, k);
+    EXPECT_EQ(ub, k);  // chordal: min-fill is optimal
+    EXPECT_GE(lb, k / 2);  // contraction bounds are reasonably tight here
+  }
+}
+
+TEST(GhwLowerBoundsTest, AcyclicIsOne) {
+  Hypergraph h = RandomAcyclicHypergraph(15, 4, 3);
+  EXPECT_EQ(GhwLowerBound(h), 1);
+}
+
+TEST(GhwLowerBoundsTest, CyclicAtLeastTwo) {
+  Rng rng(5);
+  EXPECT_GE(GhwLowerBound(Grid2DHypergraph(4), &rng), 2);
+  EXPECT_GE(GhwLowerBound(CycleHypergraph(9, 2), &rng), 2);
+  EXPECT_GE(GhwLowerBound(AdderHypergraph(5), &rng), 2);
+}
+
+TEST(GhwLowerBoundsTest, TwKscOnCliqueHypergraph) {
+  // clique_n has tw = n-1 and binary edges: tw-ksc gives ceil(n/2).
+  Rng rng(6);
+  Hypergraph h = CliqueHypergraph(10);
+  EXPECT_GE(TwKscGhwLowerBound(h, &rng), 5);
+}
+
+TEST(GhwLowerBoundsTest, EmptyHypergraph) {
+  Hypergraph h(0);
+  EXPECT_EQ(GhwLowerBound(h), 0);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,114 @@
+#include "td/nice_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+// Brute-force maximum independent set for cross-checking (n <= ~20).
+int BruteForceMis(const Graph& g) {
+  int n = g.NumVertices();
+  int best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool independent = true;
+    for (int u = 0; u < n && independent; ++u) {
+      if (!((mask >> u) & 1)) continue;
+      for (int v = u + 1; v < n && independent; ++v) {
+        if (((mask >> v) & 1) && g.HasEdge(u, v)) independent = false;
+      }
+    }
+    if (independent) best = std::max(best, __builtin_popcount(mask));
+  }
+  return best;
+}
+
+TreeDecomposition Decompose(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  return TreeDecompositionFromOrdering(g, MinFillOrdering(g, &rng));
+}
+
+TEST(NiceDecompositionTest, MakeNicePreservesWidthAndValidity) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(15, 35, seed);
+    TreeDecomposition td = Decompose(g, seed);
+    NiceTreeDecomposition nice = MakeNice(td);
+    std::string why;
+    EXPECT_TRUE(nice.IsValidFor(g, &why)) << "seed " << seed << ": " << why;
+    EXPECT_EQ(nice.Width(), td.Width()) << "seed " << seed;
+  }
+}
+
+TEST(NiceDecompositionTest, RootBagIsEmpty) {
+  Graph g = GridGraph(3, 3);
+  NiceTreeDecomposition nice = MakeNice(Decompose(g, 3));
+  EXPECT_TRUE(nice.GetNode(nice.root()).bag.None());
+}
+
+TEST(NiceDecompositionTest, SingleVertexGraph) {
+  Graph g(1);
+  NiceTreeDecomposition nice = MakeNice(Decompose(g, 1));
+  EXPECT_TRUE(nice.IsValidFor(g, nullptr));
+  EXPECT_EQ(MaxIndependentSet(g, nice), 1);
+}
+
+TEST(NiceDecompositionTest, MisOnKnownGraphs) {
+  struct Case {
+    Graph g;
+    int mis;
+  };
+  std::vector<Case> cases;
+  cases.push_back({PathGraph(7), 4});
+  cases.push_back({CycleGraph(7), 3});
+  cases.push_back({CompleteGraph(6), 1});
+  cases.push_back({GridGraph(3, 3), 5});
+  for (auto& c : cases) {
+    NiceTreeDecomposition nice = MakeNice(Decompose(c.g, 5));
+    std::vector<int> witness;
+    EXPECT_EQ(MaxIndependentSet(c.g, nice, &witness), c.mis) << c.g.name();
+    // Witness really is independent and of the right size.
+    EXPECT_EQ(static_cast<int>(witness.size()), c.mis);
+    for (size_t i = 0; i < witness.size(); ++i) {
+      for (size_t j = i + 1; j < witness.size(); ++j) {
+        EXPECT_FALSE(c.g.HasEdge(witness[i], witness[j]));
+      }
+    }
+  }
+}
+
+class MisAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisAgreementTest, DpMatchesBruteForce) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  int n = 8 + rng.UniformInt(8);
+  int m = rng.UniformInt(n * (n - 1) / 2 + 1);
+  Graph g = RandomGraph(n, m, seed * 3 + 1);
+  NiceTreeDecomposition nice = MakeNice(Decompose(g, seed));
+  ASSERT_TRUE(nice.IsValidFor(g, nullptr));
+  std::vector<int> witness;
+  int dp = MaxIndependentSet(g, nice, &witness);
+  EXPECT_EQ(dp, BruteForceMis(g)) << "seed " << seed;
+  for (size_t i = 0; i < witness.size(); ++i) {
+    for (size_t j = i + 1; j < witness.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(witness[i], witness[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisAgreementTest, ::testing::Range(0, 15));
+
+TEST(NiceDecompositionTest, DisconnectedGraph) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  NiceTreeDecomposition nice = MakeNice(Decompose(g, 7));
+  EXPECT_TRUE(nice.IsValidFor(g, nullptr));
+  EXPECT_EQ(MaxIndependentSet(g, nice), 4);  // one of each pair + 2 isolated
+}
+
+}  // namespace
+}  // namespace hypertree

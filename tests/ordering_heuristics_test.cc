@@ -1,0 +1,76 @@
+#include "ordering/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ordering/evaluator.h"
+
+namespace hypertree {
+namespace {
+
+class HeuristicSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicSweepTest, AllHeuristicsReturnValidOrderings) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  Graph g = RandomGraph(25, 60, seed * 7 + 1);
+  int n = g.NumVertices();
+  EXPECT_TRUE(IsValidOrdering(MinFillOrdering(g, &rng), n));
+  EXPECT_TRUE(IsValidOrdering(MinDegreeOrdering(g, &rng), n));
+  EXPECT_TRUE(IsValidOrdering(MinWidthOrdering(g, &rng), n));
+  EXPECT_TRUE(IsValidOrdering(McsOrdering(g, &rng), n));
+  EXPECT_TRUE(IsValidOrdering(RandomOrdering(n, &rng), n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicSweepTest, ::testing::Range(0, 8));
+
+TEST(HeuristicsTest, MinFillOptimalOnPath) {
+  Rng rng(1);
+  Graph g = PathGraph(10);
+  EXPECT_EQ(EvaluateOrderingWidth(g, MinFillOrdering(g, &rng)), 1);
+}
+
+TEST(HeuristicsTest, MinFillOptimalOnChordal) {
+  // Full k-trees are chordal: min-fill finds a perfect elimination
+  // ordering with width exactly k.
+  Rng rng(2);
+  Graph g = RandomKTree(40, 3, 1.0, 9);
+  EXPECT_EQ(EvaluateOrderingWidth(g, MinFillOrdering(g, &rng)), 3);
+}
+
+TEST(HeuristicsTest, McsOptimalOnChordal) {
+  // MCS yields a perfect elimination ordering on chordal graphs.
+  Rng rng(3);
+  Graph g = RandomKTree(40, 4, 1.0, 10);
+  EXPECT_EQ(EvaluateOrderingWidth(g, McsOrdering(g, &rng)), 4);
+}
+
+TEST(HeuristicsTest, MinFillBeatsRandomOnGrids) {
+  Rng rng(4);
+  Graph g = GridGraph(8, 8);
+  int fill = EvaluateOrderingWidth(g, MinFillOrdering(g, &rng));
+  int worst_random = 0;
+  for (int i = 0; i < 5; ++i) {
+    worst_random = std::max(
+        worst_random, EvaluateOrderingWidth(g, RandomOrdering(64, &rng)));
+  }
+  EXPECT_LE(fill, worst_random);
+  EXPECT_LE(fill, 12);  // min-fill is near-optimal on grids (tw = 8)
+  EXPECT_GE(fill, 8);
+}
+
+TEST(HeuristicsTest, DeterministicWithoutRng) {
+  Graph g = GridGraph(5, 5);
+  EXPECT_EQ(MinFillOrdering(g, nullptr), MinFillOrdering(g, nullptr));
+  EXPECT_EQ(MinDegreeOrdering(g, nullptr), MinDegreeOrdering(g, nullptr));
+}
+
+TEST(HeuristicsTest, CompleteGraphAnyOrderingSameWidth) {
+  Rng rng(5);
+  Graph g = CompleteGraph(8);
+  EXPECT_EQ(EvaluateOrderingWidth(g, MinFillOrdering(g, &rng)), 7);
+  EXPECT_EQ(EvaluateOrderingWidth(g, RandomOrdering(8, &rng)), 7);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,81 @@
+#include "ordering/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ordering/bucket_elimination.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(OrderingTest, Validity) {
+  EXPECT_TRUE(IsValidOrdering({2, 0, 1}, 3));
+  EXPECT_FALSE(IsValidOrdering({0, 0, 1}, 3));
+  EXPECT_FALSE(IsValidOrdering({0, 1}, 3));
+  EXPECT_FALSE(IsValidOrdering({0, 1, 3}, 3));
+  EXPECT_TRUE(IsValidOrdering({}, 0));
+}
+
+TEST(OrderingTest, Positions) {
+  std::vector<int> pos = OrderingPositions({2, 0, 1});
+  EXPECT_EQ(pos[2], 0);
+  EXPECT_EQ(pos[0], 1);
+  EXPECT_EQ(pos[1], 2);
+}
+
+TEST(BucketEliminationTest, PathGraphWidthOne) {
+  Graph g = PathGraph(5);
+  EliminationOrdering sigma = {0, 1, 2, 3, 4};
+  EliminationTree t = BucketEliminate(g, sigma);
+  EXPECT_EQ(t.width, 1);
+  // Bag of the first eliminated vertex (position 4) is {3, 4}.
+  EXPECT_EQ(t.bags[4].ToVector(), (std::vector<int>{3, 4}));
+  EXPECT_EQ(t.parent[4], 3);
+}
+
+TEST(BucketEliminationTest, BadOrderingOnStar) {
+  // Eliminating the star center first creates a clique of the leaves.
+  Graph g(5);
+  for (int leaf = 1; leaf < 5; ++leaf) g.AddEdge(0, leaf);
+  EliminationTree bad = BucketEliminate(g, {1, 2, 3, 4, 0});
+  EXPECT_EQ(bad.width, 4);
+  EliminationTree good = BucketEliminate(g, {0, 1, 2, 3, 4});
+  EXPECT_EQ(good.width, 1);
+}
+
+TEST(BucketEliminationTest, ThesisFigure211) {
+  // Hypergraph of Figure 2.11: primal edges of hyperedges {x1,x2,x3},
+  // {x1,x5,x6}, {x3,x4,x5}; ordering sigma = (x6, x5, x4, x3, x2, x1)
+  // eliminates x1 first. Vertex ids: x1=0 ... x6=5.
+  Graph g(6);
+  int tri1[] = {0, 1, 2}, tri2[] = {0, 4, 5}, tri3[] = {2, 3, 4};
+  for (auto tri : {tri1, tri2, tri3}) {
+    g.AddEdge(tri[0], tri[1]);
+    g.AddEdge(tri[0], tri[2]);
+    g.AddEdge(tri[1], tri[2]);
+  }
+  EliminationOrdering sigma = {5, 4, 3, 2, 1, 0};
+  EliminationTree t = BucketEliminate(g, sigma);
+  // x1 is eliminated first: bag = {x1} + neighbors {x2, x3, x5, x6}.
+  EXPECT_EQ(t.bags[0].ToVector(), (std::vector<int>{0, 1, 2, 4, 5}));
+  // Figure 2.11(b): the widest bag has 5 vertices (width 4).
+  EXPECT_EQ(t.width, 4);
+}
+
+TEST(BucketEliminationTest, ParentsPointToLaterEliminated) {
+  Graph g = GridGraph(3, 3);
+  Rng rng(3);
+  EliminationOrdering sigma = rng.Permutation(9);
+  EliminationTree t = BucketEliminate(g, sigma);
+  std::vector<int> pos = OrderingPositions(sigma);
+  for (int v = 0; v < 9; ++v) {
+    if (t.parent[v] != -1) {
+      EXPECT_LT(pos[t.parent[v]], pos[v]);
+      EXPECT_TRUE(t.bags[v].Test(t.parent[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,89 @@
+#include "td/pace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(PaceTest, GraphRoundTrip) {
+  Graph g = QueensGraph(4);
+  std::ostringstream out;
+  WritePaceGraph(g, out);
+  std::istringstream in(out.str());
+  std::string error;
+  auto back = ReadPaceGraph(in, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->NumVertices(), g.NumVertices());
+  EXPECT_EQ(back->Edges(), g.Edges());
+}
+
+TEST(PaceTest, GraphParseErrors) {
+  {
+    std::istringstream in("1 2\n");
+    EXPECT_FALSE(ReadPaceGraph(in).has_value());  // edge before header
+  }
+  {
+    std::istringstream in("p tw 2 1\n1 9\n");
+    EXPECT_FALSE(ReadPaceGraph(in).has_value());  // out of range
+  }
+  {
+    std::istringstream in("p cep 2 1\n");
+    EXPECT_FALSE(ReadPaceGraph(in).has_value());  // wrong kind
+  }
+}
+
+TEST(PaceTest, TreeDecompositionRoundTrip) {
+  Graph g = GridGraph(4, 4);
+  Rng rng(1);
+  TreeDecomposition td = TreeDecompositionFromOrdering(g, MinFillOrdering(g, &rng));
+  ASSERT_TRUE(td.IsValidFor(g, nullptr));
+  std::ostringstream out;
+  WritePaceTreeDecomposition(td, out);
+  std::istringstream in(out.str());
+  std::string error;
+  auto back = ReadPaceTreeDecomposition(in, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->NumNodes(), td.NumNodes());
+  EXPECT_EQ(back->Width(), td.Width());
+  std::string why;
+  EXPECT_TRUE(back->IsValidFor(g, &why)) << why;
+}
+
+TEST(PaceTest, TdExampleFromSpec) {
+  // A hand-written .td for the path 1-2-3 (PACE's 1-based ids).
+  std::istringstream in(
+      "c example\n"
+      "s td 2 2 3\n"
+      "b 1 1 2\n"
+      "b 2 2 3\n"
+      "1 2\n");
+  auto td = ReadPaceTreeDecomposition(in);
+  ASSERT_TRUE(td.has_value());
+  Graph path = PathGraph(3);
+  EXPECT_TRUE(td->IsValidFor(path, nullptr));
+  EXPECT_EQ(td->Width(), 1);
+}
+
+TEST(PaceTest, TdParseErrors) {
+  {
+    std::istringstream in("b 1 1\n");
+    EXPECT_FALSE(ReadPaceTreeDecomposition(in).has_value());
+  }
+  {
+    std::istringstream in("s td 1 1 2\nb 1 5\n");
+    EXPECT_FALSE(ReadPaceTreeDecomposition(in).has_value());
+  }
+  {
+    std::istringstream in("s td 2 1 2\nb 1 1\nb 1 2\n");
+    EXPECT_FALSE(ReadPaceTreeDecomposition(in).has_value());  // dup bag id
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,106 @@
+// Robustness sweeps for the input parsers: malformed and randomly mangled
+// inputs must fail cleanly (error + nullopt), never crash, and valid
+// inputs must survive mangling-neutral edits.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/dimacs.h"
+#include "hypergraph/parser.h"
+#include "td/pace.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(ParserRobustnessTest, HypergraphGarbageInputs) {
+  const char* inputs[] = {
+      "(",
+      ")",
+      "()",
+      "a(",
+      "a()",
+      "a(b))",
+      "a(b),(",
+      "a(b,c), d",
+      "...",
+      ",,,",
+      "a(b) c(d",
+      "0^&(x)",
+  };
+  for (const char* text : inputs) {
+    std::string error;
+    auto h = ReadHypergraphFromString(text, &error);
+    if (!h.has_value()) {
+      EXPECT_FALSE(error.empty()) << "input: " << text;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomMangledHypergraphs) {
+  Rng rng(5);
+  std::string base = "edge1(a,b,c),\nedge2(c,d),\nedge3(d,e,a).";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mangled = base;
+    int edits = 1 + rng.UniformInt(4);
+    for (int e = 0; e < edits; ++e) {
+      int pos = rng.UniformInt(static_cast<int>(mangled.size()));
+      char c = static_cast<char>(32 + rng.UniformInt(95));
+      if (rng.Bernoulli(0.5)) {
+        mangled[pos] = c;
+      } else {
+        mangled.erase(pos, 1);
+      }
+    }
+    std::string error;
+    auto h = ReadHypergraphFromString(mangled, &error);  // must not crash
+    if (h.has_value()) {
+      EXPECT_GE(h->NumEdges(), 1);
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DimacsGarbageInputs) {
+  const char* inputs[] = {
+      "p edge\n", "p edge -1 0\n", "p edge 2 1\ne 0 1\n",
+      "p edge 2 1\ne a b\n", "x 1 2\n", "p edge 1 0\np edge 2 0\n",
+  };
+  for (const char* text : inputs) {
+    std::istringstream in(text);
+    std::string error;
+    auto g = ReadDimacsGraph(in, &error);
+    // "p edge 1 0 / p edge 2 0" re-parses the header; anything goes as
+    // long as it does not crash. For the clearly bad ones expect failure.
+    if (!g.has_value()) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, PaceTdGarbageInputs) {
+  const char* inputs[] = {
+      "s td\n", "s td 1 1\n", "s td 1 1 1\nb 2 1\n",
+      "s td 2 1 2\nb 1 1\nb 2 2\n9 9\n", "s td 1 1 1\nb 1 1\nx\n",
+  };
+  for (const char* text : inputs) {
+    std::istringstream in(text);
+    std::string error;
+    auto td = ReadPaceTreeDecomposition(in, &error);
+    if (!td.has_value()) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, LongIdentifiers) {
+  std::string big(5000, 'x');
+  std::string text = "e(" + big + "," + big + "y).";
+  auto h = ReadHypergraphFromString(text);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->NumVertices(), 2);
+  EXPECT_EQ(h->VertexName(0).size(), 5000u);
+}
+
+}  // namespace
+}  // namespace hypertree

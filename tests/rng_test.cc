@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(123), c2(124);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c2.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    int v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[v];
+  }
+  // Every bucket should be hit a reasonable number of times.
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformRange(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    lo_seen |= v == 3;
+    hi_seen |= v == 5;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(13);
+  for (int n : {1, 2, 10, 100}) {
+    std::vector<int> p = rng.Permutation(n);
+    std::vector<int> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.Gaussian();
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,103 @@
+// Ablation checks for the search machinery (DESIGN.md §4): the pruning
+// and reduction features must not change results, and should not expand
+// more nodes than the ablated searches.
+
+#include <gtest/gtest.h>
+
+#include "ghd/astar.h"
+#include "ghd/branch_and_bound.h"
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "td/astar.h"
+#include "td/branch_and_bound.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+class BbAblationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BbAblationTest, Pr2AndReductionsPreserveTreewidth) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  int n = 8 + rng.UniformInt(5);
+  Graph g = RandomGraph(n, 2 * n, seed + 77);
+  int reference = -1;
+  for (bool pr2 : {false, true}) {
+    for (bool simplicial : {false, true}) {
+      SearchOptions opts;
+      opts.use_pr2 = pr2;
+      opts.use_simplicial_reduction = simplicial;
+      WidthResult res = BranchAndBoundTreewidth(g, opts);
+      ASSERT_TRUE(res.exact);
+      if (reference == -1) reference = res.upper_bound;
+      EXPECT_EQ(res.upper_bound, reference)
+          << "seed " << seed << " pr2=" << pr2 << " simp=" << simplicial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BbAblationTest, ::testing::Range(0, 10));
+
+TEST(SearchAblationTest, Pr2ShrinksTheSearchTree) {
+  // On symmetric instances the swap rule must cut nodes, never add them.
+  for (const Graph& g : {GridGraph(4, 4), CycleGraph(12)}) {
+    SearchOptions with;
+    SearchOptions without;
+    without.use_pr2 = false;
+    // Disable the other reduction so only PR2 varies.
+    with.use_simplicial_reduction = false;
+    without.use_simplicial_reduction = false;
+    WidthResult a = BranchAndBoundTreewidth(g, with);
+    WidthResult b = BranchAndBoundTreewidth(g, without);
+    ASSERT_TRUE(a.exact && b.exact);
+    EXPECT_EQ(a.upper_bound, b.upper_bound);
+    EXPECT_LE(a.nodes, b.nodes) << g.name();
+  }
+}
+
+TEST(SearchAblationTest, DuplicateDetectionShrinksAStar) {
+  Graph g = GridGraph(4, 4);
+  SearchOptions with;
+  SearchOptions without;
+  without.use_duplicate_detection = false;
+  WidthResult a = AStarTreewidth(g, with);
+  WidthResult b = AStarTreewidth(g, without);
+  ASSERT_TRUE(a.exact && b.exact);
+  EXPECT_EQ(a.upper_bound, b.upper_bound);
+  EXPECT_LE(a.nodes, b.nodes);
+}
+
+class GhwAblationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhwAblationTest, Pr2PreservesGhw) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(9, 9, 2, 4, seed * 5 + 3);
+  GhwSearchOptions with;
+  GhwSearchOptions without;
+  without.use_pr2 = false;
+  WidthResult a = BranchAndBoundGhw(h, with);
+  WidthResult b = BranchAndBoundGhw(h, without);
+  ASSERT_TRUE(a.exact && b.exact);
+  EXPECT_EQ(a.upper_bound, b.upper_bound) << "seed " << seed;
+  WidthResult c = AStarGhw(h, without);
+  ASSERT_TRUE(c.exact);
+  EXPECT_EQ(c.upper_bound, a.upper_bound) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhwAblationTest, ::testing::Range(0, 10));
+
+TEST(SearchAblationTest, AnytimeLowerBoundsAreSound) {
+  // Interrupted searches must report lower bounds below the true width.
+  Graph g = QueensGraph(5);  // tw 18
+  for (long nodes : {5L, 50L, 500L}) {
+    SearchOptions opts;
+    opts.max_nodes = nodes;
+    WidthResult as = AStarTreewidth(g, opts);
+    EXPECT_LE(as.lower_bound, 18) << nodes;
+    EXPECT_GE(as.upper_bound, 18) << nodes;
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,89 @@
+#include "setcover/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "setcover/exact.h"
+#include "setcover/fractional.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariable) {
+  // min x + y  s.t.  x + 2y >= 4,  3x + y >= 6  ->  optimum at the
+  // intersection (8/5, 6/5): objective 14/5.
+  LpResult r = SolveCoverLp({{1, 2}, {3, 1}}, {4, 6}, {1, 1});
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_NEAR(r.objective, 14.0 / 5.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 8.0 / 5.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0 / 5.0, 1e-7);
+}
+
+TEST(SimplexTest, NoConstraintsIsZero) {
+  LpResult r = SolveCoverLp({}, {}, {1, 1, 1});
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // 0*x >= 1 is infeasible.
+  LpResult r = SolveCoverLp({{0.0}}, {1.0}, {1.0});
+  EXPECT_EQ(r.status, LpResult::Status::kInfeasible);
+}
+
+TEST(SimplexTest, RedundantConstraints) {
+  LpResult r = SolveCoverLp({{1.0}, {1.0}}, {2.0, 1.0}, {1.0});
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(FractionalCoverTest, TriangleIsThreeHalves) {
+  // Classic: fractional cover of a triangle with its three edges is 1.5.
+  std::vector<Bitset> edges = {Bitset::FromVector(3, {0, 1}),
+                               Bitset::FromVector(3, {1, 2}),
+                               Bitset::FromVector(3, {0, 2})};
+  Bitset target(3);
+  target.SetAll();
+  std::vector<double> w;
+  double rho = FractionalSetCover(edges, target, &w);
+  EXPECT_NEAR(rho, 1.5, 1e-7);
+  for (double wi : w) EXPECT_NEAR(wi, 0.5, 1e-7);
+}
+
+TEST(FractionalCoverTest, IntegralWhenOneSetCovers) {
+  std::vector<Bitset> sets = {Bitset::FromVector(4, {0, 1, 2, 3}),
+                              Bitset::FromVector(4, {0, 1})};
+  Bitset target(4);
+  target.SetAll();
+  EXPECT_NEAR(FractionalSetCover(sets, target), 1.0, 1e-7);
+}
+
+TEST(FractionalCoverTest, EmptyTargetIsZero) {
+  std::vector<Bitset> sets = {Bitset::FromVector(3, {0})};
+  EXPECT_NEAR(FractionalSetCover(sets, Bitset(3)), 0.0, 1e-12);
+}
+
+TEST(FractionalCoverTest, NeverExceedsIntegralOptimum) {
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    int universe = 3 + rng.UniformInt(8);
+    int num_sets = 2 + rng.UniformInt(6);
+    std::vector<Bitset> sets;
+    Bitset unionall(universe);
+    for (int s = 0; s < num_sets; ++s) {
+      Bitset b(universe);
+      int size = 1 + rng.UniformInt(universe);
+      for (int i = 0; i < size; ++i) b.Set(rng.UniformInt(universe));
+      sets.push_back(b);
+      unionall |= b;
+    }
+    double frac = FractionalSetCover(sets, unionall);
+    int integral = ExactSetCover(sets, unionall);
+    EXPECT_LE(frac, integral + 1e-7) << "trial " << trial;
+    EXPECT_GE(frac, 1.0 - 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

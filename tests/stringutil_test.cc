@@ -1,0 +1,38 @@
+#include "util/stringutil.h"
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(SplitString("a,b,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,b", ","), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitString("", ","), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitString("a b\tc", " \t"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripString("  hi  "), "hi");
+  EXPECT_EQ(StripString("hi"), "hi");
+  EXPECT_EQ(StripString("   "), "");
+  EXPECT_EQ(StripString("\t x \n"), "x");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("hello", "x"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace hypertree

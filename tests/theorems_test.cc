@@ -1,0 +1,104 @@
+// Direct empirical checks of the thesis' chapter-3 theorems on random
+// instances, beyond the pipeline tests:
+//   Theorem 1  — leaf normal form with bag containment,
+//   Theorem 2  — an ordering derived from any GHD achieves at most its
+//                width,
+//   Theorem 3  — min over orderings equals ghw (via the exact searches).
+
+#include <gtest/gtest.h>
+
+#include "ghd/branch_and_bound.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "td/leaf_normal_form.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+class Theorem2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem2Test, OrderingDerivedFromGhdIsNoWider) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(10, 10, 2, 4, seed * 101 + 17);
+  GhwEvaluator eval(h);
+  // Any decomposition (here: from a random ordering with exact covers).
+  Rng rng(seed);
+  EliminationOrdering some = RandomOrdering(h.NumVertices(), &rng);
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(some, CoverMode::kExact);
+  ASSERT_TRUE(ghd.IsValidFor(h, nullptr));
+  // Theorem 2: the dca ordering extracted from the GHD's tree
+  // decomposition achieves width(sigma, H) <= width(GHD).
+  EliminationOrdering derived = OrderingFromTreeDecomposition(h, ghd.td());
+  EXPECT_LE(eval.EvaluateOrdering(derived, CoverMode::kExact), ghd.Width())
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2Test, ::testing::Range(0, 15));
+
+TEST(Theorem2Test, StartingFromTheOptimum) {
+  // Applying Theorem 2 to an optimal GHD must reproduce ghw exactly
+  // (Theorem 3: no ordering can do better).
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 13 + 29);
+    WidthResult exact = BranchAndBoundGhw(h);
+    ASSERT_TRUE(exact.exact);
+    GhwEvaluator eval(h);
+    GeneralizedHypertreeDecomposition optimal =
+        eval.BuildGhd(exact.best_ordering, CoverMode::kExact);
+    EliminationOrdering derived = OrderingFromTreeDecomposition(h, optimal.td());
+    EXPECT_EQ(eval.EvaluateOrdering(derived, CoverMode::kExact),
+              exact.upper_bound)
+        << "seed " << seed;
+  }
+}
+
+TEST(Theorem1Test, LnfBagContainmentOnStructuredFamilies) {
+  for (const Hypergraph& h :
+       {AdderHypergraph(4), BridgeHypergraph(4), Grid2DHypergraph(3),
+        CycleHypergraph(8, 3)}) {
+    Graph primal = h.PrimalGraph();
+    Rng rng(3);
+    TreeDecomposition td =
+        TreeDecompositionFromOrdering(primal, MinFillOrdering(primal, &rng));
+    LeafNormalForm lnf = TransformLeafNormalForm(h, td);
+    EXPECT_TRUE(IsLeafNormalForm(h, lnf)) << h.name();
+    for (int p = 0; p < lnf.td.NumNodes(); ++p) {
+      bool contained = false;
+      for (int q = 0; q < td.NumNodes() && !contained; ++q) {
+        contained = lnf.td.Bag(p).IsSubsetOf(td.Bag(q));
+      }
+      EXPECT_TRUE(contained) << h.name() << " node " << p;
+    }
+    // The LNF has exactly one leaf per hyperedge.
+    int leaves = 0;
+    for (int p = 0; p < lnf.td.NumNodes(); ++p) {
+      if (lnf.td.TreeNeighbors(p).size() <= 1) ++leaves;
+    }
+    if (lnf.td.NumNodes() > 1) {
+      EXPECT_EQ(leaves, h.NumEdges()) << h.name();
+    }
+  }
+}
+
+TEST(Theorem3Test, OrderingSpaceNeverBeatsGhw) {
+  // No ordering may achieve a width below ghw (soundness direction).
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 37 + 3);
+    WidthResult exact = BranchAndBoundGhw(h);
+    ASSERT_TRUE(exact.exact);
+    GhwEvaluator eval(h);
+    Rng rng(seed);
+    for (int trial = 0; trial < 20; ++trial) {
+      EliminationOrdering sigma = RandomOrdering(h.NumVertices(), &rng);
+      EXPECT_GE(eval.EvaluateOrdering(sigma, CoverMode::kExact),
+                exact.upper_bound)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

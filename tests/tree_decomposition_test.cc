@@ -1,0 +1,145 @@
+#include "td/tree_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "hypergraph/generators.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+TEST(TreeDecompositionTest, ManualValidDecomposition) {
+  // Path 0-1-2 decomposed as bags {0,1} - {1,2}.
+  Graph g = PathGraph(3);
+  TreeDecomposition td(3);
+  int a = td.AddNode(Bitset::FromVector(3, {0, 1}));
+  int b = td.AddNode(Bitset::FromVector(3, {1, 2}));
+  td.AddTreeEdge(a, b);
+  std::string why;
+  EXPECT_TRUE(td.IsValidFor(g, &why)) << why;
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(TreeDecompositionTest, DetectsUncoveredEdge) {
+  Graph g = PathGraph(3);
+  TreeDecomposition td(3);
+  int a = td.AddNode(Bitset::FromVector(3, {0, 1}));
+  int b = td.AddNode(Bitset::FromVector(3, {2}));
+  td.AddTreeEdge(a, b);
+  std::string why;
+  EXPECT_FALSE(td.IsValidFor(g, &why));
+  EXPECT_NE(why.find("edge"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, DetectsConnectednessViolation) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td(3);
+  int a = td.AddNode(Bitset::FromVector(3, {0, 1}));
+  int b = td.AddNode(Bitset::FromVector(3, {1}));
+  int c = td.AddNode(Bitset::FromVector(3, {1, 2}));
+  // Vertex 1's nodes are a and c but they are linked through b... which
+  // also holds 1, so make b NOT hold 1 to break connectedness.
+  (void)b;
+  TreeDecomposition bad(3);
+  int x = bad.AddNode(Bitset::FromVector(3, {0, 1}));
+  int y = bad.AddNode(Bitset::FromVector(3, {0}));
+  int z = bad.AddNode(Bitset::FromVector(3, {1, 2}));
+  bad.AddTreeEdge(x, y);
+  bad.AddTreeEdge(y, z);
+  std::string why;
+  EXPECT_FALSE(bad.IsValidFor(g, &why));
+  EXPECT_NE(why.find("connectedness"), std::string::npos);
+  (void)a;
+  (void)c;
+}
+
+TEST(TreeDecompositionTest, DetectsDisconnectedTree) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  TreeDecomposition td(2);
+  td.AddNode(Bitset::FromVector(2, {0, 1}));
+  td.AddNode(Bitset::FromVector(2, {0, 1}));
+  std::string why;
+  EXPECT_FALSE(td.IsValidFor(g, &why));  // two nodes, no edge
+}
+
+TEST(TreeDecompositionTest, FromOrderingAlwaysValid) {
+  Rng rng(5);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(18, 40, seed);
+    EliminationOrdering sigma = rng.Permutation(18);
+    TreeDecomposition td = TreeDecompositionFromOrdering(g, sigma);
+    std::string why;
+    EXPECT_TRUE(td.IsValidFor(g, &why)) << "seed " << seed << ": " << why;
+  }
+}
+
+TEST(TreeDecompositionTest, FromOrderingOnDisconnectedGraph) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);  // vertex 4, 5 isolated
+  Rng rng(6);
+  TreeDecomposition td = TreeDecompositionFromOrdering(g, rng.Permutation(6));
+  std::string why;
+  EXPECT_TRUE(td.IsValidFor(g, &why)) << why;
+}
+
+TEST(TreeDecompositionTest, HypergraphValidityViaPrimal) {
+  // Lemma 1: a TD of the primal graph is a TD of the hypergraph.
+  Hypergraph h = Grid2DHypergraph(3);
+  Graph primal = h.PrimalGraph();
+  Rng rng(7);
+  TreeDecomposition td =
+      TreeDecompositionFromOrdering(primal, MinFillOrdering(primal, &rng));
+  std::string why;
+  EXPECT_TRUE(td.IsValidForHypergraph(h, &why)) << why;
+}
+
+TEST(TreeDecompositionTest, SimplifyPreservesValidityAndWidth) {
+  Rng rng(11);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(20, 50, seed + 200);
+    TreeDecomposition td =
+        TreeDecompositionFromOrdering(g, MinFillOrdering(g, &rng));
+    TreeDecomposition simple = SimplifyTreeDecomposition(td);
+    std::string why;
+    EXPECT_TRUE(simple.IsValidFor(g, &why)) << "seed " << seed << ": " << why;
+    EXPECT_EQ(simple.Width(), td.Width()) << "seed " << seed;
+    EXPECT_LE(simple.NumNodes(), td.NumNodes());
+  }
+}
+
+TEST(TreeDecompositionTest, SimplifyShrinksCliqueDecomposition) {
+  // All bucket bags of K_n are nested: one node must remain.
+  Graph g = CompleteGraph(6);
+  Rng rng(12);
+  TreeDecomposition td =
+      TreeDecompositionFromOrdering(g, MinFillOrdering(g, &rng));
+  EXPECT_EQ(td.NumNodes(), 6);
+  TreeDecomposition simple = SimplifyTreeDecomposition(td);
+  EXPECT_EQ(simple.NumNodes(), 1);
+  EXPECT_TRUE(simple.IsValidFor(g, nullptr));
+}
+
+TEST(TreeDecompositionTest, SimplifyPathDecomposition) {
+  // Path bags {i, i+1} are pairwise incomparable: nothing merges.
+  Graph g = PathGraph(6);
+  TreeDecomposition td =
+      TreeDecompositionFromOrdering(g, {0, 1, 2, 3, 4, 5});
+  TreeDecomposition simple = SimplifyTreeDecomposition(td);
+  EXPECT_EQ(simple.NumNodes(), 5);  // one singleton endpoint bag merges
+  EXPECT_TRUE(simple.IsValidFor(g, nullptr));
+}
+
+TEST(TreeDecompositionTest, WidthOfEmpty) {
+  TreeDecomposition td(0);
+  EXPECT_EQ(td.Width(), -1);
+  EXPECT_EQ(td.NumNodes(), 0);
+}
+
+}  // namespace
+}  // namespace hypertree

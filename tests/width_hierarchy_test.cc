@@ -1,0 +1,73 @@
+// The survey's width hierarchy, verified empirically:
+//   fhw(H) <= ghw(H) <= hw(H) <= tw(H) + 1   and   ghw(H) = 1 iff
+//   H is alpha-acyclic.
+
+#include <gtest/gtest.h>
+
+#include "fhw/fractional_hypertree.h"
+#include "ghd/branch_and_bound.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/generators.h"
+#include "td/branch_and_bound.h"
+
+namespace hypertree {
+namespace {
+
+class WidthHierarchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthHierarchyTest, HoldsOnRandomHypergraphs) {
+  uint64_t seed = GetParam();
+  Hypergraph h = RandomHypergraph(9, 8, 2, 4, seed * 37 + 11);
+  WidthResult ghw = BranchAndBoundGhw(h);
+  WidthResult hw = HypertreeWidth(h);
+  WidthResult tw = BranchAndBoundTreewidth(h.PrimalGraph());
+  ASSERT_TRUE(ghw.exact && hw.exact && tw.exact) << "seed " << seed;
+  EXPECT_LE(ghw.upper_bound, hw.upper_bound) << "seed " << seed;
+  EXPECT_LE(hw.upper_bound, tw.upper_bound + 1) << "seed " << seed;
+  double fhw_witness = FractionalWidthOfOrdering(h, ghw.best_ordering);
+  EXPECT_LE(fhw_witness, ghw.upper_bound + 1e-7) << "seed " << seed;
+  // Acyclicity characterization.
+  EXPECT_EQ(ghw.upper_bound == 1, IsAlphaAcyclic(h)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidthHierarchyTest, ::testing::Range(0, 15));
+
+TEST(WidthHierarchyTest, StructuredFamilies) {
+  struct Case {
+    Hypergraph h;
+    int expected_ghw;
+  };
+  std::vector<Case> cases;
+  cases.push_back({CycleHypergraph(6, 2), 2});
+  cases.push_back({CliqueHypergraph(6), 3});
+  cases.push_back({RandomAcyclicHypergraph(8, 3, 1), 1});
+  for (auto& c : cases) {
+    WidthResult ghw = BranchAndBoundGhw(c.h);
+    ASSERT_TRUE(ghw.exact) << c.h.name();
+    EXPECT_EQ(ghw.upper_bound, c.expected_ghw) << c.h.name();
+    WidthResult hw = HypertreeWidth(c.h);
+    ASSERT_TRUE(hw.exact) << c.h.name();
+    EXPECT_GE(hw.upper_bound, ghw.upper_bound) << c.h.name();
+  }
+}
+
+TEST(WidthHierarchyTest, BigEdgesShrinkGhwButNotTw) {
+  // A clique covered by one big hyperedge: tw stays n-1, ghw drops to 1.
+  int n = 7;
+  Hypergraph h(n);
+  std::vector<int> all;
+  for (int v = 0; v < n; ++v) all.push_back(v);
+  h.AddEdge(all);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) h.AddEdge({u, v});
+  }
+  WidthResult ghw = BranchAndBoundGhw(h);
+  WidthResult tw = BranchAndBoundTreewidth(h.PrimalGraph());
+  ASSERT_TRUE(ghw.exact && tw.exact);
+  EXPECT_EQ(ghw.upper_bound, 1);
+  EXPECT_EQ(tw.upper_bound, n - 1);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,81 @@
+#include "csp/yannakakis.h"
+
+#include <gtest/gtest.h>
+
+#include "csp/backtracking.h"
+#include "csp/generators.h"
+#include "hypergraph/generators.h"
+
+namespace hypertree {
+namespace {
+
+TEST(YannakakisTest, SimpleChain) {
+  // R(0,1) - S(1,2) - T(2,3) with a single consistent combination.
+  RelationTree tree;
+  Relation r({0, 1});
+  r.AddTuple({1, 2});
+  r.AddTuple({5, 9});
+  Relation s({1, 2});
+  s.AddTuple({2, 3});
+  Relation t({2, 3});
+  t.AddTuple({3, 4});
+  tree.relations = {r, s, t};
+  tree.parent = {-1, 0, 1};
+  tree.root = 0;
+  auto result = AcyclicSolve(tree);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)[0], 1);
+  EXPECT_EQ((*result)[1], 2);
+  EXPECT_EQ((*result)[2], 3);
+  EXPECT_EQ((*result)[3], 4);
+}
+
+TEST(YannakakisTest, DetectsInconsistency) {
+  RelationTree tree;
+  Relation r({0, 1});
+  r.AddTuple({1, 2});
+  Relation s({1, 2});
+  s.AddTuple({9, 9});  // no tuple matches value 2 for variable 1
+  tree.relations = {r, s};
+  tree.parent = {-1, 0};
+  tree.root = 0;
+  EXPECT_FALSE(AcyclicSolve(tree).has_value());
+}
+
+TEST(YannakakisTest, EmptyTree) {
+  RelationTree tree;
+  auto result = AcyclicSolve(tree);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(YannakakisTest, SolveAcyclicCspAgainstBacktracking) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Hypergraph h = RandomAcyclicHypergraph(8, 3, seed);
+    for (double tightness : {0.2, 0.5}) {
+      Csp csp = RandomCspFromHypergraph(h, 2, tightness,
+                                        /*plant_solution=*/false, seed * 3);
+      auto direct = BacktrackingSolve(csp);
+      auto acyclic = SolveAcyclicCsp(csp);
+      EXPECT_EQ(direct.has_value(), acyclic.has_value())
+          << "seed " << seed << " tightness " << tightness;
+      if (acyclic.has_value()) {
+        EXPECT_TRUE(csp.IsSolution(*acyclic));
+      }
+    }
+  }
+}
+
+TEST(YannakakisTest, PlantedAcyclicAlwaysSolved) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomAcyclicHypergraph(12, 4, seed + 50);
+    Csp csp = RandomCspFromHypergraph(h, 3, 0.1, /*plant_solution=*/true,
+                                      seed);
+    auto solution = SolveAcyclicCsp(csp);
+    ASSERT_TRUE(solution.has_value()) << "seed " << seed;
+    EXPECT_TRUE(csp.IsSolution(*solution));
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

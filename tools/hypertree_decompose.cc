@@ -1,0 +1,240 @@
+// hypertree_decompose: compute decompositions and widths of an instance.
+//
+//   hypertree_decompose [flags] <instance>
+//
+//   <instance>          HyperBench hypergraph (.hg), DIMACS coloring
+//                       graph (.col) or PACE graph (.gr); graphs are
+//                       treated as hypergraphs with binary edges.
+//   --method=...        bb | astar | ga | saiga | ls | minfill  (default bb)
+//   --measure=...       ghw | tw | hw | fhw                     (default ghw)
+//   --time-limit=SEC    budget for the exact searches             (default 10)
+//   --seed=N            RNG seed                                  (default 1)
+//   --output=FILE       write the witness decomposition: .td (PACE, tw
+//                       only) or .dot
+//   --quiet             print only the width
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fhw/fractional_hypertree.h"
+#include "ga/ga_ghw.h"
+#include "ga/ga_tw.h"
+#include "ga/saiga.h"
+#include "ghd/astar.h"
+#include "ghd/branch_and_bound.h"
+#include "ghd/ghw_from_ordering.h"
+#include "graph/dimacs.h"
+#include "hd/det_k_decomp.h"
+#include "hypergraph/parser.h"
+#include "io/dot.h"
+#include "io/ghd_format.h"
+#include "ls/local_search.h"
+#include "ordering/evaluator.h"
+#include "ordering/heuristics.h"
+#include "td/astar.h"
+#include "td/branch_and_bound.h"
+#include "td/pace.h"
+#include "util/flags.h"
+
+using namespace hypertree;
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::optional<Hypergraph> LoadInstance(const std::string& path,
+                                       std::string* error) {
+  if (EndsWith(path, ".col")) {
+    auto g = ReadDimacsGraphFile(path, error);
+    if (!g.has_value()) return std::nullopt;
+    return HypergraphFromGraph(*g);
+  }
+  if (EndsWith(path, ".gr")) {
+    std::ifstream in(path);
+    if (!in) {
+      *error = "cannot open " + path;
+      return std::nullopt;
+    }
+    auto g = ReadPaceGraph(in, error);
+    if (!g.has_value()) return std::nullopt;
+    return HypergraphFromGraph(*g);
+  }
+  return ReadHypergraphFile(path, error);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hypertree_decompose [--method=bb|astar|ga|saiga|ls|"
+               "minfill] [--measure=ghw|tw|hw|fhw]\n"
+               "       [--time-limit=SEC] [--seed=N] [--output=FILE] "
+               "[--quiet] <instance>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.positional().size() != 1) return Usage();
+  std::string error;
+  auto h = LoadInstance(flags.positional()[0], &error);
+  if (!h.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::string method = flags.GetString("method", "bb");
+  std::string measure = flags.GetString("measure", "ghw");
+  double budget = flags.GetDouble("time-limit", 10.0);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  bool quiet = flags.GetBool("quiet");
+
+  GhwEvaluator eval(*h);
+  EliminationOrdering witness;
+  int width = -1;
+  bool exact = false;
+
+  if (measure == "fhw") {
+    double fhw = FhwUpperBound(*h, 5, seed);
+    if (quiet) {
+      std::printf("%.4f\n", fhw);
+    } else {
+      std::printf("instance  : %s\nfhw upper : %.4f\n", h->name().c_str(),
+                  fhw);
+    }
+    return 0;
+  }
+  if (measure == "hw") {
+    SearchOptions opts;
+    opts.time_limit_seconds = budget;
+    opts.seed = seed;
+    std::optional<HypertreeDecomposition> hd;
+    WidthResult res = HypertreeWidth(*h, opts, &hd);
+    if (quiet) {
+      std::printf("%d\n", res.upper_bound);
+    } else {
+      std::printf("instance : %s\nhw       : %d%s (lb %d)\n",
+                  h->name().c_str(), res.upper_bound, res.exact ? "" : "*",
+                  res.lower_bound);
+    }
+    std::string out_path = flags.GetString("output");
+    if (!out_path.empty() && hd.has_value()) {
+      std::ofstream out(out_path);
+      WriteDot(*hd, *h, out);
+    }
+    return 0;
+  }
+
+  bool want_tw = measure == "tw";
+  if (method == "bb") {
+    if (want_tw) {
+      SearchOptions opts;
+      opts.time_limit_seconds = budget;
+      opts.seed = seed;
+      WidthResult res = BranchAndBoundTreewidth(eval.primal(), opts);
+      width = res.upper_bound;
+      exact = res.exact;
+      witness = res.best_ordering;
+    } else {
+      GhwSearchOptions opts;
+      opts.time_limit_seconds = budget;
+      opts.seed = seed;
+      WidthResult res = BranchAndBoundGhw(*h, opts);
+      width = res.upper_bound;
+      exact = res.exact;
+      witness = res.best_ordering;
+    }
+  } else if (method == "astar") {
+    if (want_tw) {
+      SearchOptions opts;
+      opts.time_limit_seconds = budget;
+      opts.seed = seed;
+      WidthResult res = AStarTreewidth(eval.primal(), opts);
+      width = res.upper_bound;
+      exact = res.exact;
+      witness = res.best_ordering;
+    } else {
+      GhwSearchOptions opts;
+      opts.time_limit_seconds = budget;
+      opts.seed = seed;
+      WidthResult res = AStarGhw(*h, opts);
+      width = res.upper_bound;
+      exact = res.exact;
+      witness = res.best_ordering;
+    }
+  } else if (method == "ga" || method == "saiga") {
+    if (method == "saiga" && !want_tw) {
+      SaigaConfig cfg;
+      cfg.seed = seed;
+      cfg.time_limit_seconds = budget;
+      SaigaResult res = SaigaGhw(*h, cfg);
+      width = res.ga.best_fitness;
+      witness = res.ga.best;
+    } else {
+      GaConfig cfg;
+      cfg.seed = seed;
+      cfg.time_limit_seconds = budget;
+      GaResult res = want_tw ? GaTreewidth(eval.primal(), cfg) : GaGhw(*h, cfg);
+      width = res.best_fitness;
+      witness = res.best;
+    }
+  } else if (method == "ls") {
+    LocalSearchConfig cfg;
+    cfg.seed = seed;
+    cfg.time_limit_seconds = budget;
+    LocalSearchResult res =
+        want_tw ? LsTreewidth(eval.primal(), cfg) : LsGhw(*h, cfg);
+    width = res.best_fitness;
+    witness = res.best;
+  } else if (method == "minfill") {
+    Rng rng(seed);
+    witness = MinFillOrdering(eval.primal(), &rng);
+    width = want_tw ? EvaluateOrderingWidth(eval.primal(), witness)
+                    : eval.EvaluateOrdering(witness, CoverMode::kGreedy, &rng);
+  } else {
+    return Usage();
+  }
+
+  // Re-derive the exact-cover width of the witness ordering for ghw so
+  // the reported width always matches the written decomposition.
+  if (!want_tw) {
+    width = eval.EvaluateOrdering(witness, CoverMode::kExact);
+  }
+  if (quiet) {
+    std::printf("%d\n", width);
+  } else {
+    std::printf("instance : %s (%d vertices, %d hyperedges)\n",
+                h->name().c_str(), h->NumVertices(), h->NumEdges());
+    std::printf("%-9s: %d%s  (method %s)\n", want_tw ? "treewidth" : "ghw",
+                width, exact ? "" : "*", method.c_str());
+  }
+
+  std::string out_path = flags.GetString("output");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    TreeDecomposition td = TreeDecompositionFromOrdering(eval.primal(), witness);
+    if (EndsWith(out_path, ".td")) {
+      WritePaceTreeDecomposition(td, out);
+    } else if (EndsWith(out_path, ".ghd")) {
+      GeneralizedHypertreeDecomposition ghd =
+          eval.BuildGhd(witness, CoverMode::kExact);
+      WriteGhd(ghd, *h, out);
+    } else if (want_tw) {
+      WriteDot(td, out);
+    } else {
+      GeneralizedHypertreeDecomposition ghd =
+          eval.BuildGhd(witness, CoverMode::kExact);
+      WriteDot(ghd, *h, out);
+    }
+    if (!quiet) std::printf("decomposition written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// hypertree_solve: solve (and count solutions of) a random CSP attached
+// to a hypergraph instance, via decompositions and via backtracking.
+//
+//   hypertree_solve [flags] <instance.hg>
+//
+//   --domain=D        uniform domain size (default 2)
+//   --tightness=T     fraction of allowed tuples (default 0.3)
+//   --plant           plant a random solution (default off)
+//   --seed=N          RNG seed (default 1)
+//   --count           also count all solutions
+//   --route=...       td | ghd | bt | all (default all)
+
+#include <cstdio>
+#include <string>
+
+#include "csp/backtracking.h"
+#include "csp/counting.h"
+#include "csp/decomposition_solving.h"
+#include "csp/generators.h"
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/parser.h"
+#include "ordering/heuristics.h"
+#include "td/tree_decomposition.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace hypertree;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: hypertree_solve [--domain=D] [--tightness=T] "
+                 "[--plant] [--seed=N] [--count] [--route=td|ghd|bt|all] "
+                 "<instance.hg>\n");
+    return 2;
+  }
+  std::string error;
+  auto h = ReadHypergraphFile(flags.positional()[0], &error);
+  if (!h.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  int domain = static_cast<int>(flags.GetInt("domain", 2));
+  double tightness = flags.GetDouble("tightness", 0.3);
+  bool plant = flags.GetBool("plant");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  bool count = flags.GetBool("count");
+  std::string route = flags.GetString("route", "all");
+
+  Csp csp = RandomCspFromHypergraph(*h, domain, tightness, plant, seed);
+  std::printf("instance : %s (%d vars, %d constraints, domain %d)\n",
+              h->name().c_str(), csp.NumVariables(), csp.NumConstraints(),
+              domain);
+
+  GhwEvaluator eval(*h);
+  Rng rng(seed);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  TreeDecomposition td = TreeDecompositionFromOrdering(eval.primal(), sigma);
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(sigma, CoverMode::kExact);
+  std::printf("widths   : td %d, ghd %d\n", td.Width(), ghd.Width());
+
+  if (route == "td" || route == "all") {
+    Timer t;
+    DecompositionSolveStats stats;
+    auto solution = SolveViaTreeDecomposition(csp, td, &stats);
+    std::printf("td  route: %s (%.1f ms, %ld bag tuples)\n",
+                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis(),
+                stats.bag_tuples);
+    if (count) {
+      std::printf("td  count: %lld solutions\n",
+                  CountViaTreeDecomposition(csp, td));
+    }
+  }
+  if (route == "ghd" || route == "all") {
+    Timer t;
+    auto solution = SolveViaGhd(csp, ghd);
+    std::printf("ghd route: %s (%.1f ms)\n",
+                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis());
+    if (count) {
+      std::printf("ghd count: %lld solutions\n", CountViaGhd(csp, ghd));
+    }
+  }
+  if (route == "bt" || route == "all") {
+    Timer t;
+    BacktrackStats stats;
+    auto solution = BacktrackingSolve(csp, 50000000, &stats);
+    std::printf("bt  route: %s (%.1f ms, %ld nodes%s)\n",
+                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis(),
+                stats.nodes, stats.aborted ? ", aborted" : "");
+    if (count && !stats.aborted) {
+      std::printf("bt  count: %ld solutions\n",
+                  BacktrackingCountSolutions(csp, 50000000));
+    }
+  }
+  return 0;
+}
