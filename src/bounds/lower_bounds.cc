@@ -18,12 +18,23 @@ class ContractionGraph {
     alive_.SetAll();
     adj_.reserve(n_);
     for (int v = 0; v < n_; ++v) adj_.push_back(g.NeighborBits(v));
+    InitDegrees();
+  }
+
+  /// Starts from the remaining graph of a partial elimination: only the
+  /// active vertices are alive and rows are masked to them.
+  explicit ContractionGraph(const EliminationGraph& eg)
+      : n_(eg.NumVertices()), alive_(eg.ActiveBits()) {
+    adj_.reserve(n_);
+    for (int v = 0; v < n_; ++v)
+      adj_.push_back(eg.IsActive(v) ? eg.NeighborBits(v) : Bitset(n_));
+    InitDegrees();
   }
 
   int NumActive() const { return alive_.Count(); }
   const Bitset& Alive() const { return alive_; }
 
-  int Degree(int v) const { return adj_[v].IntersectCount(alive_); }
+  int Degree(int v) const { return deg_[v]; }
 
   bool Adjacent(int u, int v) const { return adj_[u].Test(v); }
 
@@ -32,13 +43,18 @@ class ContractionGraph {
     adj_[u] |= adj_[v];
     adj_[u].Reset(u);
     adj_[u].Reset(v);
-    // Redirect v's neighbors to u.
+    // Redirect v's neighbors to u, adjusting degrees incrementally: w
+    // loses v and gains u (net zero) unless it was already adjacent to u.
     Bitset nb = adj_[v] & alive_;
     for (int w = nb.First(); w >= 0; w = nb.Next(w)) {
       adj_[w].Reset(v);
-      if (w != u) adj_[w].Set(u);
+      if (w != u) {
+        if (adj_[w].Test(u)) --deg_[w];
+        adj_[w].Set(u);
+      }
     }
     alive_.Reset(v);
+    deg_[u] = adj_[u].IntersectCount(alive_);
   }
 
   /// Removes an isolated vertex.
@@ -80,15 +96,23 @@ class ContractionGraph {
   }
 
  private:
+  void InitDegrees() {
+    deg_.assign(n_, 0);
+    for (int v = alive_.First(); v >= 0; v = alive_.Next(v))
+      deg_[v] = adj_[v].IntersectCount(alive_);
+  }
+
   int n_;
   Bitset alive_;
   std::vector<Bitset> adj_;
+  std::vector<int> deg_;
 };
 
 }  // namespace
 
-int MinorMinWidthLowerBound(const Graph& g, Rng* rng) {
-  ContractionGraph cg(g);
+namespace {
+
+int MinorMinWidthOn(ContractionGraph& cg, Rng* rng) {
   int lb = 0;
   while (cg.NumActive() > 0) {
     int v = cg.MinDegreeVertex(rng);
@@ -102,6 +126,18 @@ int MinorMinWidthLowerBound(const Graph& g, Rng* rng) {
     cg.Contract(v, u);
   }
   return lb;
+}
+
+}  // namespace
+
+int MinorMinWidthLowerBound(const Graph& g, Rng* rng) {
+  ContractionGraph cg(g);
+  return MinorMinWidthOn(cg, rng);
+}
+
+int MinorMinWidthLowerBound(const EliminationGraph& eg, Rng* rng) {
+  ContractionGraph cg(eg);
+  return MinorMinWidthOn(cg, rng);
 }
 
 int MinorGammaRLowerBound(const Graph& g, Rng* rng) {

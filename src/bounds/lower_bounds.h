@@ -9,6 +9,7 @@
 #ifndef HYPERTREE_BOUNDS_LOWER_BOUNDS_H_
 #define HYPERTREE_BOUNDS_LOWER_BOUNDS_H_
 
+#include "graph/elimination_graph.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -18,6 +19,13 @@ namespace hypertree {
 /// contraction steps of the minimum degree. Random tie-breaking when
 /// `rng` is non-null.
 int MinorMinWidthLowerBound(const Graph& g, Rng* rng = nullptr);
+
+/// Same bound evaluated on the remaining graph of a partial elimination,
+/// without materializing it: works on the adjacency rows masked to the
+/// active vertices. Produces the same value (and the same rng draw
+/// sequence) as MinorMinWidthLowerBound(eg.CurrentGraph(), rng) because
+/// the id remap in CurrentGraph() is order-preserving.
+int MinorMinWidthLowerBound(const EliminationGraph& eg, Rng* rng = nullptr);
 
 /// minor-gamma_R: the Ramachandramurthi gamma parameter evaluated on the
 /// same contraction sequence. gamma(G) = n-1 for complete graphs, else

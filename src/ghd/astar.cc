@@ -9,6 +9,7 @@
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
+#include "search/decomp_cache.h"
 #include "util/timer.h"
 
 namespace hypertree {
@@ -43,7 +44,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   WidthResult res;
   int n = h.NumVertices();
   Rng rng(options.seed);
-  Deadline deadline(options.time_limit_seconds);
+  SearchBudget budget(options);
   GhwEvaluator eval(h);
 
   int lb = GhwLowerBound(h, &rng);
@@ -62,7 +63,16 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
 
   std::vector<State> arena;
   std::priority_queue<QueueEntry> open;
-  std::unordered_map<Bitset, int> best_g;
+  // Duplicate detection doubles as the transposition table: the recorded
+  // value per eliminated set is the best g it was reached with, and
+  // dominated regenerations are dropped before they are stored.
+  DecompCache transposition;
+  // The minor-min-width heuristic is by far the most expensive per-child
+  // computation and the same child set is regenerated from many parents;
+  // memoize it per eliminated set (freezing its rng-dependent
+  // tie-breaking, which keeps the bound admissible).
+  std::unordered_map<Bitset, int> hb_memo;
+  bool use_hb_memo = options.use_decomp_cache;
   long push_order = 0;
 
   State root;
@@ -70,7 +80,8 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   root.f = lb;
   arena.push_back(root);
   open.push({lb, 0, push_order++, 0});
-  if (options.use_duplicate_detection) best_g[root.eliminated] = 0;
+  if (options.use_duplicate_detection)
+    transposition.DominatedOrInsert(root.eliminated, 0);
 
   EliminationGraph eg(eval.primal());
   auto rebuild = [&eg](const Bitset& eliminated) {
@@ -86,25 +97,18 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   };
 
   long popped = 0;
-  bool aborted = false;
   int best_f_seen = lb;
   int goal = -1;
 
   while (!open.empty()) {
-    if ((popped & 31) == 0 && deadline.Expired()) {
-      aborted = true;
-      break;
-    }
-    if (options.max_nodes > 0 &&
-        static_cast<long>(arena.size()) > options.max_nodes) {
-      aborted = true;
-      break;
-    }
+    if ((popped & 31) == 0 && budget.PollDeadline()) break;
+    if (budget.ExceedsNodeBudget(static_cast<long>(arena.size()))) break;
     QueueEntry top = open.top();
     open.pop();
     const State& s = arena[top.index];
-    if (options.use_duplicate_detection && best_g[s.eliminated] < s.g) {
-      continue;  // stale
+    if (options.use_duplicate_detection &&
+        transposition.DominatedStrict(s.eliminated, s.g)) {
+      continue;  // stale: regenerated since with a smaller g
     }
     ++popped;
     best_f_seen = std::max(best_f_seen, s.f);
@@ -140,17 +144,27 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       int c = bag_cover_of(v);
       int child_g = std::max(parent_g, c);
       if (child_g >= ub) continue;
-      eg.Eliminate(v);
-      int hb = RemainingGhwLowerBound(eg, h, &rng);
-      eg.UndoElimination();
-      int f = std::max({child_g, hb, parent_f});
-      if (f >= ub) continue;
       Bitset child_set = parent_set;
       child_set.Set(v);
-      if (options.use_duplicate_detection) {
-        auto it = best_g.find(child_set);
-        if (it != best_g.end() && it->second <= child_g) continue;
-        best_g[child_set] = child_g;
+      int hb;
+      if (use_hb_memo) {
+        auto [it, inserted] = hb_memo.try_emplace(child_set, -1);
+        if (inserted) {
+          eg.Eliminate(v);
+          it->second = RemainingGhwLowerBound(eg, h, &rng);
+          eg.UndoElimination();
+        }
+        hb = it->second;
+      } else {
+        eg.Eliminate(v);
+        hb = RemainingGhwLowerBound(eg, h, &rng);
+        eg.UndoElimination();
+      }
+      int f = std::max({child_g, hb, parent_f});
+      if (f >= ub) continue;
+      if (options.use_duplicate_detection &&
+          transposition.DominatedOrInsert(child_set, child_g)) {
+        continue;
       }
       State t;
       t.eliminated = std::move(child_set);
@@ -167,6 +181,8 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
 
   res.nodes = popped;
   res.seconds = timer.ElapsedSeconds();
+  res.cache_stats = transposition.stats();
+  bool aborted = budget.Exceeded();
   if (goal >= 0) {
     EliminationOrdering sigma(n);
     std::vector<bool> used(n, false);

@@ -1,11 +1,13 @@
 #include "ghd/branch_and_bound.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "bounds/ghw_lower_bounds.h"
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
+#include "search/decomp_cache.h"
 #include "util/timer.h"
 
 namespace hypertree {
@@ -18,10 +20,16 @@ class GhwBbSearch {
       : h_(h),
         opts_(opts),
         rng_(opts.seed),
-        deadline_(opts.time_limit_seconds),
+        budget_(opts),
         eval_(h),
         eg_(eval_.primal()),
-        n_(h.NumVertices()) {}
+        n_(h.NumVertices()),
+        // The transposition table is only sound with exact covers: greedy
+        // g-values are not functions of the eliminated set, so pruning
+        // revisits can change which orderings the ablation completes.
+        use_cache_(opts.use_decomp_cache &&
+                   opts.cover_mode == CoverMode::kExact),
+        use_memos_(opts.use_decomp_cache) {}
 
   WidthResult Run() {
     WidthResult res;
@@ -43,15 +51,17 @@ class GhwBbSearch {
     if (opts_.initial_upper_bound > 0 && opts_.initial_upper_bound < ub_)
       ub_ = opts_.initial_upper_bound;
     if (n_ > 0 && lb < ub_) {
+      child_scratch_.assign(n_ + 1, {});
       Dfs(/*g_val=*/0, /*f_parent=*/lb, /*prev_vertex=*/-1, Bitset(n_),
           /*parent_free=*/false);
     }
     res.upper_bound = ub_;
-    res.exact = !aborted_ && opts_.cover_mode == CoverMode::kExact;
+    res.exact = !budget_.Exceeded() && opts_.cover_mode == CoverMode::kExact;
     res.lower_bound = res.exact ? ub_ : lb;
     res.nodes = nodes_;
     res.seconds = timer.ElapsedSeconds();
     res.best_ordering = best_;
+    if (use_cache_) res.cache_stats = cache_.stats();
     return res;
   }
 
@@ -70,22 +80,36 @@ class GhwBbSearch {
     return sigma;
   }
 
-  bool BudgetExceeded() {
-    if (aborted_) return true;
-    if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) aborted_ = true;
-    if ((nodes_ & 127) == 0 && deadline_.Expired()) aborted_ = true;
-    return aborted_;
-  }
-
   int BagCoverOf(int v) {
     Bitset bag = eg_.NeighborBits(v);
     bag.Set(v);
     return eval_.CoverBag(bag, opts_.cover_mode, &rng_, nullptr);
   }
 
+  // Greedy cover of the whole active set, memoized per state in exact
+  // mode (the greedy tie-breaking draws from rng_, so memoization also
+  // makes the bound a function of the state).
+  int WholeRemainderCover() {
+    if (!use_memos_)
+      return eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_,
+                            nullptr);
+    auto [it, inserted] = all_cover_memo_.try_emplace(eg_.ActiveBits(), -1);
+    if (inserted)
+      it->second =
+          eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_, nullptr);
+    return it->second;
+  }
+
+  int RemainingLowerBound() {
+    if (!use_memos_) return RemainingGhwLowerBound(eg_, h_, &rng_);
+    auto [it, inserted] = hb_memo_.try_emplace(eg_.ActiveBits(), -1);
+    if (inserted) it->second = RemainingGhwLowerBound(eg_, h_, &rng_);
+    return it->second;
+  }
+
   void Dfs(int g_val, int f_parent, int prev_vertex, const Bitset& prev_nb,
            bool parent_free) {
-    if (BudgetExceeded()) return;
+    if (budget_.Tick()) return;
     ++nodes_;
     int remaining = eg_.NumActive();
     if (remaining == 0) {
@@ -95,10 +119,14 @@ class GhwBbSearch {
       }
       return;
     }
+    // Transposition pruning: with exact covers, g is a function of the
+    // eliminated set alone, so reaching a set again with g >= the best
+    // recorded entry cannot improve on what that visit already explored
+    // (its subtree was only cut at f >= ub bounds that still hold).
+    if (use_cache_ && cache_.DominatedOrInsert(eg_.ActiveBits(), g_val)) return;
     // PR1 analog: bag covers are monotone under subsets, so covering the
     // whole active set bounds every remaining bag cover.
-    int all_cover =
-        eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_, nullptr);
+    int all_cover = WholeRemainderCover();
     int w = std::max(g_val, all_cover);
     if (w < ub_) {
       ub_ = w;
@@ -106,7 +134,7 @@ class GhwBbSearch {
     }
     if (all_cover <= g_val) return;  // completions below cannot beat g_val
 
-    int hb = RemainingGhwLowerBound(eg_, h_, &rng_);
+    int hb = RemainingLowerBound();
     int f = std::max({g_val, hb, f_parent});
     if (f >= ub_) return;
 
@@ -123,31 +151,32 @@ class GhwBbSearch {
       }
     }
 
-    std::vector<int> children;
+    // (cost, vertex) pairs in elimination-candidate order; reused per
+    // depth so the hot loop allocates nothing in steady state. Sorting by
+    // cost alone keeps the stable order of equal-cost vertices identical
+    // to the previous index-based stable sort.
+    std::vector<std::pair<int, int>>& children = child_scratch_[suffix_.size()];
+    children.clear();
     if (forced >= 0) {
-      children.push_back(forced);
+      children.emplace_back(BagCoverOf(forced), forced);
     } else {
-      children = eg_.ActiveBits().ToVector();
+      for (int v = eg_.ActiveBits().First(); v >= 0;
+           v = eg_.ActiveBits().Next(v)) {
+        children.emplace_back(BagCoverOf(v), v);
+      }
       // Cheapest bags first.
-      std::vector<int> cost(children.size());
-      for (size_t i = 0; i < children.size(); ++i)
-        cost[i] = BagCoverOf(children[i]);
-      std::vector<int> idx(children.size());
-      for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
-      std::stable_sort(idx.begin(), idx.end(),
-                       [&cost](int a, int b) { return cost[a] < cost[b]; });
-      std::vector<int> sorted;
-      sorted.reserve(children.size());
-      for (int i : idx) sorted.push_back(children[i]);
-      children = std::move(sorted);
+      std::stable_sort(children.begin(), children.end(),
+                       [](const std::pair<int, int>& a,
+                          const std::pair<int, int>& b) {
+                         return a.first < b.first;
+                       });
     }
 
-    for (int v : children) {
+    for (const auto& [c, v] : children) {
       if (opts_.use_pr2 && forced < 0 && parent_free && prev_vertex >= 0 &&
           v < prev_vertex && !prev_nb.Test(v)) {
         continue;  // PR2: swap-equivalent ordering explored elsewhere
       }
-      int c = BagCoverOf(v);
       if (std::max(g_val, c) >= ub_) continue;
       Bitset nb = eg_.NeighborBits(v);
       suffix_.push_back(v);
@@ -155,22 +184,27 @@ class GhwBbSearch {
       Dfs(std::max(g_val, c), f, v, nb, forced < 0);
       eg_.UndoElimination();
       suffix_.pop_back();
-      if (aborted_) return;
+      if (budget_.Exceeded()) return;
     }
   }
 
   const Hypergraph& h_;
   GhwSearchOptions opts_;
   Rng rng_;
-  Deadline deadline_;
+  SearchBudget budget_;
   GhwEvaluator eval_;
   EliminationGraph eg_;
   int n_;
+  bool use_cache_;
+  bool use_memos_;
   int ub_ = 0;
   EliminationOrdering best_;
   std::vector<int> suffix_;
   long nodes_ = 0;
-  bool aborted_ = false;
+  std::vector<std::vector<std::pair<int, int>>> child_scratch_;
+  DecompCache cache_;
+  std::unordered_map<Bitset, int> all_cover_memo_;
+  std::unordered_map<Bitset, int> hb_memo_;
 };
 
 }  // namespace

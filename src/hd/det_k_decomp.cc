@@ -1,49 +1,159 @@
 #include "hd/det_k_decomp.h"
 
 #include <algorithm>
+#include <atomic>
+#include <climits>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "bounds/ghw_lower_bounds.h"
+#include "ghd/search_common.h"
+#include "search/decomp_cache.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
 
-class DetKSearch {
+// Read-only problem description shared by all search workers.
+struct DetKContext {
+  const Hypergraph& h;
+  int k;
+  int n;
+  int m;
+  DecompCache* cache;  // nullptr: shared memoization disabled
+};
+
+// One det-k search worker. Workers own their node arrays and their
+// VarsOfEdges memo; the (component, connector, k) cache and the budget's
+// tick counter are shared through DetKContext / SearchBudget. All
+// enumeration orders are deterministic functions of the subproblem, so
+// every worker that solves a subproblem positively records the *same*
+// witness subtree — which is what makes sharing positive entries across
+// threads result-deterministic.
+class DetKWorker {
  public:
-  DetKSearch(const Hypergraph& h, int k, const SearchOptions& opts)
-      : h_(h),
-        k_(k),
-        n_(h.NumVertices()),
-        m_(h.NumEdges()),
-        deadline_(opts.time_limit_seconds),
-        max_nodes_(opts.max_nodes) {}
+  DetKWorker(const DetKContext& ctx, SearchBudget budget,
+             std::function<bool()> superseded = nullptr)
+      : ctx_(ctx),
+        budget_(std::move(budget)),
+        superseded_(std::move(superseded)) {}
 
   bool aborted() const { return aborted_; }
 
-  std::optional<HypertreeDecomposition> Run() {
-    Bitset all_edges(m_);
-    all_edges.SetAll();
-    if (!Decompose(all_edges, Bitset(n_), -1)) return std::nullopt;
-    // Convert the recorded nodes into a HypertreeDecomposition (nodes were
-    // appended parent-first).
-    HypertreeDecomposition hd(n_);
-    for (size_t p = 0; p < chi_.size(); ++p) {
-      hd.AddNode(chi_[p], lambda_[p], parent_[p]);
+  // True when the abort came from the superseded check (a lower-index
+  // root task already succeeded), not from the budget.
+  bool superseded_abort() const { return superseded_abort_; }
+
+  // Tries to decompose `comp` under connecting vertices `conn`; appends
+  // decomposition nodes under `parent` on success (rolled back on fail).
+  bool Decompose(const Bitset& comp, const Bitset& conn, int parent) {
+    if (BudgetExceeded()) return false;
+    if (comp.None()) return true;
+    if (ctx_.cache != nullptr) {
+      std::shared_ptr<const CachedSubtree> sub;
+      switch (ctx_.cache->Lookup(comp, conn, ctx_.k, &sub)) {
+        case DecompCache::Outcome::kNegative:
+          return false;
+        case DecompCache::Outcome::kPositive:
+          Splice(*sub, parent);
+          return true;
+        case DecompCache::Outcome::kUnknown:
+          break;
+      }
+    } else if (LocalFailed(comp, conn)) {
+      return false;
     }
-    return hd;
+    size_t mark = chi_.size();
+    bool ok = Search(comp, conn, parent);
+    if (ctx_.cache != nullptr) {
+      if (ok) {
+        ctx_.cache->InsertPositive(comp, conn, ctx_.k, Capture(mark));
+      } else if (!aborted_) {
+        ctx_.cache->InsertNegative(comp, conn, ctx_.k);
+      }
+    } else if (!ok && !aborted_) {
+      failed_[comp].push_back(conn);
+    }
+    return ok;
   }
 
- private:
-  Bitset VarsOfEdges(const Bitset& edges) const {
-    Bitset vars(n_);
-    for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
-      vars |= h_.EdgeBits(e);
+  // Explores the root separators whose lowest-index candidate is
+  // candidates[from] (one task of the parallelized top-level loop;
+  // mirrors one iteration of EnumerateSeparators at the root).
+  bool RootTask(const Bitset& comp, const Bitset& conn, const Bitset& scope,
+                const std::vector<int>& candidates, size_t from) {
+    if (BudgetExceeded()) return false;
+    int e = candidates[from];
+    std::vector<int> sep{e};
+    return EnumerateSeparators(comp, conn, scope, candidates, from + 1, &sep,
+                               ctx_.h.EdgeBits(e), /*parent=*/-1);
+  }
+
+  // Sorted candidate separator edges for (comp, conn): edges intersecting
+  // the scope, those covering many connector vertices first. Deterministic
+  // (stable sort over the fixed edge order).
+  std::vector<int> Candidates(const Bitset& conn, const Bitset& scope) const {
+    std::vector<int> candidates;
+    for (int e = 0; e < ctx_.m; ++e) {
+      if (ctx_.h.EdgeBits(e).Intersects(scope)) candidates.push_back(e);
     }
-    return vars;
+    std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return ctx_.h.EdgeBits(a).IntersectCount(conn) >
+             ctx_.h.EdgeBits(b).IntersectCount(conn);
+    });
+    return candidates;
+  }
+
+  // var(edges), memoized per edge set: the same component/separator edge
+  // sets recur on every recursion level.
+  const Bitset& VarsOfEdges(const Bitset& edges) {
+    auto it = vars_memo_.find(edges);
+    if (it != vars_memo_.end()) return it->second;
+    Bitset vars(ctx_.n);
+    for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
+      vars |= ctx_.h.EdgeBits(e);
+    }
+    return vars_memo_.emplace(edges, std::move(vars)).first->second;
+  }
+
+  // Recorded decomposition nodes, parent-first.
+  std::vector<Bitset> chi_;
+  std::vector<std::vector<int>> lambda_;
+  std::vector<int> parent_;
+
+ private:
+  bool BudgetExceeded() {
+    if (aborted_) return true;
+    if (budget_.Tick()) {
+      aborted_ = true;
+    } else if (superseded_ != nullptr && superseded_()) {
+      aborted_ = true;
+      superseded_abort_ = true;
+    }
+    return aborted_;
+  }
+
+  bool LocalFailed(const Bitset& comp, const Bitset& conn) const {
+    auto it = failed_.find(comp);
+    if (it == failed_.end()) return false;
+    for (const Bitset& c : it->second) {
+      if (c == conn) return true;
+    }
+    return false;
+  }
+
+  // The separator enumeration for one (comp, conn) subproblem.
+  bool Search(const Bitset& comp, const Bitset& conn, int parent) {
+    Bitset scope = VarsOfEdges(comp) | conn;
+    std::vector<int> candidates = Candidates(conn, scope);
+    std::vector<int> sep;
+    return EnumerateSeparators(comp, conn, scope, candidates, 0, &sep,
+                               Bitset(ctx_.n), parent);
   }
 
   // Edge components of `comp` w.r.t. separator vertices `sep_vars`:
@@ -53,14 +163,14 @@ class DetKSearch {
                                  const Bitset& sep_vars) const {
     std::vector<int> pending;
     for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
-      if (!h_.EdgeBits(e).IsSubsetOf(sep_vars)) pending.push_back(e);
+      if (!ctx_.h.EdgeBits(e).IsSubsetOf(sep_vars)) pending.push_back(e);
     }
     std::vector<Bitset> out;
-    std::vector<bool> assigned(m_, false);
+    std::vector<bool> assigned(ctx_.m, false);
     for (int seed : pending) {
       if (assigned[seed]) continue;
-      Bitset comp_edges(m_);
-      Bitset frontier_vars = h_.EdgeBits(seed) - sep_vars;
+      Bitset comp_edges(ctx_.m);
+      Bitset frontier_vars = ctx_.h.EdgeBits(seed) - sep_vars;
       comp_edges.Set(seed);
       assigned[seed] = true;
       bool grew = true;
@@ -68,7 +178,7 @@ class DetKSearch {
         grew = false;
         for (int e : pending) {
           if (assigned[e]) continue;
-          Bitset outside = h_.EdgeBits(e) - sep_vars;
+          Bitset outside = ctx_.h.EdgeBits(e) - sep_vars;
           if (outside.Intersects(frontier_vars)) {
             comp_edges.Set(e);
             assigned[e] = true;
@@ -82,51 +192,7 @@ class DetKSearch {
     return out;
   }
 
-  bool Failed(const Bitset& comp, const Bitset& conn) {
-    auto it = failed_.find(comp);
-    if (it == failed_.end()) return false;
-    for (const Bitset& c : it->second) {
-      if (c == conn) return true;
-    }
-    return false;
-  }
-
-  bool BudgetExceeded() {
-    if (aborted_) return true;
-    if ((++ticks_ & 63) == 0 && deadline_.Expired()) aborted_ = true;
-    if (max_nodes_ > 0 && ticks_ >= max_nodes_) aborted_ = true;
-    return aborted_;
-  }
-
-  // Tries to decompose `comp` under connecting vertices `conn`; appends
-  // decomposition nodes under `parent` on success (rolled back on fail).
-  bool Decompose(const Bitset& comp, const Bitset& conn, int parent) {
-    if (BudgetExceeded()) return false;
-    if (comp.None()) return true;
-    if (Failed(comp, conn)) return false;
-
-    Bitset comp_vars = VarsOfEdges(comp);
-    Bitset scope = comp_vars | conn;
-
-    // Candidate separator edges: must intersect the scope.
-    std::vector<int> candidates;
-    for (int e = 0; e < m_; ++e) {
-      if (h_.EdgeBits(e).Intersects(scope)) candidates.push_back(e);
-    }
-    // Prefer edges covering many connector vertices.
-    std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-      return h_.EdgeBits(a).IntersectCount(conn) >
-             h_.EdgeBits(b).IntersectCount(conn);
-    });
-
-    std::vector<int> sep;
-    bool ok = EnumerateSeparators(comp, conn, scope, candidates, 0, &sep,
-                                  Bitset(n_), parent);
-    if (!ok && !aborted_) failed_[comp].push_back(conn);
-    return ok;
-  }
-
-  // Recursively chooses up to k_ separator edges from candidates[from..).
+  // Recursively chooses up to k separator edges from candidates[from..).
   bool EnumerateSeparators(const Bitset& comp, const Bitset& conn,
                            const Bitset& scope,
                            const std::vector<int>& candidates, size_t from,
@@ -138,14 +204,14 @@ class DetKSearch {
         return true;
       }
     }
-    if (static_cast<int>(sep->size()) == k_) return false;
+    if (static_cast<int>(sep->size()) == ctx_.k) return false;
     for (size_t i = from; i < candidates.size(); ++i) {
       int e = candidates[i];
       // Each added edge must contribute new scope vertices (otherwise it
       // neither helps covering conn nor splitting comp).
-      Bitset contrib = h_.EdgeBits(e) & scope;
+      Bitset contrib = ctx_.h.EdgeBits(e) & scope;
       if (contrib.IsSubsetOf(sep_vars)) continue;
-      Bitset next_vars = sep_vars | h_.EdgeBits(e);
+      Bitset next_vars = sep_vars | ctx_.h.EdgeBits(e);
       sep->push_back(e);
       if (EnumerateSeparators(comp, conn, scope, candidates, i + 1, sep,
                               next_vars, parent)) {
@@ -184,34 +250,146 @@ class DetKSearch {
     return true;
   }
 
-  const Hypergraph& h_;
-  int k_;
-  int n_;
-  int m_;
-  Deadline deadline_;
-  long max_nodes_;
-  long ticks_ = 0;
+  // Copies the nodes appended since `mark` into a relocatable subtree
+  // (subtree-relative parents, -1 for the subtree root).
+  std::shared_ptr<const CachedSubtree> Capture(size_t mark) const {
+    auto sub = std::make_shared<CachedSubtree>();
+    size_t count = chi_.size() - mark;
+    sub->chi.reserve(count);
+    sub->lambda.reserve(count);
+    sub->parent.reserve(count);
+    for (size_t i = mark; i < chi_.size(); ++i) {
+      sub->chi.push_back(chi_[i]);
+      sub->lambda.push_back(lambda_[i]);
+      int p = parent_[i];
+      sub->parent.push_back(p < static_cast<int>(mark)
+                                ? -1
+                                : p - static_cast<int>(mark));
+    }
+    return sub;
+  }
+
+  // Appends a recorded subtree under `parent`.
+  void Splice(const CachedSubtree& sub, int parent) {
+    int base = static_cast<int>(chi_.size());
+    for (size_t i = 0; i < sub.chi.size(); ++i) {
+      chi_.push_back(sub.chi[i]);
+      lambda_.push_back(sub.lambda[i]);
+      parent_.push_back(sub.parent[i] < 0 ? parent : base + sub.parent[i]);
+    }
+  }
+
+  const DetKContext& ctx_;
+  SearchBudget budget_;
+  std::function<bool()> superseded_;
   bool aborted_ = false;
-  std::unordered_map<Bitset, std::vector<Bitset>> failed_;
-  std::vector<Bitset> chi_;
-  std::vector<std::vector<int>> lambda_;
-  std::vector<int> parent_;
+  bool superseded_abort_ = false;
+  std::unordered_map<Bitset, std::vector<Bitset>> failed_;  // cache-off mode
+  std::unordered_map<Bitset, Bitset> vars_memo_;
 };
+
+std::optional<HypertreeDecomposition> BuildDecomposition(
+    const DetKContext& ctx, const DetKWorker& worker) {
+  HypertreeDecomposition hd(ctx.n);
+  for (size_t p = 0; p < worker.chi_.size(); ++p) {
+    hd.AddNode(worker.chi_[p], worker.lambda_[p], worker.parent_[p]);
+  }
+  return hd;
+}
+
+// Runs det-k with the given shared cache (may be null). The top-level
+// separator loop is split per lowest-index candidate across the pool;
+// the lowest successful index wins regardless of completion order, so
+// the result is the one the sequential enumeration would produce.
+std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
+                                              const SearchOptions& options,
+                                              bool* aborted) {
+  SearchBudget budget(options);
+  Bitset all_edges(ctx.m);
+  all_edges.SetAll();
+  Bitset root_conn(ctx.n);
+
+  int threads = options.threads > 0 ? options.threads
+                                    : ThreadPool::HardwareThreads();
+
+  if (threads <= 1) {
+    DetKWorker worker(ctx, budget);
+    bool ok = worker.Decompose(all_edges, root_conn, -1);
+    if (aborted != nullptr) *aborted = worker.aborted();
+    if (!ok) return std::nullopt;
+    return BuildDecomposition(ctx, worker);
+  }
+
+  // Root subproblem setup (mirrors DetKWorker::Search at the root).
+  DetKWorker scout(ctx, budget);
+  Bitset scope = scout.VarsOfEdges(all_edges) | root_conn;
+  std::vector<int> candidates = scout.Candidates(root_conn, scope);
+  if (candidates.empty()) {
+    if (aborted != nullptr) *aborted = false;
+    return std::nullopt;
+  }
+
+  std::atomic<int> best_index{INT_MAX};
+  std::vector<std::unique_ptr<DetKWorker>> workers(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    workers[i] = std::make_unique<DetKWorker>(
+        ctx, budget, [&best_index, i] {
+          return best_index.load(std::memory_order_relaxed) <
+                 static_cast<int>(i);
+        });
+  }
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      pool.Submit([&, i] {
+        if (best_index.load(std::memory_order_relaxed) < static_cast<int>(i))
+          return;  // already superseded before starting
+        if (workers[i]->RootTask(all_edges, root_conn, scope, candidates,
+                                 i)) {
+          int seen = best_index.load(std::memory_order_relaxed);
+          while (static_cast<int>(i) < seen &&
+                 !best_index.compare_exchange_weak(
+                     seen, static_cast<int>(i), std::memory_order_relaxed)) {
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  int winner = best_index.load(std::memory_order_relaxed);
+  if (winner != INT_MAX) {
+    if (aborted != nullptr) *aborted = false;
+    return BuildDecomposition(ctx, *workers[winner]);
+  }
+  bool any_aborted = false;
+  for (const auto& w : workers) {
+    if (w->aborted() && !w->superseded_abort()) any_aborted = true;
+  }
+  if (aborted != nullptr) *aborted = any_aborted;
+  return std::nullopt;
+}
+
+std::optional<HypertreeDecomposition> DetKDecompImpl(
+    const Hypergraph& h, int k, const SearchOptions& options,
+    DecompCache* cache, bool* aborted) {
+  HT_CHECK(k >= 1);
+  if (aborted != nullptr) *aborted = false;
+  if (h.NumEdges() == 0) {
+    return HypertreeDecomposition(h.NumVertices());
+  }
+  DetKContext ctx{h, k, h.NumVertices(), h.NumEdges(),
+                  options.use_decomp_cache ? cache : nullptr};
+  return RunDetK(ctx, options, aborted);
+}
 
 }  // namespace
 
 std::optional<HypertreeDecomposition> DetKDecomp(const Hypergraph& h, int k,
                                                  const SearchOptions& options,
                                                  bool* aborted) {
-  HT_CHECK(k >= 1);
-  if (h.NumEdges() == 0) {
-    if (aborted != nullptr) *aborted = false;
-    return HypertreeDecomposition(h.NumVertices());
-  }
-  DetKSearch search(h, k, options);
-  auto result = search.Run();
-  if (aborted != nullptr) *aborted = search.aborted();
-  return result;
+  DecompCache cache;
+  return DetKDecompImpl(h, k, options, &cache, aborted);
 }
 
 WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
@@ -229,6 +407,9 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
   res.lower_bound = lb;
   res.upper_bound = m;  // trivial: one node with all edges
   Deadline deadline(options.time_limit_seconds);
+  // One cache for all k iterations: entries are keyed on k, so refutation
+  // work at k never contaminates k+1, but the stats aggregate naturally.
+  DecompCache cache;
   for (int k = std::max(1, lb); k <= m; ++k) {
     SearchOptions sub = options;
     if (options.time_limit_seconds > 0) {
@@ -237,7 +418,7 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
       if (sub.time_limit_seconds <= 0) break;
     }
     bool aborted = false;
-    auto hd = DetKDecomp(h, k, sub, &aborted);
+    auto hd = DetKDecompImpl(h, k, sub, &cache, &aborted);
     if (hd.has_value()) {
       res.upper_bound = k;
       res.lower_bound = k;
@@ -248,6 +429,7 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
     if (aborted) break;       // budget ran out: bounds only
     res.lower_bound = k + 1;  // hw > k proven
   }
+  res.cache_stats = cache.stats();
   res.seconds = timer.ElapsedSeconds();
   return res;
 }

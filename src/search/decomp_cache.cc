@@ -1,0 +1,104 @@
+#include "search/decomp_cache.h"
+
+namespace hypertree {
+
+DecompCache::DecompCache(int num_shards) {
+  int n = num_shards < 1 ? 1 : num_shards;
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+DecompCache::Outcome DecompCache::Lookup(
+    const Bitset& component, const Bitset& connector, int k,
+    std::shared_ptr<const CachedSubtree>* subtree) {
+  Key key{component, connector, k};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.outcome == Outcome::kUnknown) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kUnknown;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.outcome == Outcome::kPositive && subtree != nullptr) {
+    *subtree = it->second.subtree;
+  }
+  return it->second.outcome;
+}
+
+void DecompCache::InsertNegative(const Bitset& component,
+                                 const Bitset& connector, int k) {
+  Key key{component, connector, k};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[std::move(key)];
+  if (e.outcome == Outcome::kUnknown) {
+    e.outcome = Outcome::kNegative;
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DecompCache::InsertPositive(const Bitset& component,
+                                 const Bitset& connector, int k,
+                                 std::shared_ptr<const CachedSubtree> subtree) {
+  Key key{component, connector, k};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[std::move(key)];
+  if (e.outcome != Outcome::kPositive) {
+    e.outcome = Outcome::kPositive;
+    e.subtree = std::move(subtree);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool DecompCache::DominatedOrInsert(const Bitset& state, int value) {
+  Key key = TranspositionKey(state);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end() && it->second.outcome == Outcome::kPositive &&
+      it->second.value <= value) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Entry& e = it != shard.map.end() ? it->second : shard.map[std::move(key)];
+  e.outcome = Outcome::kPositive;
+  e.value = value;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool DecompCache::DominatedStrict(const Bitset& state, int value) {
+  Key key = TranspositionKey(state);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  bool dominated = it != shard.map.end() &&
+                   it->second.outcome == Outcome::kPositive &&
+                   it->second.value < value;
+  if (dominated) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return dominated;
+}
+
+DecompCacheStats DecompCache::stats() const {
+  DecompCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DecompCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+}
+
+}  // namespace hypertree

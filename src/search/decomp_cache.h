@@ -1,0 +1,139 @@
+// Shared memo table for the exact decomposition searches.
+//
+// Two usage patterns share one keyed store:
+//
+//  1. det-k-decomp subproblem memoization (Gottlob, Leone & Scarcello's
+//     detkdecomp): key (component, connector, k). A *negative* entry
+//     records that the component provably has no hypertree decomposition
+//     of width <= k under that connector; a *positive* entry additionally
+//     stores the witness subtree so later hits splice it instead of
+//     re-deriving it. Both are order-independent facts, which is what
+//     makes the table safe to share across concurrent search workers.
+//
+//  2. Transposition / dominance tables for the elimination-ordering
+//     searches (BB-ghw, A*-ghw): key is the eliminated vertex set, the
+//     value the smallest g (max bag cover so far) the set was reached
+//     with. A revisit with g' >= g is dominated and pruned.
+//
+// The table is sharded by key hash; every shard has its own mutex, so
+// concurrent workers rarely contend. Hit/miss/insert counters are
+// maintained with relaxed atomics and reported via stats().
+
+#ifndef HYPERTREE_SEARCH_DECOMP_CACHE_H_
+#define HYPERTREE_SEARCH_DECOMP_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace hypertree {
+
+/// Cache effectiveness counters (plain struct so results can carry it
+/// without linking the cache library).
+struct DecompCacheStats {
+  long hits = 0;     // lookups answered from the table
+  long misses = 0;   // lookups that found nothing usable
+  long inserts = 0;  // entries written
+
+  DecompCacheStats& operator+=(const DecompCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    inserts += o.inserts;
+    return *this;
+  }
+};
+
+/// A recorded decomposition subtree: nodes in parent-first order with
+/// subtree-relative parent indices (-1 marks the subtree root, which the
+/// splicing search re-parents under its current node).
+struct CachedSubtree {
+  std::vector<Bitset> chi;
+  std::vector<std::vector<int>> lambda;
+  std::vector<int> parent;
+};
+
+/// Thread-safe memo table keyed on (Bitset, Bitset, int).
+class DecompCache {
+ public:
+  enum class Outcome { kUnknown, kPositive, kNegative };
+
+  /// `num_shards` independent lock domains (rounded up to at least 1).
+  explicit DecompCache(int num_shards = 16);
+
+  /// Looks up a det-k subproblem. On kPositive, `*subtree` (when non-null)
+  /// receives the recorded witness.
+  Outcome Lookup(const Bitset& component, const Bitset& connector, int k,
+                 std::shared_ptr<const CachedSubtree>* subtree = nullptr);
+
+  /// Records that (component, connector) has no width-<=k decomposition.
+  void InsertNegative(const Bitset& component, const Bitset& connector, int k);
+
+  /// Records a witness subtree for (component, connector, k).
+  void InsertPositive(const Bitset& component, const Bitset& connector, int k,
+                      std::shared_ptr<const CachedSubtree> subtree);
+
+  /// Transposition-table probe: returns true (and counts a hit) when the
+  /// state was already reached with a value <= `value`; otherwise records
+  /// `value` as the new best and returns false. Atomic per state.
+  bool DominatedOrInsert(const Bitset& state, int value);
+
+  /// True when the state's recorded best value is strictly below `value`.
+  /// Never inserts (A* uses this to drop stale queue entries).
+  bool DominatedStrict(const Bitset& state, int value);
+
+  /// Snapshot of the counters.
+  DecompCacheStats stats() const;
+
+  /// Drops all entries (counters are kept).
+  void Clear();
+
+ private:
+  struct Key {
+    Bitset a;
+    Bitset b;
+    int k;
+    bool operator==(const Key& o) const {
+      return k == o.k && a == o.a && b == o.b;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t h = key.a.Hash();
+      h ^= key.b.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(key.k) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    Outcome outcome = Outcome::kUnknown;
+    int value = 0;
+    std::shared_ptr<const CachedSubtree> subtree;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+  static Key TranspositionKey(const Bitset& state) {
+    // Transposition entries live in the same store under k = -1 (det-k
+    // keys always have k >= 1, so the spaces cannot collide).
+    return Key{state, Bitset(), -1};
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> inserts_{0};
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_SEARCH_DECOMP_CACHE_H_

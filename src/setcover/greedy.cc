@@ -4,9 +4,46 @@
 
 namespace hypertree {
 
+namespace {
+
+// Specialization for universes of at most 64 elements: the whole scan
+// runs on plain words. Pick sequence, tie-breaking draws and the result
+// are identical to the general path.
+int GreedySetCover1Word(const std::vector<Bitset>& candidates,
+                        const Bitset& target, Rng* rng,
+                        std::vector<int>* chosen) {
+  uint64_t uncovered = target.NumWords() > 0 ? target.Word(0) : 0;
+  int m = static_cast<int>(candidates.size());
+  int used = 0;
+  while (uncovered != 0) {
+    int best = -1, best_cover = 0, ties = 0;
+    for (int i = 0; i < m; ++i) {
+      int cover = __builtin_popcountll(candidates[i].Word(0) & uncovered);
+      if (cover > best_cover) {
+        best = i;
+        best_cover = cover;
+        ties = 1;
+      } else if (cover == best_cover && cover > 0 && rng != nullptr) {
+        ++ties;
+        if (rng->UniformInt(ties) == 0) best = i;
+      }
+    }
+    HT_CHECK_MSG(best >= 0, "target not coverable by candidate sets");
+    uncovered &= ~candidates[best].Word(0);
+    ++used;
+    if (chosen != nullptr) chosen->push_back(best);
+  }
+  return used;
+}
+
+}  // namespace
+
 int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
                    Rng* rng, std::vector<int>* chosen) {
   if (chosen != nullptr) chosen->clear();
+  if (target.NumWords() <= 1) {
+    return GreedySetCover1Word(candidates, target, rng, chosen);
+  }
   Bitset uncovered = target;
   int used = 0;
   while (uncovered.Any()) {

@@ -138,7 +138,7 @@ WidthResult AStarTreewidth(const Graph& g, const SearchOptions& options) {
       int child_g = std::max(parent_g, d);
       if (child_g >= ub) continue;
       eg.Eliminate(v);
-      int h = MinorMinWidthLowerBound(eg.CurrentGraph(), &rng);
+      int h = MinorMinWidthLowerBound(eg, &rng);
       eg.UndoElimination();
       int f = std::max({child_g, h, parent_f});
       if (f >= ub) continue;

@@ -93,7 +93,7 @@ class BbSearch {
     if (remaining - 1 <= g_val) return;  // cannot beat g_val below here
 
     // Remaining-graph lower bound.
-    int h = MinorMinWidthLowerBound(eg_.CurrentGraph(), &rng_);
+    int h = MinorMinWidthLowerBound(eg_, &rng_);
     int f = std::max({g_val, h, f_parent});
     if (f >= ub_) return;
 

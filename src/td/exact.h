@@ -6,7 +6,9 @@
 #include <cstdint>
 
 #include "ordering/ordering.h"
+#include "search/decomp_cache.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hypertree {
 
@@ -18,6 +20,7 @@ struct WidthResult {
   long nodes = 0;        // search nodes expanded
   double seconds = 0.0;  // wall time spent
   EliminationOrdering best_ordering;  // witnesses upper_bound
+  DecompCacheStats cache_stats;  // memo/transposition table effectiveness
 };
 
 /// Budget/feature knobs for the exact searches.
@@ -33,6 +36,17 @@ struct SearchOptions {
   /// which may be wider. <= 0: compute via min-fill.
   int initial_upper_bound = -1;
   uint64_t seed = 1;                     // tie-breaking seed
+  /// Worker threads for the parallel phases (det-k-decomp's root
+  /// separator search). <= 0: hardware concurrency. Results are
+  /// deterministic regardless of the thread count.
+  int threads = 0;
+  /// Memoization: det-k's (component, connector, k) subproblem cache and
+  /// the BB/A* transposition tables. Off reverts to the seed behavior
+  /// (per-run local negative memo only) for ablation/soundness checks.
+  bool use_decomp_cache = true;
+  /// Cooperative external cancellation; Cancel() makes the search return
+  /// its anytime bounds as if the deadline had expired.
+  CancellationToken cancel;
 };
 
 }  // namespace hypertree

@@ -9,8 +9,10 @@
 #ifndef HYPERTREE_UTIL_BITSET_H_
 #define HYPERTREE_UTIL_BITSET_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -20,12 +22,86 @@
 namespace hypertree {
 
 /// Dynamically sized bitset with word-parallel set algebra.
+///
+/// Sets of up to 64 elements are stored inline (no heap allocation), which
+/// matters because the exact searches copy bitsets on every node: memo
+/// table keys, neighborhoods, bag covers. Larger universes fall back to a
+/// heap array.
 class Bitset {
  public:
-  Bitset() : size_(0) {}
+  Bitset() : size_(0), nwords_(0), word_(0) {}
 
   /// Creates a bitset holding `size` bits, all zero.
-  explicit Bitset(int size) : size_(size), words_((size + 63) / 64, 0) {}
+  explicit Bitset(int size) : size_(size), nwords_((size + 63) / 64) {
+    if (nwords_ > 1) {
+      heap_ = new uint64_t[nwords_]();
+    } else {
+      word_ = 0;
+    }
+  }
+
+  Bitset(const Bitset& o) : size_(o.size_), nwords_(o.nwords_) {
+    if (nwords_ > 1) {
+      heap_ = new uint64_t[nwords_];
+      std::memcpy(heap_, o.heap_, sizeof(uint64_t) * nwords_);
+    } else {
+      word_ = o.word_;
+    }
+  }
+
+  Bitset(Bitset&& o) noexcept : size_(o.size_), nwords_(o.nwords_) {
+    if (nwords_ > 1) {
+      heap_ = o.heap_;
+    } else {
+      word_ = o.word_;
+    }
+    o.size_ = 0;
+    o.nwords_ = 0;
+    o.word_ = 0;
+  }
+
+  Bitset& operator=(const Bitset& o) {
+    if (this == &o) return *this;
+    if (nwords_ == o.nwords_) {  // reuse existing storage
+      size_ = o.size_;
+      if (nwords_ > 1) {
+        std::memcpy(heap_, o.heap_, sizeof(uint64_t) * nwords_);
+      } else {
+        word_ = o.word_;
+      }
+      return *this;
+    }
+    if (nwords_ > 1) delete[] heap_;
+    size_ = o.size_;
+    nwords_ = o.nwords_;
+    if (nwords_ > 1) {
+      heap_ = new uint64_t[nwords_];
+      std::memcpy(heap_, o.heap_, sizeof(uint64_t) * nwords_);
+    } else {
+      word_ = o.word_;
+    }
+    return *this;
+  }
+
+  Bitset& operator=(Bitset&& o) noexcept {
+    if (this == &o) return *this;
+    if (nwords_ > 1) delete[] heap_;
+    size_ = o.size_;
+    nwords_ = o.nwords_;
+    if (nwords_ > 1) {
+      heap_ = o.heap_;
+    } else {
+      word_ = o.word_;
+    }
+    o.size_ = 0;
+    o.nwords_ = 0;
+    o.word_ = 0;
+    return *this;
+  }
+
+  ~Bitset() {
+    if (nwords_ > 1) delete[] heap_;
+  }
 
   /// Number of bits (the universe size, not the population count).
   int size() const { return size_; }
@@ -33,41 +109,43 @@ class Bitset {
   /// Sets bit `i` to one.
   void Set(int i) {
     HT_DCHECK(i >= 0 && i < size_);
-    words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+    words()[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
   }
 
   /// Clears bit `i`.
   void Reset(int i) {
     HT_DCHECK(i >= 0 && i < size_);
-    words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+    words()[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
   }
 
   /// Returns whether bit `i` is set.
   bool Test(int i) const {
     HT_DCHECK(i >= 0 && i < size_);
-    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+    return (words()[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
   }
 
   /// Clears all bits.
-  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+  void Clear() { std::fill(words(), words() + nwords_, uint64_t{0}); }
 
   /// Sets all bits in [0, size).
   void SetAll() {
-    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    std::fill(words(), words() + nwords_, ~uint64_t{0});
     TrimTail();
   }
 
   /// Number of set bits.
   int Count() const {
+    const uint64_t* w = words();
     int c = 0;
-    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    for (int i = 0; i < nwords_; ++i) c += __builtin_popcountll(w[i]);
     return c;
   }
 
   /// True if no bit is set.
   bool None() const {
-    for (uint64_t w : words_)
-      if (w != 0) return false;
+    const uint64_t* w = words();
+    for (int i = 0; i < nwords_; ++i)
+      if (w[i] != 0) return false;
     return true;
   }
 
@@ -76,9 +154,10 @@ class Bitset {
 
   /// Index of the lowest set bit, or -1 if empty.
   int First() const {
-    for (size_t i = 0; i < words_.size(); ++i)
-      if (words_[i] != 0)
-        return static_cast<int>(i * 64 + __builtin_ctzll(words_[i]));
+    const uint64_t* w = words();
+    for (int i = 0; i < nwords_; ++i)
+      if (w[i] != 0)
+        return static_cast<int>(i * 64 + __builtin_ctzll(w[i]));
     return -1;
   }
 
@@ -86,33 +165,40 @@ class Bitset {
   int Next(int i) const {
     ++i;
     if (i >= size_) return -1;
-    size_t w = static_cast<size_t>(i) >> 6;
-    uint64_t cur = words_[w] & (~uint64_t{0} << (i & 63));
+    const uint64_t* ws = words();
+    int w = i >> 6;
+    uint64_t cur = ws[w] & (~uint64_t{0} << (i & 63));
     while (true) {
       if (cur != 0) return static_cast<int>(w * 64 + __builtin_ctzll(cur));
-      if (++w >= words_.size()) return -1;
-      cur = words_[w];
+      if (++w >= nwords_) return -1;
+      cur = ws[w];
     }
   }
 
   /// In-place union.
   Bitset& operator|=(const Bitset& o) {
     HT_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i) w[i] |= ow[i];
     return *this;
   }
 
   /// In-place intersection.
   Bitset& operator&=(const Bitset& o) {
     HT_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i) w[i] &= ow[i];
     return *this;
   }
 
   /// In-place set difference (this \ o).
   Bitset& operator-=(const Bitset& o) {
     HT_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i) w[i] &= ~ow[i];
     return *this;
   }
 
@@ -121,32 +207,43 @@ class Bitset {
   friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
 
   bool operator==(const Bitset& o) const {
-    return size_ == o.size_ && words_ == o.words_;
+    if (size_ != o.size_) return false;
+    const uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i)
+      if (w[i] != ow[i]) return false;
+    return true;
   }
   bool operator!=(const Bitset& o) const { return !(*this == o); }
 
   /// True if this is a subset of `o`.
   bool IsSubsetOf(const Bitset& o) const {
     HT_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i)
-      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    const uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i)
+      if ((w[i] & ~ow[i]) != 0) return false;
     return true;
   }
 
   /// True if this and `o` share at least one set bit.
   bool Intersects(const Bitset& o) const {
     HT_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i)
-      if ((words_[i] & o.words_[i]) != 0) return true;
+    const uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i)
+      if ((w[i] & ow[i]) != 0) return true;
     return false;
   }
 
   /// Population count of the intersection, without materializing it.
   int IntersectCount(const Bitset& o) const {
     HT_DCHECK(size_ == o.size_);
+    const uint64_t* w = words();
+    const uint64_t* ow = o.words();
     int c = 0;
-    for (size_t i = 0; i < words_.size(); ++i)
-      c += __builtin_popcountll(words_[i] & o.words_[i]);
+    for (int i = 0; i < nwords_; ++i)
+      c += __builtin_popcountll(w[i] & ow[i]);
     return c;
   }
 
@@ -165,11 +262,21 @@ class Bitset {
     return b;
   }
 
+  /// Number of 64-bit words backing the set.
+  int NumWords() const { return nwords_; }
+
+  /// The `i`-th backing word (bits [64i, 64i+64)).
+  uint64_t Word(int i) const {
+    HT_DCHECK(i >= 0 && i < nwords_);
+    return words()[i];
+  }
+
   /// Stable 64-bit hash of the contents (for visited-state tables).
   uint64_t Hash() const {
+    const uint64_t* w = words();
     uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size_);
-    for (uint64_t w : words_) {
-      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    for (int i = 0; i < nwords_; ++i) {
+      h ^= w[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     }
     return h;
   }
@@ -178,14 +285,20 @@ class Bitset {
   std::string ToString() const;
 
  private:
+  uint64_t* words() { return nwords_ > 1 ? heap_ : &word_; }
+  const uint64_t* words() const { return nwords_ > 1 ? heap_ : &word_; }
+
   void TrimTail() {
     int tail = size_ & 63;
-    if (tail != 0 && !words_.empty())
-      words_.back() &= (uint64_t{1} << tail) - 1;
+    if (tail != 0) words()[nwords_ - 1] &= (uint64_t{1} << tail) - 1;
   }
 
   int size_;
-  std::vector<uint64_t> words_;
+  int nwords_;
+  union {
+    uint64_t word_;    // inline storage when nwords_ <= 1
+    uint64_t* heap_;   // owned array when nwords_ > 1
+  };
 };
 
 }  // namespace hypertree

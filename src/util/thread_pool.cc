@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace hypertree {
+
+int ThreadPool::HardwareThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads <= 0 ? HardwareThreads() : num_threads;
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace hypertree

@@ -1,0 +1,124 @@
+// End-to-end guarantees of the memoized, multi-threaded search core:
+//
+//  * determinism: HypertreeWidth with threads=1 and threads=8 returns the
+//    same width AND the identical witness decomposition whenever the
+//    single-threaded run completes exactly (lowest-index-wins separator
+//    selection makes the parallel root search canonical);
+//  * soundness of memoization: enabling/disabling the decomposition cache
+//    never changes a completed search's width.
+//
+// Instances whose single-threaded run exhausts its budget (grid3d_3 on
+// slow machines) only get anytime sanity checks — aborted searches report
+// schedule-dependent bounds by design.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hd/det_k_decomp.h"
+#include "hypergraph/parser.h"
+#include "td/exact.h"
+
+namespace hypertree {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(HYPERTREE_SOURCE_DIR) + "/data/" + name;
+}
+
+const char* kInstances[] = {
+    "adder_8.hg",    "bridge_8.hg",  "clique_8.hg",    "grid2d_4.hg",
+    "grid3d_3.hg",   "cycle_10_3.hg", "circuit_40.hg", "random_25_30.hg",
+    "acyclic_18.hg",
+};
+
+Hypergraph Load(const std::string& name) {
+  std::string error;
+  auto h = ReadHypergraphFile(DataPath(name), &error);
+  EXPECT_TRUE(h.has_value()) << name << ": " << error;
+  return *h;
+}
+
+SearchOptions BudgetedOptions() {
+  SearchOptions opts;
+  // Generous for the instances that complete (all finish well under a
+  // second) while bounding the one known budget-buster (grid3d_3).
+  opts.time_limit_seconds = 2.0;
+  opts.max_nodes = 200000;
+  opts.seed = 1;
+  return opts;
+}
+
+void ExpectSameDecomposition(const HypertreeDecomposition& a,
+                             const HypertreeDecomposition& b,
+                             const std::string& name) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes()) << name;
+  for (int p = 0; p < a.NumNodes(); ++p) {
+    EXPECT_EQ(a.Chi(p), b.Chi(p)) << name << " chi of node " << p;
+    EXPECT_EQ(a.Lambda(p), b.Lambda(p)) << name << " lambda of node " << p;
+    EXPECT_EQ(a.Parent(p), b.Parent(p)) << name << " parent of node " << p;
+  }
+}
+
+TEST(SearchAccelerationTest, HypertreeWidthIsThreadCountInvariant) {
+  for (const char* name : kInstances) {
+    Hypergraph h = Load(name);
+
+    SearchOptions opts1 = BudgetedOptions();
+    opts1.threads = 1;
+    std::optional<HypertreeDecomposition> hd1;
+    WidthResult r1 = HypertreeWidth(h, opts1, &hd1);
+
+    SearchOptions opts8 = BudgetedOptions();
+    opts8.threads = 8;
+    std::optional<HypertreeDecomposition> hd8;
+    WidthResult r8 = HypertreeWidth(h, opts8, &hd8);
+
+    if (!r1.exact) {
+      // Aborted searches only promise anytime-valid bounds.
+      EXPECT_GE(r1.upper_bound, r1.lower_bound) << name;
+      EXPECT_GE(r8.upper_bound, r8.lower_bound) << name;
+      continue;
+    }
+    EXPECT_TRUE(r8.exact) << name;
+    EXPECT_EQ(r8.upper_bound, r1.upper_bound) << name;
+    EXPECT_EQ(r8.lower_bound, r1.lower_bound) << name;
+    ASSERT_TRUE(hd1.has_value()) << name;
+    ASSERT_TRUE(hd8.has_value()) << name;
+    std::string why;
+    EXPECT_TRUE(hd1->IsValidFor(h, &why)) << name << ": " << why;
+    ExpectSameDecomposition(*hd1, *hd8, name);
+  }
+}
+
+TEST(SearchAccelerationTest, CacheAblationPreservesWidths) {
+  for (const char* name : kInstances) {
+    Hypergraph h = Load(name);
+
+    SearchOptions with = BudgetedOptions();
+    with.threads = 1;
+    with.use_decomp_cache = true;
+    WidthResult on = HypertreeWidth(h, with, nullptr);
+
+    SearchOptions without = BudgetedOptions();
+    without.threads = 1;
+    without.use_decomp_cache = false;
+    WidthResult off = HypertreeWidth(h, without, nullptr);
+
+    if (!on.exact || !off.exact) {
+      EXPECT_GE(on.upper_bound, on.lower_bound) << name;
+      EXPECT_GE(off.upper_bound, off.lower_bound) << name;
+      continue;
+    }
+    EXPECT_EQ(on.upper_bound, off.upper_bound) << name;
+    EXPECT_EQ(on.lower_bound, off.lower_bound) << name;
+    // The memo table must actually be exercised somewhere in the sweep.
+    EXPECT_GT(on.cache_stats.inserts + on.cache_stats.misses, 0) << name;
+    EXPECT_EQ(off.cache_stats.inserts, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

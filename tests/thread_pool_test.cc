@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hypertree {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCoversNestedSubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      // Tasks submitted from inside a task must also be awaited.
+      pool.Submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+  ThreadPool pool(0);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(CancellationTokenTest, SharedAcrossCopies) {
+  CancellationToken token;
+  EXPECT_FALSE(token.Cancelled());
+  CancellationToken copy = token;
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(copy.Cancelled());
+}
+
+TEST(CancellationTokenTest, WorkersObserveCancellation) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int> started{0};
+  std::atomic<int> bailed{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&token, &started, &bailed] {
+      started.fetch_add(1, std::memory_order_relaxed);
+      if (token.Cancelled()) bailed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  token.Cancel();
+  pool.Wait();
+  EXPECT_EQ(started.load(), 20);  // tasks still run; they observe the flag
+  EXPECT_GE(bailed.load(), 0);
+}
+
+}  // namespace
+}  // namespace hypertree

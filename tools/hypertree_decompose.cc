@@ -8,6 +8,8 @@
 //   --method=...        bb | astar | ga | saiga | ls | minfill  (default bb)
 //   --measure=...       ghw | tw | hw | fhw                     (default ghw)
 //   --time-limit=SEC    budget for the exact searches             (default 10)
+//   --threads=N         worker threads for the parallel search phases
+//                       (default: hardware concurrency)
 //   --seed=N            RNG seed                                  (default 1)
 //   --output=FILE       write the witness decomposition: .td (PACE, tw
 //                       only) or .dot
@@ -36,7 +38,9 @@
 #include "td/astar.h"
 #include "td/branch_and_bound.h"
 #include "td/pace.h"
+#include "search/decomp_cache.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace hypertree;
 
@@ -71,8 +75,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hypertree_decompose [--method=bb|astar|ga|saiga|ls|"
                "minfill] [--measure=ghw|tw|hw|fhw]\n"
-               "       [--time-limit=SEC] [--seed=N] [--output=FILE] "
-               "[--quiet] <instance>\n");
+               "       [--time-limit=SEC] [--threads=N] [--seed=N] "
+               "[--output=FILE] [--quiet] <instance>\n");
   return 2;
 }
 
@@ -90,6 +94,8 @@ int main(int argc, char** argv) {
   std::string method = flags.GetString("method", "bb");
   std::string measure = flags.GetString("measure", "ghw");
   double budget = flags.GetDouble("time-limit", 10.0);
+  int threads = static_cast<int>(
+      flags.GetInt("threads", ThreadPool::HardwareThreads()));
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   bool quiet = flags.GetBool("quiet");
 
@@ -97,6 +103,7 @@ int main(int argc, char** argv) {
   EliminationOrdering witness;
   int width = -1;
   bool exact = false;
+  DecompCacheStats cache_stats;
 
   if (measure == "fhw") {
     double fhw = FhwUpperBound(*h, 5, seed);
@@ -112,6 +119,7 @@ int main(int argc, char** argv) {
     SearchOptions opts;
     opts.time_limit_seconds = budget;
     opts.seed = seed;
+    opts.threads = threads;
     std::optional<HypertreeDecomposition> hd;
     WidthResult res = HypertreeWidth(*h, opts, &hd);
     if (quiet) {
@@ -120,6 +128,9 @@ int main(int argc, char** argv) {
       std::printf("instance : %s\nhw       : %d%s (lb %d)\n",
                   h->name().c_str(), res.upper_bound, res.exact ? "" : "*",
                   res.lower_bound);
+      std::printf("cache    : %ld hits, %ld misses, %ld inserts\n",
+                  res.cache_stats.hits, res.cache_stats.misses,
+                  res.cache_stats.inserts);
     }
     std::string out_path = flags.GetString("output");
     if (!out_path.empty() && hd.has_value()) {
@@ -135,36 +146,44 @@ int main(int argc, char** argv) {
       SearchOptions opts;
       opts.time_limit_seconds = budget;
       opts.seed = seed;
+      opts.threads = threads;
       WidthResult res = BranchAndBoundTreewidth(eval.primal(), opts);
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      cache_stats = res.cache_stats;
     } else {
       GhwSearchOptions opts;
       opts.time_limit_seconds = budget;
       opts.seed = seed;
+      opts.threads = threads;
       WidthResult res = BranchAndBoundGhw(*h, opts);
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      cache_stats = res.cache_stats;
     }
   } else if (method == "astar") {
     if (want_tw) {
       SearchOptions opts;
       opts.time_limit_seconds = budget;
       opts.seed = seed;
+      opts.threads = threads;
       WidthResult res = AStarTreewidth(eval.primal(), opts);
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      cache_stats = res.cache_stats;
     } else {
       GhwSearchOptions opts;
       opts.time_limit_seconds = budget;
       opts.seed = seed;
+      opts.threads = threads;
       WidthResult res = AStarGhw(*h, opts);
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      cache_stats = res.cache_stats;
     }
   } else if (method == "ga" || method == "saiga") {
     if (method == "saiga" && !want_tw) {
@@ -211,6 +230,10 @@ int main(int argc, char** argv) {
                 h->name().c_str(), h->NumVertices(), h->NumEdges());
     std::printf("%-9s: %d%s  (method %s)\n", want_tw ? "treewidth" : "ghw",
                 width, exact ? "" : "*", method.c_str());
+    if (method == "bb" || method == "astar") {
+      std::printf("cache    : %ld hits, %ld misses, %ld inserts\n",
+                  cache_stats.hits, cache_stats.misses, cache_stats.inserts);
+    }
   }
 
   std::string out_path = flags.GetString("output");

@@ -7,6 +7,10 @@
 //   --tightness=T     fraction of allowed tuples (default 0.3)
 //   --plant           plant a random solution (default off)
 //   --seed=N          RNG seed (default 1)
+//   --threads=N       worker threads for the hw search (default: hardware
+//                     concurrency)
+//   --hw              also compute hw via det-k-decomp (parallel) and
+//                     report its decomposition cache statistics
 //   --count           also count all solutions
 //   --route=...       td | ghd | bt | all (default all)
 
@@ -18,10 +22,12 @@
 #include "csp/decomposition_solving.h"
 #include "csp/generators.h"
 #include "ghd/ghw_from_ordering.h"
+#include "hd/det_k_decomp.h"
 #include "hypergraph/parser.h"
 #include "ordering/heuristics.h"
 #include "td/tree_decomposition.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace hypertree;
@@ -31,8 +37,8 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: hypertree_solve [--domain=D] [--tightness=T] "
-                 "[--plant] [--seed=N] [--count] [--route=td|ghd|bt|all] "
-                 "<instance.hg>\n");
+                 "[--plant] [--seed=N] [--threads=N] [--hw] [--count] "
+                 "[--route=td|ghd|bt|all] <instance.hg>\n");
     return 2;
   }
   std::string error;
@@ -46,6 +52,9 @@ int main(int argc, char** argv) {
   bool plant = flags.GetBool("plant");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   bool count = flags.GetBool("count");
+  int threads = static_cast<int>(
+      flags.GetInt("threads", ThreadPool::HardwareThreads()));
+  bool want_hw = flags.GetBool("hw");
   std::string route = flags.GetString("route", "all");
 
   Csp csp = RandomCspFromHypergraph(*h, domain, tightness, plant, seed);
@@ -60,6 +69,18 @@ int main(int argc, char** argv) {
   GeneralizedHypertreeDecomposition ghd =
       eval.BuildGhd(sigma, CoverMode::kExact);
   std::printf("widths   : td %d, ghd %d\n", td.Width(), ghd.Width());
+  if (want_hw) {
+    SearchOptions sopts;
+    sopts.time_limit_seconds = 10.0;
+    sopts.seed = seed;
+    sopts.threads = threads;
+    WidthResult hw = HypertreeWidth(*h, sopts, nullptr);
+    std::printf("hw       : %d%s (lb %d)\n", hw.upper_bound,
+                hw.exact ? "" : "*", hw.lower_bound);
+    std::printf("hw cache : %ld hits, %ld misses, %ld inserts\n",
+                hw.cache_stats.hits, hw.cache_stats.misses,
+                hw.cache_stats.inserts);
+  }
 
   if (route == "td" || route == "all") {
     Timer t;
