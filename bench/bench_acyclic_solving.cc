@@ -18,6 +18,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("acyclic_solving");
   bench::Header(
       "E12: acyclic CSP answering — Yannakakis counting vs backtracking",
       "edges  vars   solutions  yann[ms]   bt-nodes  bt[ms]  bt-aborted");
@@ -36,6 +37,14 @@ int main() {
     long bt_count = BacktrackingCountSolutions(csp, /*max_nodes=*/3000000,
                                                &stats);
     double bt_ms = tb.ElapsedMillis();
+    report.Record(h.name(), "yannakakis_count", /*width=*/1, /*exact=*/true,
+                  /*nodes=*/0, yann_ms, /*deterministic=*/true,
+                  /*lower_bound=*/1,
+                  Json::Object().Set("solutions", static_cast<long>(count)));
+    report.Record(h.name(), "backtracking_count", /*width=*/-1,
+                  /*exact=*/false, stats.nodes, bt_ms,
+                  /*deterministic=*/!stats.aborted, /*lower_bound=*/-1,
+                  Json::Object().Set("aborted", stats.aborted));
     if (!stats.aborted && bt_count != count) {
       std::printf("COUNTING DISAGREEMENT at %d edges (%lld vs %ld)!\n", edges,
                   count, bt_count);

@@ -20,6 +20,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("csp_decomposition_solving");
   bench::Header(
       "E14: CSP solving via decompositions (planted grid CSPs, domain 2)",
       "grid  vars  tdwidth  ghwwidth  td[ms]  ghd[ms]  bagtuples  bt-nodes  bt[ms]");
@@ -49,6 +50,14 @@ int main() {
     auto direct = BacktrackingSolve(csp, 5000000, &bt);
     double bt_ms = t3.ElapsedMillis();
 
+    report.Record(h.name(), "csp_td", td.Width(), /*exact=*/true, /*nodes=*/0,
+                  td_ms, /*deterministic=*/true, /*lower_bound=*/-1,
+                  Json::Object().Set("bag_tuples", td_stats.bag_tuples));
+    report.Record(h.name(), "csp_ghd", ghd.Width(), /*exact=*/true,
+                  /*nodes=*/0, ghd_ms);
+    report.Record(h.name(), "csp_bt", /*width=*/-1, /*exact=*/false, bt.nodes,
+                  bt_ms, /*deterministic=*/!bt.aborted, /*lower_bound=*/-1,
+                  Json::Object().Set("aborted", bt.aborted));
     if (!via_td.has_value() || !via_ghd.has_value() ||
         (!bt.aborted && !direct.has_value())) {
       std::printf("UNEXPECTED UNSAT on planted instance, grid %d\n", n);

@@ -13,11 +13,13 @@
 #include "ls/local_search.h"
 #include "ordering/evaluator.h"
 #include "ordering/heuristics.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("local_search");
   long budget = static_cast<long>(12000 * scale);
   std::vector<Graph> instances = {
       QueensGraph(6),
@@ -32,21 +34,30 @@ int main() {
   for (const Graph& g : instances) {
     Rng rng(5);
     int greedy = EvaluateOrderingWidth(g, MinFillOrdering(g, &rng));
-    auto run_ls = [&](LocalSearchMethod m) {
+    auto run_ls = [&](LocalSearchMethod m, const char* algo) {
       LocalSearchConfig cfg;
       cfg.method = m;
       cfg.max_evaluations = budget;
       cfg.seed = 42;
-      return LsTreewidth(g, cfg).best_fitness;
+      Timer timer;
+      int width = LsTreewidth(g, cfg).best_fitness;
+      report.Record(g.name(), algo, width, /*exact=*/false, budget,
+                    timer.ElapsedMillis());
+      return width;
     };
-    int hc = run_ls(LocalSearchMethod::kHillClimbing);
-    int sa = run_ls(LocalSearchMethod::kSimulatedAnnealing);
-    int ils = run_ls(LocalSearchMethod::kIterated);
+    int hc = run_ls(LocalSearchMethod::kHillClimbing, "ls_hill_climbing");
+    int sa = run_ls(LocalSearchMethod::kSimulatedAnnealing, "ls_annealing");
+    int ils = run_ls(LocalSearchMethod::kIterated, "ls_iterated");
     GaConfig ga_cfg;
     ga_cfg.population_size = 60;
     ga_cfg.max_iterations = static_cast<int>(budget / 60);
     ga_cfg.seed = 42;
+    Timer ga_timer;
     int ga = GaTreewidth(g, ga_cfg).best_fitness;
+    report.Record(g.name(), "ga_tw", ga, /*exact=*/false, budget,
+                  ga_timer.ElapsedMillis(),
+                  /*deterministic=*/true, /*lower_bound=*/-1,
+                  Json::Object().Set("minfill_ub", greedy));
     std::printf("%-20s %4d %8d %6d %6d %6d %6d\n", g.name().c_str(),
                 g.NumVertices(), greedy, hc, sa, ils, ga);
   }

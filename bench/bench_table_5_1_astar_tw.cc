@@ -20,6 +20,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_5_1_astar_tw");
   std::vector<Graph> instances = {
       QueensGraph(5),           // queen5_5: tw 18
       QueensGraph(6),           // queen6_6: tw 25
@@ -40,6 +41,8 @@ int main() {
     opts.time_limit_seconds = 2.0 * scale;
     opts.max_nodes = static_cast<long>(200000 * scale);
     WidthResult res = AStarTreewidth(g, opts);
+    report.Record(g.name(), "astar_tw", res,
+                  Json::Object().Set("static_lb", lb).Set("minfill_ub", ub));
     std::printf("%-20s %4d %5d %5d %5d %6s %8ld %9.2f\n", g.name().c_str(),
                 g.NumVertices(), g.NumEdges(), lb, ub,
                 bench::Exactness(res.exact ? res.upper_bound : res.lower_bound,

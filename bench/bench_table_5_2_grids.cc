@@ -15,6 +15,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_5_2_grids");
   bench::Header("Table 5.2: A*-tw on n x n grids",
                 "graph       V     E    lb    ub  A*-tw    nodes   time[s]");
   for (int n = 2; n <= 7; ++n) {
@@ -26,6 +27,8 @@ int main() {
     opts.time_limit_seconds = 2.0 * scale;
     opts.max_nodes = static_cast<long>(300000 * scale);
     WidthResult res = AStarTreewidth(g, opts);
+    report.Record(g.name(), "astar_tw", res,
+                  Json::Object().Set("static_lb", lb).Set("minfill_ub", ub));
     std::printf("grid%-4d %4d %5d %5d %5d %6s %8ld %9.2f\n", n,
                 g.NumVertices(), g.NumEdges(), lb, ub,
                 bench::Exactness(res.exact ? res.upper_bound : res.lower_bound,

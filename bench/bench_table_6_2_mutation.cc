@@ -9,11 +9,13 @@
 #include "bench/bench_util.h"
 #include "ga/ga_tw.h"
 #include "graph/generators.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_6_2_mutation");
   std::vector<Graph> instances = {
       MycielskiGraph(6),
       GridGraph(7, 7),
@@ -32,6 +34,7 @@ int main() {
       int runs = std::max(1, static_cast<int>(3 * scale));
       double sum = 0;
       int mn = 1 << 30, mx = 0;
+      Timer timer;
       for (int run = 0; run < runs; ++run) {
         GaConfig cfg;
         cfg.population_size = 50;
@@ -46,6 +49,13 @@ int main() {
         mn = std::min(mn, res.best_fitness);
         mx = std::max(mx, res.best_fitness);
       }
+      report.Record(g.name(), "ga_tw_" + MutationName(op), mn,
+                    /*exact=*/false, /*nodes=*/0, timer.ElapsedMillis(),
+                    /*deterministic=*/true, /*lower_bound=*/-1,
+                    Json::Object()
+                        .Set("runs", runs)
+                        .Set("avg_width", sum / runs)
+                        .Set("max_width", mx));
       rows.push_back({op, sum / runs, mn, mx});
     }
     std::sort(rows.begin(), rows.end(),

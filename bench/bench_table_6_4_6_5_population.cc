@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "ga/ga_tw.h"
 #include "graph/generators.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
@@ -22,12 +23,13 @@ struct Row {
 };
 
 void Sweep(const Graph& g, const std::vector<int>& params, bool is_popsize,
-           double scale) {
+           double scale, bench::JsonReporter* report) {
   std::vector<Row> rows;
   for (int param : params) {
     int runs = std::max(1, static_cast<int>(3 * scale));
     double sum = 0;
     int mn = 1 << 30, mx = 0;
+    Timer timer;
     for (int run = 0; run < runs; ++run) {
       GaConfig cfg;
       cfg.population_size = is_popsize ? param : 100;
@@ -39,6 +41,16 @@ void Sweep(const Graph& g, const std::vector<int>& params, bool is_popsize,
       mn = std::min(mn, res.best_fitness);
       mx = std::max(mx, res.best_fitness);
     }
+    char algo[48];
+    std::snprintf(algo, sizeof(algo), "ga_tw_%s%d",
+                  is_popsize ? "pop" : "tour", param);
+    report->Record(g.name(), algo, mn, /*exact=*/false, /*nodes=*/0,
+                   timer.ElapsedMillis(), /*deterministic=*/true,
+                   /*lower_bound=*/-1,
+                   Json::Object()
+                       .Set("runs", runs)
+                       .Set("avg_width", sum / runs)
+                       .Set("max_width", mx));
     rows.push_back({param, sum / runs, mn, mx});
   }
   for (const Row& r : rows) {
@@ -51,14 +63,16 @@ void Sweep(const Graph& g, const std::vector<int>& params, bool is_popsize,
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_6_4_6_5_population");
   Graph g1 = GridGraph(7, 7);
   Graph g2 = RandomGraph(60, 300, 21);
   bench::Header("Table 6.4: GA-tw population size sweep",
                 "instance            n      avg     min     max");
-  for (const Graph* g : {&g1, &g2}) Sweep(*g, {20, 50, 100, 200}, true, scale);
+  for (const Graph* g : {&g1, &g2})
+    Sweep(*g, {20, 50, 100, 200}, true, scale, &report);
   bench::Header("Table 6.5: GA-tw tournament group size sweep (n=100)",
                 "instance            s      avg     min     max");
-  for (const Graph* g : {&g1, &g2}) Sweep(*g, {2, 3, 4}, false, scale);
+  for (const Graph* g : {&g1, &g2}) Sweep(*g, {2, 3, 4}, false, scale, &report);
   std::printf("\n(expected: bigger populations and s=3..4 lead, matching "
               "Tables 6.4/6.5)\n");
   return 0;

@@ -12,11 +12,13 @@
 #include "graph/generators.h"
 #include "ordering/evaluator.h"
 #include "ordering/heuristics.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_6_6_ga_tw_final");
   std::vector<Graph> instances = {
       QueensGraph(5),  QueensGraph(6),    QueensGraph(7),
       MycielskiGraph(4), MycielskiGraph(5), MycielskiGraph(6),
@@ -35,6 +37,7 @@ int main() {
     long evals = 0;
     double sum = 0;
     int mn = 1 << 30, mx = 0;
+    Timer timer;
     for (int run = 0; run < runs; ++run) {
       GaConfig cfg;
       cfg.population_size = 100;
@@ -54,6 +57,14 @@ int main() {
     } else {
       ++worse;
     }
+    report.Record(g.name(), "ga_tw_final", mn, /*exact=*/false, evals,
+                  timer.ElapsedMillis(), /*deterministic=*/true,
+                  /*lower_bound=*/-1,
+                  Json::Object()
+                      .Set("runs", runs)
+                      .Set("avg_width", sum / runs)
+                      .Set("max_width", mx)
+                      .Set("minfill_ub", greedy));
     std::printf("%-20s %4d %5d %8d %7d %7d %7.1f %6ld\n", g.name().c_str(),
                 g.NumVertices(), g.NumEdges(), greedy, mn, mx, sum / runs,
                 evals);

@@ -10,11 +10,13 @@
 #include "ga/ga_ghw.h"
 #include "ga/saiga.h"
 #include "hypergraph/generators.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_7_2_saiga");
   std::vector<Hypergraph> instances = {
       AdderHypergraph(12),
       BridgeHypergraph(10),
@@ -26,13 +28,17 @@ int main() {
   bench::Header("Table 7.2: SAIGA-ghw vs tuned GA-ghw",
                 "hypergraph            V     H  ga-ghw  saiga   pc*    pm*   s*");
   for (const Hypergraph& h : instances) {
+    Timer ga_timer;
     GaConfig tuned;
     tuned.population_size = 60;
     tuned.max_iterations = static_cast<int>(80 * scale);
     tuned.tournament_size = 3;
     tuned.seed = 11;
     GaResult ga = GaGhw(h, tuned, CoverMode::kGreedy);
+    report.Record(h.name(), "ga_ghw_tuned", ga.best_fitness, /*exact=*/false,
+                  /*nodes=*/0, ga_timer.ElapsedMillis());
 
+    Timer saiga_timer;
     SaigaConfig scfg;
     scfg.num_islands = 4;
     scfg.island_population = 15;
@@ -40,6 +46,14 @@ int main() {
     scfg.generations_per_epoch = static_cast<int>(20 * scale);
     scfg.seed = 12;
     SaigaResult saiga = SaigaGhw(h, scfg, CoverMode::kGreedy);
+    report.Record(
+        h.name(), "saiga_ghw", saiga.ga.best_fitness, /*exact=*/false,
+        /*nodes=*/0, saiga_timer.ElapsedMillis(), /*deterministic=*/true,
+        /*lower_bound=*/-1,
+        Json::Object()
+            .Set("final_crossover_rate", saiga.final_crossover_rate)
+            .Set("final_mutation_rate", saiga.final_mutation_rate)
+            .Set("final_tournament_size", saiga.final_tournament_size));
 
     std::printf("%-20s %4d %5d %7d %6d %5.2f %6.2f %4d\n", h.name().c_str(),
                 h.NumVertices(), h.NumEdges(), ga.best_fitness,

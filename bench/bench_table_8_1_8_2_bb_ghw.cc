@@ -15,6 +15,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_8_1_8_2_bb_ghw");
   std::vector<Hypergraph> instances = {
       RandomAcyclicHypergraph(25, 4, 2),
       CycleHypergraph(12, 2),
@@ -38,6 +39,9 @@ int main() {
     GhwSearchOptions greedy = opts;
     greedy.cover_mode = CoverMode::kGreedy;
     WidthResult ablation = BranchAndBoundGhw(h, greedy);
+    report.Record(h.name(), "bb_ghw", exact,
+                  Json::Object().Set("static_lb", lb));
+    report.Record(h.name(), "bb_ghw_greedy_cover", ablation);
     std::printf("%-20s %4d %5d %5d %7s %8d %8ld %8.2f\n", h.name().c_str(),
                 h.NumVertices(), h.NumEdges(), lb,
                 bench::Exactness(exact.upper_bound, exact.exact).c_str(),

@@ -16,6 +16,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("table_9_1_9_2_astar_ghw");
   std::vector<Hypergraph> instances = {
       RandomAcyclicHypergraph(25, 4, 2),
       CycleHypergraph(12, 2),
@@ -37,6 +38,9 @@ int main() {
     opts.max_nodes = static_cast<long>(100000 * scale);
     WidthResult as = AStarGhw(h, opts);
     WidthResult bb = BranchAndBoundGhw(h, opts);
+    report.Record(h.name(), "astar_ghw", as,
+                  Json::Object().Set("static_lb", lb));
+    report.Record(h.name(), "bb_ghw", bb);
     std::printf("%-20s %4d %5d %5d %7s %6d %7s %8ld %8.2f\n",
                 h.name().c_str(), h.NumVertices(), h.NumEdges(), lb,
                 bench::Exactness(as.upper_bound, as.exact).c_str(),

@@ -4,23 +4,51 @@
 // terminates in seconds at the default scale. Set HYPERTREE_BENCH_SCALE
 // (e.g. 10) to multiply the time budgets / iteration counts toward the
 // paper's original 1h-per-instance scale.
+//
+// When HYPERTREE_BENCH_JSON names a file, every binary additionally
+// appends one machine-readable record per (instance, algorithm) to it as
+// NDJSON (one JSON object per line; see docs/BENCHMARKS.md for the
+// schema). scripts/run_benchmarks.sh merges those records into BENCH.json
+// and scripts/check_bench_regression.py diffs two such files.
 
 #ifndef HYPERTREE_BENCH_BENCH_UTIL_H_
 #define HYPERTREE_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+
+#include "td/exact.h"
+#include "util/json.h"
 
 namespace hypertree::bench {
 
-/// Budget multiplier from HYPERTREE_BENCH_SCALE (default 1.0).
-inline double Scale() {
-  const char* s = std::getenv("HYPERTREE_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
-  double v = std::atof(s);
-  return v > 0 ? v : 1.0;
+/// Parses a HYPERTREE_BENCH_SCALE-style budget multiplier. Unset/empty
+/// means 1.0; anything non-numeric, non-positive, or non-finite is
+/// rejected with a stderr warning (instead of the old silent atof
+/// fallback) and also yields 1.0.
+inline double ParseScale(const char* s) {
+  if (s == nullptr || *s == '\0') return 1.0;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  bool parsed = end != nullptr && end != s && *end == '\0' && errno != ERANGE;
+  if (!parsed || !std::isfinite(v) || v <= 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid HYPERTREE_BENCH_SCALE=\"%s\" "
+                 "(expected a positive number); using 1.0\n",
+                 s);
+    return 1.0;
+  }
+  return v;
 }
+
+/// Budget multiplier from HYPERTREE_BENCH_SCALE (default 1.0).
+inline double Scale() { return ParseScale(std::getenv("HYPERTREE_BENCH_SCALE")); }
 
 /// Prints a table header followed by a separator line.
 inline void Header(const std::string& title, const std::string& columns) {
@@ -32,6 +60,79 @@ inline void Header(const std::string& title, const std::string& columns) {
 inline std::string Exactness(int value, bool exact) {
   return std::to_string(value) + (exact ? "" : "*");
 }
+
+/// Appends machine-readable benchmark records to the file named by
+/// HYPERTREE_BENCH_JSON (no-op when the variable is unset). Records are
+/// NDJSON with a fixed field order, so merged reports diff cleanly:
+///
+///   {"bench":..., "instance":..., "algorithm":..., "width":W,
+///    "exact":B, "lower_bound":LB, "nodes":N, "wall_ms":MS,
+///    "deterministic":B, "counters":{...}}
+///
+/// `deterministic` marks records whose width/nodes are reproducible
+/// run-to-run (seeded, iteration-bounded work); interrupted searches
+/// abort at timing-dependent points and must set it false so the
+/// regression checker only compares their wall time.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {
+    const char* path = std::getenv("HYPERTREE_BENCH_JSON");
+    if (path != nullptr && *path != '\0') path_ = path;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends one record. `counters` carries bench-specific extras (cache
+  /// stats, solver node counts, materialized tuples, ...).
+  void Record(const std::string& instance, const std::string& algorithm,
+              int width, bool exact, long nodes, double wall_ms,
+              bool deterministic = true, int lower_bound = -1,
+              Json counters = Json::Object()) {
+    if (!enabled()) return;
+    Json rec = Json::Object();
+    rec.Set("bench", bench_)
+        .Set("instance", instance)
+        .Set("algorithm", algorithm)
+        .Set("width", width)
+        .Set("exact", exact)
+        .Set("lower_bound", lower_bound)
+        .Set("nodes", nodes)
+        .Set("wall_ms", wall_ms)
+        .Set("deterministic", deterministic)
+        .Set("counters", counters.is_object() ? std::move(counters)
+                                              : Json::Object());
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot append bench record to %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(f, "%s\n", rec.Dump().c_str());
+    std::fclose(f);
+  }
+
+  /// WidthResult convenience: fills width/exact/lb/nodes/wall and the
+  /// cache counters. Interrupted results (exact == false) are marked
+  /// non-deterministic — where the budget cut the search depends on wall
+  /// time, so node counts need not reproduce.
+  void Record(const std::string& instance, const std::string& algorithm,
+              const WidthResult& res, Json extra_counters = Json::Object()) {
+    Json counters = Json::Object();
+    counters.Set("cache_hits", res.cache_stats.hits)
+        .Set("cache_misses", res.cache_stats.misses)
+        .Set("cache_inserts", res.cache_stats.inserts);
+    for (const auto& [key, value] : extra_counters.fields()) {
+      counters.Set(key, value);
+    }
+    Record(instance, algorithm, res.upper_bound, res.exact, res.nodes,
+           res.seconds * 1000.0, /*deterministic=*/res.exact,
+           res.lower_bound, std::move(counters));
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
 
 }  // namespace hypertree::bench
 

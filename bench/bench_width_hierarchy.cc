@@ -18,6 +18,7 @@ using namespace hypertree;
 
 int main() {
   double scale = bench::Scale();
+  bench::JsonReporter report("width_hierarchy");
   std::vector<Hypergraph> instances = {
       RandomAcyclicHypergraph(15, 4, 1),
       CycleHypergraph(10, 2),
@@ -42,6 +43,10 @@ int main() {
                           FractionalWidthOfOrdering(h, ghw.best_ordering));
     WidthResult hw = HypertreeWidth(h, budget);
     WidthResult tw = BranchAndBoundTreewidth(h.PrimalGraph(), budget);
+    report.Record(h.name(), "bb_ghw", ghw);
+    report.Record(h.name(), "det_k_hw", hw,
+                  Json::Object().Set("fhw_ub", fhw));
+    report.Record(h.name(), "bb_tw", tw);
     bool ok = true;
     if (ghw.exact && hw.exact && ghw.upper_bound > hw.upper_bound) ok = false;
     if (hw.exact && tw.exact && hw.upper_bound > tw.upper_bound + 1)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two BENCH.json reports produced by scripts/run_benchmarks.sh.
+
+    scripts/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--wall-ratio=1.5] [--wall-floor-ms=50] [--allow-missing]
+
+Records are matched on (bench, instance, algorithm). The check fails when
+
+  * a record marked deterministic in both reports differs in width, exact,
+    lower_bound or nodes — these must be bit-identical between runs;
+  * a deterministic record's wall_ms regresses by more than --wall-ratio
+    AND by more than --wall-floor-ms (the absolute floor keeps sub-
+    millisecond noise from failing the build);
+  * a baseline record is missing from the current report (or vice versa),
+    unless --allow-missing is given.
+
+Exit status: 0 clean, 1 regression(s) found, 2 usage / unreadable input.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Die quietly when piped into head/less instead of tracebacking.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(data, list):
+        sys.exit(f"error: {path}: expected a JSON array of records")
+    out = {}
+    counts = {}
+    for i, rec in enumerate(data):
+        if not isinstance(rec, dict):
+            sys.exit(f"error: {path}: record {i} is not an object")
+        base_key = (rec.get("bench"), rec.get("instance"), rec.get("algorithm"))
+        if None in base_key:
+            sys.exit(f"error: {path}: record {i} lacks bench/instance/algorithm")
+        # A bench may record the same (instance, algorithm) more than once
+        # (e.g. one row per table section); the file order is deterministic,
+        # so an occurrence index keeps the pairing stable across runs.
+        n = counts.get(base_key, 0)
+        counts[base_key] = n + 1
+        out[base_key + (n,)] = rec
+    return out
+
+
+def fmt(key):
+    s = f"{key[0]} / {key[1]} / {key[2]}"
+    if key[3] > 0:
+        s += f" (occurrence {key[3] + 1})"
+    return s
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--wall-ratio", type=float, default=1.5,
+                    help="fail when wall_ms grows beyond this factor (default 1.5)")
+    ap.add_argument("--wall-floor-ms", type=float, default=50.0,
+                    help="ignore wall regressions below this absolute size (default 50)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="do not fail on records present in only one report")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    warnings = []
+    compared = 0
+
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            msg = f"missing from current: {fmt(key)}"
+            (warnings if args.allow_missing else failures).append(msg)
+            continue
+        if key not in base:
+            msg = f"new record (not in baseline): {fmt(key)}"
+            (warnings if args.allow_missing else failures).append(msg)
+            continue
+        b, c = base[key], cur[key]
+        compared += 1
+
+        deterministic = b.get("deterministic") and c.get("deterministic")
+        if deterministic:
+            for field in ("width", "exact", "lower_bound", "nodes"):
+                if b.get(field) != c.get(field):
+                    failures.append(
+                        f"{fmt(key)}: {field} changed "
+                        f"{b.get(field)!r} -> {c.get(field)!r}")
+        else:
+            # Interrupted / budgeted searches abort at timing-dependent
+            # points; widths and node counts are allowed to drift.
+            warnings.append(f"non-deterministic, widths not compared: {fmt(key)}")
+            continue
+
+        bw, cw = b.get("wall_ms"), c.get("wall_ms")
+        if isinstance(bw, (int, float)) and isinstance(cw, (int, float)):
+            if cw > bw * args.wall_ratio and cw - bw > args.wall_floor_ms:
+                failures.append(
+                    f"{fmt(key)}: wall_ms regressed {bw:.1f} -> {cw:.1f} "
+                    f"({cw / bw if bw > 0 else float('inf'):.2f}x, "
+                    f"threshold {args.wall_ratio:.2f}x)")
+
+    print(f"compared {compared} record(s): "
+          f"{len(failures)} failure(s), {len(warnings)} warning(s)")
+    for msg in warnings:
+        print(f"  warning: {msg}")
+    for msg in failures:
+        print(f"  FAIL: {msg}")
+    if failures:
+        print("benchmark regression check FAILED")
+        return 1
+    print("benchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite and collects every machine-readable record
+# into one sorted BENCH.json (see docs/BENCHMARKS.md for the schema).
+#
+#   scripts/run_benchmarks.sh [options]
+#
+#   --build-dir=DIR   build tree holding bench/bench_* (default: build)
+#   --output=FILE     merged report path (default: BENCH.json)
+#   --scale=X         forwarded as HYPERTREE_BENCH_SCALE (default: keep env)
+#   --only=REGEX      run only benchmarks whose basename matches REGEX
+#   --quiet           discard the human-readable table output
+#
+# Each bench binary appends NDJSON records to $HYPERTREE_BENCH_JSON while
+# still printing its usual table. bench_micro_kernels is a Google Benchmark
+# binary, so it is run with --benchmark_format=json and its output is
+# converted into the same record schema. Afterwards all records are parsed,
+# sorted by (bench, instance, algorithm), and written as a JSON array so
+# two runs of this script are diffable with scripts/check_bench_regression.py.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+output="${repo_root}/BENCH.json"
+only=""
+quiet=0
+
+for arg in "$@"; do
+  case "${arg}" in
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    --output=*) output="${arg#--output=}" ;;
+    --scale=*) export HYPERTREE_BENCH_SCALE="${arg#--scale=}" ;;
+    --only=*) only="${arg#--only=}" ;;
+    --quiet) quiet=1 ;;
+    *)
+      echo "unknown option: ${arg}" >&2
+      echo "usage: scripts/run_benchmarks.sh [--build-dir=DIR] [--output=FILE] [--scale=X] [--only=REGEX] [--quiet]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+bench_dir="${build_dir}/bench"
+if [ ! -d "${bench_dir}" ]; then
+  echo "error: ${bench_dir} not found — build first: cmake -B ${build_dir} -S ${repo_root} && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+ndjson="${workdir}/records.ndjson"
+micro_json="${workdir}/micro.json"
+: > "${ndjson}"
+export HYPERTREE_BENCH_JSON="${ndjson}"
+
+ran=0
+failed=0
+for exe in "${bench_dir}"/bench_*; do
+  [ -f "${exe}" ] && [ -x "${exe}" ] || continue
+  name="$(basename "${exe}")"
+  if [ -n "${only}" ] && ! [[ "${name}" =~ ${only} ]]; then
+    continue
+  fi
+  echo "== ${name}" >&2
+  ran=$((ran + 1))
+  if [ "${name}" = "bench_micro_kernels" ]; then
+    # Google Benchmark binary: capture its own JSON format for conversion.
+    if ! "${exe}" --benchmark_format=json --benchmark_out="${micro_json}" \
+        --benchmark_out_format=json >/dev/null; then
+      echo "FAILED: ${name}" >&2
+      failed=$((failed + 1))
+    fi
+  elif [ "${quiet}" = 1 ]; then
+    "${exe}" >/dev/null || { echo "FAILED: ${name}" >&2; failed=$((failed + 1)); }
+  else
+    "${exe}" || { echo "FAILED: ${name}" >&2; failed=$((failed + 1)); }
+  fi
+done
+
+if [ "${ran}" = 0 ]; then
+  echo "error: no benchmark binaries matched in ${bench_dir}" >&2
+  exit 1
+fi
+
+python3 - "${ndjson}" "${micro_json}" "${output}" <<'PY'
+import json
+import sys
+
+ndjson_path, micro_path, out_path = sys.argv[1:4]
+
+records = []
+with open(ndjson_path) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            sys.exit(f"error: bad record at {ndjson_path}:{lineno}: {e}")
+
+# Convert Google Benchmark output into the shared record schema. Micro
+# kernels have no width/nodes semantics, so those fields are null and the
+# records are marked non-deterministic (wall time only).
+try:
+    with open(micro_path) as f:
+        micro = json.load(f)
+except FileNotFoundError:
+    micro = None
+if micro is not None:
+    for b in micro.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        records.append({
+            "bench": "micro_kernels",
+            "instance": b["name"],
+            "algorithm": "microbench",
+            "width": None,
+            "exact": False,
+            "lower_bound": None,
+            "nodes": int(b.get("iterations", 0)),
+            "wall_ms": float(b.get("real_time", 0.0)) / 1e6
+            if b.get("time_unit") == "ns"
+            else float(b.get("real_time", 0.0)),
+            "deterministic": False,
+            "counters": {},
+        })
+
+records.sort(key=lambda r: (r.get("bench", ""), r.get("instance", ""),
+                            r.get("algorithm", "")))
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1, sort_keys=False)
+    f.write("\n")
+print(f"{len(records)} records -> {out_path}")
+PY
+
+if [ "${failed}" != 0 ]; then
+  echo "error: ${failed} benchmark(s) failed" >&2
+  exit 1
+fi

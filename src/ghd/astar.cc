@@ -10,11 +10,21 @@
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
+
+metrics::Counter& PoppedMetric() {
+  static metrics::Counter& c = metrics::GetCounter("astar_ghw.popped");
+  return c;
+}
+metrics::Counter& GeneratedMetric() {
+  static metrics::Counter& c = metrics::GetCounter("astar_ghw.generated");
+  return c;
+}
 
 struct State {
   Bitset eliminated;
@@ -111,6 +121,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       continue;  // stale: regenerated since with a smaller g
     }
     ++popped;
+    PoppedMetric().Increment();
     best_f_seen = std::max(best_f_seen, s.f);
     rebuild(s.eliminated);
     int remaining = eg.NumActive();
@@ -174,6 +185,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       t.f = f;
       t.depth = parent_depth + 1;
       arena.push_back(std::move(t));
+      GeneratedMetric().Increment();
       open.push({f, parent_depth + 1, push_order++,
                  static_cast<int>(arena.size()) - 1});
     }

@@ -8,11 +8,17 @@
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
+
+metrics::Counter& NodesMetric() {
+  static metrics::Counter& c = metrics::GetCounter("bb_ghw.nodes");
+  return c;
+}
 
 class GhwBbSearch {
  public:
@@ -111,6 +117,7 @@ class GhwBbSearch {
            bool parent_free) {
     if (budget_.Tick()) return;
     ++nodes_;
+    NodesMetric().Increment();
     int remaining = eg_.NumActive();
     if (remaining == 0) {
       if (g_val < ub_) {

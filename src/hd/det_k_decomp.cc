@@ -12,12 +12,32 @@
 #include "ghd/search_common.h"
 #include "search/decomp_cache.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
+
+// Registry counters for the observability layer; resolved once, bumped
+// with relaxed atomics on the hot paths.
+metrics::Counter& DecomposeCallsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.decompose_calls");
+  return c;
+}
+metrics::Counter& SeparatorAttemptsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.separator_attempts");
+  return c;
+}
+metrics::Counter& SpliceMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.cache_splices");
+  return c;
+}
+metrics::Counter& RootTasksMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.root_tasks");
+  return c;
+}
 
 // Read-only problem description shared by all search workers.
 struct DetKContext {
@@ -54,6 +74,7 @@ class DetKWorker {
   bool Decompose(const Bitset& comp, const Bitset& conn, int parent) {
     if (BudgetExceeded()) return false;
     if (comp.None()) return true;
+    DecomposeCallsMetric().Increment();
     if (ctx_.cache != nullptr) {
       std::shared_ptr<const CachedSubtree> sub;
       switch (ctx_.cache->Lookup(comp, conn, ctx_.k, &sub)) {
@@ -88,6 +109,7 @@ class DetKWorker {
   bool RootTask(const Bitset& comp, const Bitset& conn, const Bitset& scope,
                 const std::vector<int>& candidates, size_t from) {
     if (BudgetExceeded()) return false;
+    RootTasksMetric().Increment();
     int e = candidates[from];
     std::vector<int> sep{e};
     return EnumerateSeparators(comp, conn, scope, candidates, from + 1, &sep,
@@ -226,6 +248,7 @@ class DetKWorker {
   bool TrySeparator(const Bitset& comp, const Bitset& scope,
                     const std::vector<int>& sep, const Bitset& sep_vars,
                     int parent) {
+    SeparatorAttemptsMetric().Increment();
     std::vector<Bitset> comps = Components(comp, sep_vars);
     int comp_size = comp.Count();
     for (const Bitset& c : comps) {
@@ -271,6 +294,7 @@ class DetKWorker {
 
   // Appends a recorded subtree under `parent`.
   void Splice(const CachedSubtree& sub, int parent) {
+    SpliceMetric().Increment();
     int base = static_cast<int>(chi_.size());
     for (size_t i = 0; i < sub.chi.size(); ++i) {
       chi_.push_back(sub.chi[i]);

@@ -1,6 +1,43 @@
 #include "search/decomp_cache.h"
 
+#include "util/metrics.h"
+
 namespace hypertree {
+
+namespace {
+
+// Process-wide mirrors of the per-instance counters, so cache traffic is
+// queryable through the metrics registry (tools --json, bench records)
+// without plumbing a cache handle around.
+metrics::Counter& HitsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("decomp_cache.hits");
+  return c;
+}
+metrics::Counter& MissesMetric() {
+  static metrics::Counter& c = metrics::GetCounter("decomp_cache.misses");
+  return c;
+}
+metrics::Counter& InsertsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("decomp_cache.inserts");
+  return c;
+}
+
+}  // namespace
+
+void DecompCache::CountHit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  HitsMetric().Increment();
+}
+
+void DecompCache::CountMiss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  MissesMetric().Increment();
+}
+
+void DecompCache::CountInsert() {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  InsertsMetric().Increment();
+}
 
 DecompCache::DecompCache(int num_shards) {
   int n = num_shards < 1 ? 1 : num_shards;
@@ -16,10 +53,10 @@ DecompCache::Outcome DecompCache::Lookup(
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.outcome == Outcome::kUnknown) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    CountMiss();
     return Outcome::kUnknown;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  CountHit();
   if (it->second.outcome == Outcome::kPositive && subtree != nullptr) {
     *subtree = it->second.subtree;
   }
@@ -34,7 +71,7 @@ void DecompCache::InsertNegative(const Bitset& component,
   Entry& e = shard.map[std::move(key)];
   if (e.outcome == Outcome::kUnknown) {
     e.outcome = Outcome::kNegative;
-    inserts_.fetch_add(1, std::memory_order_relaxed);
+    CountInsert();
   }
 }
 
@@ -48,7 +85,7 @@ void DecompCache::InsertPositive(const Bitset& component,
   if (e.outcome != Outcome::kPositive) {
     e.outcome = Outcome::kPositive;
     e.subtree = std::move(subtree);
-    inserts_.fetch_add(1, std::memory_order_relaxed);
+    CountInsert();
   }
 }
 
@@ -59,14 +96,14 @@ bool DecompCache::DominatedOrInsert(const Bitset& state, int value) {
   auto it = shard.map.find(key);
   if (it != shard.map.end() && it->second.outcome == Outcome::kPositive &&
       it->second.value <= value) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    CountHit();
     return true;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  CountMiss();
   Entry& e = it != shard.map.end() ? it->second : shard.map[std::move(key)];
   e.outcome = Outcome::kPositive;
   e.value = value;
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  CountInsert();
   return false;
 }
 
@@ -79,9 +116,9 @@ bool DecompCache::DominatedStrict(const Bitset& state, int value) {
                    it->second.outcome == Outcome::kPositive &&
                    it->second.value < value;
   if (dominated) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    CountHit();
   } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    CountMiss();
   }
   return dominated;
 }

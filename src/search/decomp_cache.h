@@ -119,6 +119,11 @@ class DecompCache {
     std::unordered_map<Key, Entry, KeyHash> map;
   };
 
+  // Bump the per-instance atomic and its process-wide metrics mirror.
+  void CountHit();
+  void CountMiss();
+  void CountInsert();
+
   Shard& ShardFor(const Key& key) {
     return *shards_[KeyHash{}(key) % shards_.size()];
   }

@@ -9,11 +9,17 @@
 #include "graph/elimination_graph.h"
 #include "ordering/evaluator.h"
 #include "ordering/heuristics.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
+
+metrics::Counter& PoppedMetric() {
+  static metrics::Counter& c = metrics::GetCounter("astar_tw.popped");
+  return c;
+}
 
 struct State {
   Bitset eliminated;
@@ -106,6 +112,7 @@ WidthResult AStarTreewidth(const Graph& g, const SearchOptions& options) {
       continue;  // stale entry
     }
     ++popped;
+    PoppedMetric().Increment();
     best_f_seen = std::max(best_f_seen, s.f);
     rebuild(s.eliminated);
     int remaining = eg.NumActive();

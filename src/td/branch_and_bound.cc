@@ -6,11 +6,17 @@
 #include "graph/elimination_graph.h"
 #include "ordering/evaluator.h"
 #include "ordering/heuristics.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace hypertree {
 
 namespace {
+
+metrics::Counter& NodesMetric() {
+  static metrics::Counter& c = metrics::GetCounter("bb_tw.nodes");
+  return c;
+}
 
 class BbSearch {
  public:
@@ -76,6 +82,7 @@ class BbSearch {
            bool parent_free) {
     if (BudgetExceeded()) return;
     ++nodes_;
+    NodesMetric().Increment();
     int remaining = eg_.NumActive();
     if (remaining == 0) {
       if (g_val < ub_) {

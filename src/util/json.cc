@@ -1,0 +1,379 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hypertree {
+
+Json& Json::Set(const std::string& key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Json::AsBool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+long Json::AsInt(long fallback) const {
+  if (type_ == Type::kInt) return static_cast<long>(int_);
+  if (type_ == Type::kDouble) return static_cast<long>(double_);
+  return fallback;
+}
+
+double Json::AsDouble(double fallback) const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", int_);
+      *out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        *out += "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      // Trim to the shortest representation that parses back exactly.
+      for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, double_);
+        if (std::strtod(probe, nullptr) == double_) {
+          std::snprintf(buf, sizeof(buf), "%.*g", prec, double_);
+          break;
+        }
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : fields_) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeTo(k, out);
+        out->push_back(':');
+        v.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  std::optional<Json> Run() {
+    auto v = ParseValue();
+    if (!v.has_value()) return std::nullopt;
+    SkipSpace();
+    if (pos_ != s_.size()) return Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::optional<Json> Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    size_t len = 0;
+    while (w[len] != '\0') ++len;
+    if (s_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto str = ParseString();
+      if (!str.has_value()) return std::nullopt;
+      return Json(*std::move(str));
+    }
+    if (ConsumeWord("true")) return Json(true);
+    if (ConsumeWord("false")) return Json(false);
+    if (ConsumeWord("null")) return Json();
+    return ParseNumber();
+  }
+
+  std::optional<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      if (!Consume(':')) return Fail("expected ':'");
+      auto value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      obj.Set(*key, *std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<Json> ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    while (true) {
+      auto value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      arr.Append(*std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += 10 + h - 'a';
+            } else if (h >= 'A' && h <= 'F') {
+              code += 10 + h - 'A';
+            } else {
+              Fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode (surrogate pairs unsupported; the writer never
+          // emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    std::string tok = s_.substr(start, pos_ - start);
+    if (integral) {
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') return Json(v);
+    }
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    return Json(d);
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(const std::string& text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+}  // namespace hypertree

@@ -1,0 +1,97 @@
+// A minimal JSON value with *insertion-ordered* objects and a compact,
+// deterministic serializer, used by the benchmark record writer and the
+// tools' --json output. Field order is preserved exactly as written, so
+// two runs that record the same facts produce byte-identical documents
+// (modulo the values themselves) and diffs stay readable.
+//
+// The parser accepts standard JSON (objects, arrays, strings with the
+// usual escapes, numbers, booleans, null) and exists mainly so tests can
+// verify Dump/Parse round trips and so scripts-side consumers have a
+// contract to rely on; it is not a streaming or validating parser for
+// untrusted input.
+
+#ifndef HYPERTREE_UTIL_JSON_H_
+#define HYPERTREE_UTIL_JSON_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hypertree {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Json(int i) : type_(Type::kInt), int_(i) {}                    // NOLINT
+  Json(long i) : type_(Type::kInt), int_(i) {}                   // NOLINT
+  Json(long long i) : type_(Type::kInt), int_(i) {}              // NOLINT
+  Json(double d) : type_(Type::kDouble), double_(d) {}           // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Object field update: appends (key, value) or overwrites an existing
+  /// key in place (keeping its original position). Returns *this so
+  /// record-building chains.
+  Json& Set(const std::string& key, Json value);
+
+  /// Array append.
+  Json& Append(Json value);
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+
+  // Typed accessors (checked loosely: wrong-type access returns the
+  // fallback).
+  bool AsBool(bool fallback = false) const;
+  long AsInt(long fallback = 0) const;
+  double AsDouble(double fallback = 0.0) const;
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+
+  /// Compact serialization ({"a":1,"b":[true,null]}). Doubles print with
+  /// up to 17 significant digits (shortest exact form is not attempted,
+  /// but the format is deterministic for a given value).
+  std::string Dump() const;
+
+  /// Parses a JSON document. Returns std::nullopt (and sets *error when
+  /// non-null) on malformed input or trailing garbage.
+  static std::optional<Json> Parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // kArray
+  std::vector<std::pair<std::string, Json>> fields_;   // kObject
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_UTIL_JSON_H_

@@ -1,0 +1,75 @@
+#include "util/metrics.h"
+
+#include <chrono>
+
+namespace hypertree::metrics {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked intentionally: counters may be touched from static destructors
+  // and detached worker threads during shutdown.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<Sample> Registry::Snapshot(bool include_zero) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    long v = counter->Value();
+    if (v != 0 || include_zero) out.emplace_back(name, v);
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Global().GetCounter(name);
+}
+
+ScopedTimer::ScopedTimer(const std::string& name)
+    : ScopedTimer(GetCounter(name + ".wall_ns"), GetCounter(name + ".calls")) {
+}
+
+ScopedTimer::ScopedTimer(Counter& wall_ns, Counter& calls)
+    : wall_ns_(wall_ns), calls_(calls), start_ns_(NowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  wall_ns_.Add(static_cast<long>(NowNs() - start_ns_));
+  calls_.Increment();
+}
+
+}  // namespace hypertree::metrics

@@ -1,0 +1,106 @@
+// A process-wide registry of named monotonic counters and scoped
+// wall-clock timers, so the search algorithms can report what they did
+// (nodes expanded, separator attempts, cache traffic, pool utilization)
+// in machine-readable form instead of printf-only.
+//
+// Design constraints:
+//  - Near-zero cost when unread: incrementing a counter is one relaxed
+//    atomic add. Callers resolve the counter once (typically into a
+//    function-local static reference) and never pay the registry lookup
+//    on the hot path.
+//  - Thread-safe: counters are atomics; the registry map is guarded by a
+//    mutex and hands out stable references (entries are never removed,
+//    Reset() only zeroes values).
+//  - Deterministic output: Snapshot() returns counters sorted by name, so
+//    serialized snapshots are byte-comparable across runs.
+
+#ifndef HYPERTREE_UTIL_METRICS_H_
+#define HYPERTREE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hypertree::metrics {
+
+/// A named monotonic counter. Obtained from the Registry (which owns it
+/// and keeps its address stable for the process lifetime).
+class Counter {
+ public:
+  void Add(long delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  long Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::string name_;
+  std::atomic<long> value_{0};
+};
+
+/// One (name, value) pair of a registry snapshot.
+using Sample = std::pair<std::string, long>;
+
+/// The process-wide counter registry.
+class Registry {
+ public:
+  /// The global instance (created on first use, never destroyed before
+  /// any counter user).
+  static Registry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the registry's lifetime.
+  Counter& GetCounter(const std::string& name);
+
+  /// All counters sorted by name. `include_zero` keeps entries whose
+  /// value is 0 (useful for schema-stable output).
+  std::vector<Sample> Snapshot(bool include_zero = false) const;
+
+  /// Zeroes every counter (registrations are kept, references stay
+  /// valid).
+  void Reset();
+
+  /// Number of registered counters.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so Counter addresses are stable and snapshots
+  // iterate in name order without re-sorting.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+/// Shorthand for Registry::Global().GetCounter(name).
+Counter& GetCounter(const std::string& name);
+
+/// Measures a wall-clock scope: on destruction adds the elapsed
+/// nanoseconds to `<name>.wall_ns` and bumps `<name>.calls`. Scopes nest
+/// naturally (each instance accumulates into its own pair of counters).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& name);
+  /// Hot-path variant: the caller resolved the counters once already.
+  ScopedTimer(Counter& wall_ns, Counter& calls);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& wall_ns_;
+  Counter& calls_;
+  uint64_t start_ns_;
+};
+
+}  // namespace hypertree::metrics
+
+#endif  // HYPERTREE_UTIL_METRICS_H_

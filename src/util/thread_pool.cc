@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace hypertree {
+
+namespace {
+
+// Pool utilization is busy_wall_ns / (workers * wall clock): tasks counts
+// completed tasks, busy_wall_ns the time workers spent inside them.
+metrics::Counter& BusyNsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("thread_pool.busy_wall_ns");
+  return c;
+}
+metrics::Counter& TasksMetric() {
+  static metrics::Counter& c = metrics::GetCounter("thread_pool.tasks");
+  return c;
+}
+
+}  // namespace
 
 int ThreadPool::HardwareThreads() {
   unsigned hc = std::thread::hardware_concurrency();
@@ -53,7 +70,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      metrics::ScopedTimer timer(BusyNsMetric(), TasksMetric());
+      task();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--pending_ == 0) all_done_.notify_all();

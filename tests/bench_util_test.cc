@@ -1,0 +1,168 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace hypertree {
+namespace {
+
+TEST(ParseScaleTest, AcceptsPositiveNumbers) {
+  EXPECT_DOUBLE_EQ(bench::ParseScale("1"), 1.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("2e1"), 20.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("0.5 "), 0.5);  // trailing blanks ok
+}
+
+TEST(ParseScaleTest, UnsetOrEmptyMeansDefault) {
+  EXPECT_DOUBLE_EQ(bench::ParseScale(nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale(""), 1.0);
+}
+
+TEST(ParseScaleTest, RejectsGarbageWithDefault) {
+  EXPECT_DOUBLE_EQ(bench::ParseScale("fast"), 1.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("1.5x"), 1.0);   // trailing garbage
+  EXPECT_DOUBLE_EQ(bench::ParseScale("0"), 1.0);      // zero is not usable
+  EXPECT_DOUBLE_EQ(bench::ParseScale("-2"), 1.0);     // negative
+  EXPECT_DOUBLE_EQ(bench::ParseScale("nan"), 1.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("inf"), 1.0);
+  EXPECT_DOUBLE_EQ(bench::ParseScale("1e999"), 1.0);  // overflow
+}
+
+TEST(ScaleTest, ReadsEnvironmentVariable) {
+  ASSERT_EQ(setenv("HYPERTREE_BENCH_SCALE", "0.125", 1), 0);
+  EXPECT_DOUBLE_EQ(bench::Scale(), 0.125);
+  ASSERT_EQ(setenv("HYPERTREE_BENCH_SCALE", "bogus", 1), 0);
+  EXPECT_DOUBLE_EQ(bench::Scale(), 1.0);
+  ASSERT_EQ(unsetenv("HYPERTREE_BENCH_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(bench::Scale(), 1.0);
+}
+
+class JsonReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bench_util_test_records.ndjson";
+    std::remove(path_.c_str());
+    ASSERT_EQ(setenv("HYPERTREE_BENCH_JSON", path_.c_str(), 1), 0);
+  }
+  void TearDown() override {
+    unsetenv("HYPERTREE_BENCH_JSON");
+    std::remove(path_.c_str());
+  }
+
+  std::vector<Json> ReadRecords() {
+    std::vector<Json> records;
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string error;
+      auto parsed = Json::Parse(line, &error);
+      EXPECT_TRUE(parsed.has_value()) << error << " in: " << line;
+      if (parsed.has_value()) records.push_back(std::move(*parsed));
+    }
+    return records;
+  }
+
+  std::string path_;
+};
+
+TEST_F(JsonReporterTest, DisabledWithoutEnvVar) {
+  unsetenv("HYPERTREE_BENCH_JSON");
+  bench::JsonReporter report("unit");
+  EXPECT_FALSE(report.enabled());
+  report.Record("i", "a", 1, true, 0, 0.0);  // must be a no-op, not a crash
+}
+
+TEST_F(JsonReporterTest, WritesSchemaStableRecords) {
+  bench::JsonReporter report("unit");
+  ASSERT_TRUE(report.enabled());
+  report.Record("grid2d_3", "bb_tw", 3, /*exact=*/true, /*nodes=*/120, 1.5,
+                /*deterministic=*/true, /*lower_bound=*/3,
+                Json::Object().Set("extra", 7L));
+  report.Record("grid2d_4", "ga_tw", 4, /*exact=*/false, /*nodes=*/0, 2.5);
+
+  std::vector<Json> records = ReadRecords();
+  ASSERT_EQ(records.size(), 2u);
+
+  // Field order is part of the contract: byte-comparable documents.
+  const std::vector<std::string> expected_order = {
+      "bench",   "instance", "algorithm",     "width",    "exact",
+      "lower_bound", "nodes", "wall_ms", "deterministic", "counters"};
+  for (const Json& rec : records) {
+    ASSERT_TRUE(rec.is_object());
+    ASSERT_EQ(rec.fields().size(), expected_order.size());
+    for (size_t i = 0; i < expected_order.size(); ++i) {
+      EXPECT_EQ(rec.fields()[i].first, expected_order[i]);
+    }
+    EXPECT_EQ(rec.Find("bench")->AsString(), "unit");
+  }
+  EXPECT_EQ(records[0].Find("instance")->AsString(), "grid2d_3");
+  EXPECT_EQ(records[0].Find("algorithm")->AsString(), "bb_tw");
+  EXPECT_EQ(records[0].Find("width")->AsInt(), 3);
+  EXPECT_TRUE(records[0].Find("exact")->AsBool());
+  EXPECT_EQ(records[0].Find("lower_bound")->AsInt(), 3);
+  EXPECT_EQ(records[0].Find("nodes")->AsInt(), 120);
+  EXPECT_DOUBLE_EQ(records[0].Find("wall_ms")->AsDouble(), 1.5);
+  EXPECT_TRUE(records[0].Find("deterministic")->AsBool());
+  EXPECT_EQ(records[0].Find("counters")->Find("extra")->AsInt(), 7);
+
+  EXPECT_FALSE(records[1].Find("exact")->AsBool());
+  // `deterministic` defaults to true (seeded, iteration-bounded runs);
+  // callers opt OUT for budget-interrupted searches.
+  EXPECT_TRUE(records[1].Find("deterministic")->AsBool());
+  EXPECT_EQ(records[1].Find("lower_bound")->AsInt(), -1);
+}
+
+TEST_F(JsonReporterTest, WidthResultOverloadCarriesCacheCounters) {
+  bench::JsonReporter report("unit");
+  WidthResult res;
+  res.lower_bound = 2;
+  res.upper_bound = 3;
+  res.exact = true;
+  res.nodes = 77;
+  res.seconds = 0.25;
+  res.cache_stats.hits = 10;
+  res.cache_stats.misses = 4;
+  res.cache_stats.inserts = 4;
+  report.Record("cycle_10_3", "bb_ghw", res,
+                Json::Object().Set("static_lb", 2));
+
+  std::vector<Json> records = ReadRecords();
+  ASSERT_EQ(records.size(), 1u);
+  const Json& rec = records[0];
+  EXPECT_EQ(rec.Find("width")->AsInt(), 3);
+  EXPECT_EQ(rec.Find("lower_bound")->AsInt(), 2);
+  EXPECT_EQ(rec.Find("nodes")->AsInt(), 77);
+  EXPECT_DOUBLE_EQ(rec.Find("wall_ms")->AsDouble(), 250.0);
+  EXPECT_TRUE(rec.Find("deterministic")->AsBool());  // mirrors res.exact
+  const Json* counters = rec.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("cache_hits")->AsInt(), 10);
+  EXPECT_EQ(counters->Find("cache_misses")->AsInt(), 4);
+  EXPECT_EQ(counters->Find("cache_inserts")->AsInt(), 4);
+  EXPECT_EQ(counters->Find("static_lb")->AsInt(), 2);
+}
+
+TEST_F(JsonReporterTest, AppendsAcrossReporters) {
+  {
+    bench::JsonReporter a("unit");
+    a.Record("x", "alg", 1, true, 0, 0.5);
+  }
+  {
+    bench::JsonReporter b("unit");
+    b.Record("y", "alg", 2, true, 0, 0.5);
+  }
+  EXPECT_EQ(ReadRecords().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -1,0 +1,123 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace hypertree {
+namespace {
+
+TEST(JsonTest, ScalarDumps) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7L).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json j = Json::Object();
+  j.Set("zeta", 1).Set("alpha", 2).Set("mid", 3);
+  EXPECT_EQ(j.Dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonTest, SetOverwritesInPlaceKeepingPosition) {
+  Json j = Json::Object();
+  j.Set("a", 1).Set("b", 2).Set("a", 9);
+  EXPECT_EQ(j.Dump(), "{\"a\":9,\"b\":2}");
+  ASSERT_NE(j.Find("a"), nullptr);
+  EXPECT_EQ(j.Find("a")->AsInt(), 9);
+  EXPECT_EQ(j.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, NestedStructures) {
+  Json arr = Json::Array();
+  arr.Append(1).Append("two").Append(Json());
+  Json j = Json::Object();
+  j.Set("list", std::move(arr)).Set("obj", Json::Object().Set("k", true));
+  EXPECT_EQ(j.Dump(), "{\"list\":[1,\"two\",null],\"obj\":{\"k\":true}}");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j = Json::Object();
+  j.Set("s", "a\"b\\c\nd\te\rf");
+  EXPECT_EQ(j.Dump(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\rf\"}");
+  std::string ctrl = "x";
+  ctrl.push_back('\x01');
+  EXPECT_EQ(Json(ctrl).Dump(), "\"x\\u0001\"");
+}
+
+TEST(JsonTest, DoubleFormattingRoundTrips) {
+  for (double v : {0.0, 1.0, -1.25, 0.1, 1e-9, 12345.6789, 1e20}) {
+    std::string dumped = Json(v).Dump();
+    auto parsed = Json::Parse(dumped);
+    ASSERT_TRUE(parsed.has_value()) << dumped;
+    EXPECT_EQ(parsed->AsDouble(), v) << dumped;
+  }
+  // Non-finite values have no JSON representation and serialize as null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  auto build = [] {
+    Json j = Json::Object();
+    j.Set("bench", "unit").Set("width", 3).Set("wall_ms", 1.25);
+    j.Set("counters", Json::Object().Set("hits", 10L).Set("misses", 2L));
+    return j.Dump();
+  };
+  // Byte-identical across builds: the record writer relies on this to
+  // make BENCH.json diffs meaningful.
+  EXPECT_EQ(build(), build());
+  EXPECT_EQ(build(),
+            "{\"bench\":\"unit\",\"width\":3,\"wall_ms\":1.25,"
+            "\"counters\":{\"hits\":10,\"misses\":2}}");
+}
+
+TEST(JsonTest, ParseRoundTripsRecords) {
+  const std::string doc =
+      "{\"bench\":\"b\",\"instance\":\"i\",\"algorithm\":\"a\",\"width\":3,"
+      "\"exact\":true,\"lower_bound\":-1,\"nodes\":120,\"wall_ms\":0.5,"
+      "\"deterministic\":false,\"counters\":{\"cache_hits\":7}}";
+  auto parsed = Json::Parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Dump(), doc);
+  EXPECT_EQ(parsed->Find("width")->AsInt(), 3);
+  EXPECT_TRUE(parsed->Find("exact")->AsBool());
+  EXPECT_FALSE(parsed->Find("deterministic")->AsBool());
+  EXPECT_EQ(parsed->Find("counters")->Find("cache_hits")->AsInt(), 7);
+  EXPECT_EQ(parsed->Find("wall_ms")->AsDouble(), 0.5);
+}
+
+TEST(JsonTest, ParseHandlesWhitespaceAndEscapes) {
+  auto parsed = Json::Parse(" { \"a\" : [ 1 , -2.5 , \"x\\u0041y\" ] } ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Dump(), "{\"a\":[1,-2.5,\"xAy\"]}");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::Parse("", &error).has_value());
+  EXPECT_FALSE(Json::Parse("{", &error).has_value());
+  EXPECT_FALSE(Json::Parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(Json::Parse("[1,]", &error).has_value());
+  EXPECT_FALSE(Json::Parse("tru", &error).has_value());
+  EXPECT_FALSE(Json::Parse("1 2", &error).has_value());  // trailing garbage
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, TypedAccessorFallbacks) {
+  Json s("text");
+  EXPECT_EQ(s.AsInt(99), 99);
+  EXPECT_EQ(s.AsDouble(2.5), 2.5);
+  EXPECT_FALSE(s.AsBool(false));
+  Json i(7);
+  EXPECT_EQ(i.AsDouble(), 7.0);  // ints promote to double
+  EXPECT_EQ(i.AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace hypertree

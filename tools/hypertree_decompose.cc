@@ -14,7 +14,11 @@
 //   --output=FILE       write the witness decomposition: .td (PACE, tw
 //                       only) or .dot
 //   --quiet             print only the width
+//   --json              print one machine-readable JSON record (the
+//                       BENCH.json schema, see docs/BENCHMARKS.md) plus
+//                       the metrics-registry snapshot instead of text
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,11 +44,42 @@
 #include "td/pace.h"
 #include "search/decomp_cache.h"
 #include "util/flags.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace hypertree;
 
 namespace {
+
+/// One BENCH.json-schema record (docs/BENCHMARKS.md) with the full
+/// metrics-registry snapshot attached, printed to stdout.
+void PrintJsonRecord(const std::string& instance, const std::string& algorithm,
+                     int width, bool exact, int lower_bound, long nodes,
+                     double wall_ms, const DecompCacheStats& cache_stats) {
+  Json counters = Json::Object();
+  counters.Set("cache_hits", cache_stats.hits)
+      .Set("cache_misses", cache_stats.misses)
+      .Set("cache_inserts", cache_stats.inserts);
+  Json metrics_obj = Json::Object();
+  for (const auto& [name, value] : metrics::Registry::Global().Snapshot()) {
+    metrics_obj.Set(name, value);
+  }
+  Json rec = Json::Object();
+  rec.Set("bench", "hypertree_decompose")
+      .Set("instance", instance)
+      .Set("algorithm", algorithm)
+      .Set("width", width)
+      .Set("exact", exact)
+      .Set("lower_bound", lower_bound)
+      .Set("nodes", nodes)
+      .Set("wall_ms", wall_ms)
+      .Set("deterministic", exact)
+      .Set("counters", std::move(counters))
+      .Set("metrics", std::move(metrics_obj));
+  std::printf("%s\n", rec.Dump().c_str());
+}
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -76,7 +111,7 @@ int Usage() {
                "usage: hypertree_decompose [--method=bb|astar|ga|saiga|ls|"
                "minfill] [--measure=ghw|tw|hw|fhw]\n"
                "       [--time-limit=SEC] [--threads=N] [--seed=N] "
-               "[--output=FILE] [--quiet] <instance>\n");
+               "[--output=FILE] [--quiet] [--json] <instance>\n");
   return 2;
 }
 
@@ -98,15 +133,27 @@ int main(int argc, char** argv) {
       flags.GetInt("threads", ThreadPool::HardwareThreads()));
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   bool quiet = flags.GetBool("quiet");
+  bool json = flags.GetBool("json");
+  Timer wall;
 
   GhwEvaluator eval(*h);
   EliminationOrdering witness;
   int width = -1;
   bool exact = false;
+  long nodes = 0;
   DecompCacheStats cache_stats;
 
   if (measure == "fhw") {
     double fhw = FhwUpperBound(*h, 5, seed);
+    if (json) {
+      // fhw is fractional: report the integer ceiling as the width and
+      // the exact value as a counter-style field.
+      PrintJsonRecord(h->name(), "fhw_upper",
+                      static_cast<int>(std::ceil(fhw)), /*exact=*/false,
+                      /*lower_bound=*/-1, /*nodes=*/0, wall.ElapsedMillis(),
+                      DecompCacheStats{});
+      return 0;
+    }
     if (quiet) {
       std::printf("%.4f\n", fhw);
     } else {
@@ -122,7 +169,11 @@ int main(int argc, char** argv) {
     opts.threads = threads;
     std::optional<HypertreeDecomposition> hd;
     WidthResult res = HypertreeWidth(*h, opts, &hd);
-    if (quiet) {
+    if (json) {
+      PrintJsonRecord(h->name(), "det_k_hw", res.upper_bound, res.exact,
+                      res.lower_bound, res.nodes, res.seconds * 1000.0,
+                      res.cache_stats);
+    } else if (quiet) {
       std::printf("%d\n", res.upper_bound);
     } else {
       std::printf("instance : %s\nhw       : %d%s (lb %d)\n",
@@ -151,6 +202,7 @@ int main(int argc, char** argv) {
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      nodes = res.nodes;
       cache_stats = res.cache_stats;
     } else {
       GhwSearchOptions opts;
@@ -161,6 +213,7 @@ int main(int argc, char** argv) {
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      nodes = res.nodes;
       cache_stats = res.cache_stats;
     }
   } else if (method == "astar") {
@@ -173,6 +226,7 @@ int main(int argc, char** argv) {
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      nodes = res.nodes;
       cache_stats = res.cache_stats;
     } else {
       GhwSearchOptions opts;
@@ -183,6 +237,7 @@ int main(int argc, char** argv) {
       width = res.upper_bound;
       exact = res.exact;
       witness = res.best_ordering;
+      nodes = res.nodes;
       cache_stats = res.cache_stats;
     }
   } else if (method == "ga" || method == "saiga") {
@@ -223,7 +278,11 @@ int main(int argc, char** argv) {
   if (!want_tw) {
     width = eval.EvaluateOrdering(witness, CoverMode::kExact);
   }
-  if (quiet) {
+  if (json) {
+    std::string algorithm = method + (want_tw ? "_tw" : "_ghw");
+    PrintJsonRecord(h->name(), algorithm, width, exact, /*lower_bound=*/-1,
+                    nodes, wall.ElapsedMillis(), cache_stats);
+  } else if (quiet) {
     std::printf("%d\n", width);
   } else {
     std::printf("instance : %s (%d vertices, %d hyperedges)\n",

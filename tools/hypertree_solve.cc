@@ -13,6 +13,8 @@
 //                     report its decomposition cache statistics
 //   --count           also count all solutions
 //   --route=...       td | ghd | bt | all (default all)
+//   --json            print machine-readable JSON records (the BENCH.json
+//                     schema, see docs/BENCHMARKS.md) instead of text
 
 #include <cstdio>
 #include <string>
@@ -27,10 +29,33 @@
 #include "ordering/heuristics.h"
 #include "td/tree_decomposition.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace hypertree;
+
+namespace {
+
+/// One BENCH.json-schema record (docs/BENCHMARKS.md) printed to stdout.
+void PrintJsonRecord(const std::string& instance, const std::string& algorithm,
+                     int width, bool exact, int lower_bound, long nodes,
+                     double wall_ms, bool deterministic, Json counters) {
+  Json rec = Json::Object();
+  rec.Set("bench", "hypertree_solve")
+      .Set("instance", instance)
+      .Set("algorithm", algorithm)
+      .Set("width", width)
+      .Set("exact", exact)
+      .Set("lower_bound", lower_bound)
+      .Set("nodes", nodes)
+      .Set("wall_ms", wall_ms)
+      .Set("deterministic", deterministic)
+      .Set("counters", std::move(counters));
+  std::printf("%s\n", rec.Dump().c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
@@ -38,7 +63,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hypertree_solve [--domain=D] [--tightness=T] "
                  "[--plant] [--seed=N] [--threads=N] [--hw] [--count] "
-                 "[--route=td|ghd|bt|all] <instance.hg>\n");
+                 "[--route=td|ghd|bt|all] [--json] <instance.hg>\n");
     return 2;
   }
   std::string error;
@@ -56,11 +81,14 @@ int main(int argc, char** argv) {
       flags.GetInt("threads", ThreadPool::HardwareThreads()));
   bool want_hw = flags.GetBool("hw");
   std::string route = flags.GetString("route", "all");
+  bool json = flags.GetBool("json");
 
   Csp csp = RandomCspFromHypergraph(*h, domain, tightness, plant, seed);
-  std::printf("instance : %s (%d vars, %d constraints, domain %d)\n",
-              h->name().c_str(), csp.NumVariables(), csp.NumConstraints(),
-              domain);
+  if (!json) {
+    std::printf("instance : %s (%d vars, %d constraints, domain %d)\n",
+                h->name().c_str(), csp.NumVariables(), csp.NumConstraints(),
+                domain);
+  }
 
   GhwEvaluator eval(*h);
   Rng rng(seed);
@@ -68,51 +96,99 @@ int main(int argc, char** argv) {
   TreeDecomposition td = TreeDecompositionFromOrdering(eval.primal(), sigma);
   GeneralizedHypertreeDecomposition ghd =
       eval.BuildGhd(sigma, CoverMode::kExact);
-  std::printf("widths   : td %d, ghd %d\n", td.Width(), ghd.Width());
+  if (!json) {
+    std::printf("widths   : td %d, ghd %d\n", td.Width(), ghd.Width());
+  }
   if (want_hw) {
     SearchOptions sopts;
     sopts.time_limit_seconds = 10.0;
     sopts.seed = seed;
     sopts.threads = threads;
     WidthResult hw = HypertreeWidth(*h, sopts, nullptr);
-    std::printf("hw       : %d%s (lb %d)\n", hw.upper_bound,
-                hw.exact ? "" : "*", hw.lower_bound);
-    std::printf("hw cache : %ld hits, %ld misses, %ld inserts\n",
-                hw.cache_stats.hits, hw.cache_stats.misses,
-                hw.cache_stats.inserts);
+    if (json) {
+      PrintJsonRecord(h->name(), "det_k_hw", hw.upper_bound, hw.exact,
+                      hw.lower_bound, hw.nodes, hw.seconds * 1000.0,
+                      /*deterministic=*/hw.exact,
+                      Json::Object()
+                          .Set("cache_hits", hw.cache_stats.hits)
+                          .Set("cache_misses", hw.cache_stats.misses)
+                          .Set("cache_inserts", hw.cache_stats.inserts));
+    } else {
+      std::printf("hw       : %d%s (lb %d)\n", hw.upper_bound,
+                  hw.exact ? "" : "*", hw.lower_bound);
+      std::printf("hw cache : %ld hits, %ld misses, %ld inserts\n",
+                  hw.cache_stats.hits, hw.cache_stats.misses,
+                  hw.cache_stats.inserts);
+    }
   }
 
   if (route == "td" || route == "all") {
     Timer t;
     DecompositionSolveStats stats;
     auto solution = SolveViaTreeDecomposition(csp, td, &stats);
-    std::printf("td  route: %s (%.1f ms, %ld bag tuples)\n",
-                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis(),
-                stats.bag_tuples);
+    double ms = t.ElapsedMillis();
+    Json counters = Json::Object()
+                        .Set("sat", solution.has_value())
+                        .Set("bag_tuples", stats.bag_tuples);
     if (count) {
-      std::printf("td  count: %lld solutions\n",
-                  CountViaTreeDecomposition(csp, td));
+      counters.Set("solutions",
+                   static_cast<long>(CountViaTreeDecomposition(csp, td)));
+    }
+    if (json) {
+      PrintJsonRecord(h->name(), "csp_td", td.Width(), /*exact=*/true,
+                      /*lower_bound=*/-1, /*nodes=*/0, ms,
+                      /*deterministic=*/true, std::move(counters));
+    } else {
+      std::printf("td  route: %s (%.1f ms, %ld bag tuples)\n",
+                  solution.has_value() ? "SAT" : "UNSAT", ms,
+                  stats.bag_tuples);
+      if (const Json* n = counters.Find("solutions")) {
+        std::printf("td  count: %ld solutions\n", n->AsInt());
+      }
     }
   }
   if (route == "ghd" || route == "all") {
     Timer t;
     auto solution = SolveViaGhd(csp, ghd);
-    std::printf("ghd route: %s (%.1f ms)\n",
-                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis());
+    double ms = t.ElapsedMillis();
+    Json counters = Json::Object().Set("sat", solution.has_value());
     if (count) {
-      std::printf("ghd count: %lld solutions\n", CountViaGhd(csp, ghd));
+      counters.Set("solutions", static_cast<long>(CountViaGhd(csp, ghd)));
+    }
+    if (json) {
+      PrintJsonRecord(h->name(), "csp_ghd", ghd.Width(), /*exact=*/true,
+                      /*lower_bound=*/-1, /*nodes=*/0, ms,
+                      /*deterministic=*/true, std::move(counters));
+    } else {
+      std::printf("ghd route: %s (%.1f ms)\n",
+                  solution.has_value() ? "SAT" : "UNSAT", ms);
+      if (const Json* n = counters.Find("solutions")) {
+        std::printf("ghd count: %ld solutions\n", n->AsInt());
+      }
     }
   }
   if (route == "bt" || route == "all") {
     Timer t;
     BacktrackStats stats;
     auto solution = BacktrackingSolve(csp, 50000000, &stats);
-    std::printf("bt  route: %s (%.1f ms, %ld nodes%s)\n",
-                solution.has_value() ? "SAT" : "UNSAT", t.ElapsedMillis(),
-                stats.nodes, stats.aborted ? ", aborted" : "");
+    double ms = t.ElapsedMillis();
+    Json counters = Json::Object()
+                        .Set("sat", solution.has_value())
+                        .Set("aborted", stats.aborted);
     if (count && !stats.aborted) {
-      std::printf("bt  count: %ld solutions\n",
-                  BacktrackingCountSolutions(csp, 50000000));
+      counters.Set("solutions", BacktrackingCountSolutions(csp, 50000000));
+    }
+    if (json) {
+      PrintJsonRecord(h->name(), "csp_bt", /*width=*/-1, /*exact=*/false,
+                      /*lower_bound=*/-1, stats.nodes, ms,
+                      /*deterministic=*/!stats.aborted, std::move(counters));
+    } else {
+      std::printf("bt  route: %s (%.1f ms, %ld nodes%s)\n",
+                  solution.has_value() ? "SAT" : "UNSAT", ms, stats.nodes,
+                  stats.aborted ? ", aborted" : "");
+      if (const Json* n = counters.Find("solutions")) {
+        std::printf("bt  count: %ld solutions\n", n->AsInt());
+      }
     }
   }
   return 0;
