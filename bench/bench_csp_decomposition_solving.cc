@@ -14,6 +14,8 @@
 #include "hypergraph/generators.h"
 #include "ordering/heuristics.h"
 #include "td/tree_decomposition.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace hypertree;
@@ -21,6 +23,10 @@ using namespace hypertree;
 int main() {
   double scale = bench::Scale();
   bench::JsonReporter report("csp_decomposition_solving");
+  ThreadPool pool;  // hardware concurrency
+  metrics::Counter& rows_joined = metrics::GetCounter("relation.rows_joined");
+  metrics::Counter& rows_dropped =
+      metrics::GetCounter("relation.rows_semijoin_dropped");
   bench::Header(
       "E14: CSP solving via decompositions (planted grid CSPs, domain 2)",
       "grid  vars  tdwidth  ghwwidth  td[ms]  ghd[ms]  bagtuples  bt-nodes  bt[ms]");
@@ -36,14 +42,22 @@ int main() {
     GeneralizedHypertreeDecomposition ghd =
         eval.BuildGhd(sigma, CoverMode::kExact);
 
+    long td_joined = rows_joined.Value();
+    long td_dropped = rows_dropped.Value();
     Timer t1;
     DecompositionSolveStats td_stats;
-    auto via_td = SolveViaTreeDecomposition(csp, td, &td_stats);
+    auto via_td = SolveViaTreeDecomposition(csp, td, &td_stats, &pool);
     double td_ms = t1.ElapsedMillis();
+    td_joined = rows_joined.Value() - td_joined;
+    td_dropped = rows_dropped.Value() - td_dropped;
 
+    long ghd_joined = rows_joined.Value();
+    long ghd_dropped = rows_dropped.Value();
     Timer t2;
-    auto via_ghd = SolveViaGhd(csp, ghd);
+    auto via_ghd = SolveViaGhd(csp, ghd, nullptr, &pool);
     double ghd_ms = t2.ElapsedMillis();
+    ghd_joined = rows_joined.Value() - ghd_joined;
+    ghd_dropped = rows_dropped.Value() - ghd_dropped;
 
     Timer t3;
     BacktrackStats bt;
@@ -52,9 +66,16 @@ int main() {
 
     report.Record(h.name(), "csp_td", td.Width(), /*exact=*/true, /*nodes=*/0,
                   td_ms, /*deterministic=*/true, /*lower_bound=*/-1,
-                  Json::Object().Set("bag_tuples", td_stats.bag_tuples));
+                  Json::Object()
+                      .Set("bag_tuples", td_stats.bag_tuples)
+                      .Set("rows_joined", td_joined)
+                      .Set("rows_semijoin_dropped", td_dropped));
     report.Record(h.name(), "csp_ghd", ghd.Width(), /*exact=*/true,
-                  /*nodes=*/0, ghd_ms);
+                  /*nodes=*/0, ghd_ms, /*deterministic=*/true,
+                  /*lower_bound=*/-1,
+                  Json::Object()
+                      .Set("rows_joined", ghd_joined)
+                      .Set("rows_semijoin_dropped", ghd_dropped));
     report.Record(h.name(), "csp_bt", /*width=*/-1, /*exact=*/false, bt.nodes,
                   bt_ms, /*deterministic=*/!bt.aborted, /*lower_bound=*/-1,
                   Json::Object().Set("aborted", bt.aborted));

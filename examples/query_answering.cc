@@ -62,7 +62,7 @@ int main() {
     } else {
       std::printf("  answers: %d tuples", answer->Size());
       int shown = 0;
-      for (const auto& t : answer->tuples()) {
+      for (const auto& t : answer->ToTuples()) {
         if (shown++ == 5) break;
         std::printf(" (");
         for (size_t i = 0; i < t.size(); ++i)

@@ -11,11 +11,13 @@
 #   --quiet           discard the human-readable table output
 #
 # Each bench binary appends NDJSON records to $HYPERTREE_BENCH_JSON while
-# still printing its usual table. bench_micro_kernels is a Google Benchmark
-# binary, so it is run with --benchmark_format=json and its output is
-# converted into the same record schema. Afterwards all records are parsed,
-# sorted by (bench, instance, algorithm), and written as a JSON array so
-# two runs of this script are diffable with scripts/check_bench_regression.py.
+# still printing its usual table. bench_micro_kernels and bench_join_kernels
+# are Google Benchmark binaries, so they are run with
+# --benchmark_format=json and their output is converted into the same
+# record schema (bench = binary name minus the bench_ prefix). Afterwards
+# all records are parsed, sorted by (bench, instance, algorithm), and
+# written as a JSON array so two runs of this script are diffable with
+# scripts/check_bench_regression.py.
 
 set -euo pipefail
 
@@ -49,9 +51,13 @@ fi
 workdir="$(mktemp -d)"
 trap 'rm -rf "${workdir}"' EXIT
 ndjson="${workdir}/records.ndjson"
-micro_json="${workdir}/micro.json"
+gbench_dir="${workdir}/gbench"
+mkdir -p "${gbench_dir}"
 : > "${ndjson}"
 export HYPERTREE_BENCH_JSON="${ndjson}"
+
+# Google Benchmark binaries (no NDJSON reporter of their own).
+gbench_binaries="bench_micro_kernels bench_join_kernels"
 
 ran=0
 failed=0
@@ -63,9 +69,10 @@ for exe in "${bench_dir}"/bench_*; do
   fi
   echo "== ${name}" >&2
   ran=$((ran + 1))
-  if [ "${name}" = "bench_micro_kernels" ]; then
+  if [[ " ${gbench_binaries} " == *" ${name} "* ]]; then
     # Google Benchmark binary: capture its own JSON format for conversion.
-    if ! "${exe}" --benchmark_format=json --benchmark_out="${micro_json}" \
+    if ! "${exe}" --benchmark_format=json \
+        --benchmark_out="${gbench_dir}/${name}.json" \
         --benchmark_out_format=json >/dev/null; then
       echo "FAILED: ${name}" >&2
       failed=$((failed + 1))
@@ -82,11 +89,13 @@ if [ "${ran}" = 0 ]; then
   exit 1
 fi
 
-python3 - "${ndjson}" "${micro_json}" "${output}" <<'PY'
+python3 - "${ndjson}" "${gbench_dir}" "${output}" <<'PY'
+import glob
 import json
+import os
 import sys
 
-ndjson_path, micro_path, out_path = sys.argv[1:4]
+ndjson_path, gbench_dir, out_path = sys.argv[1:4]
 
 records = []
 with open(ndjson_path) as f:
@@ -99,20 +108,20 @@ with open(ndjson_path) as f:
         except json.JSONDecodeError as e:
             sys.exit(f"error: bad record at {ndjson_path}:{lineno}: {e}")
 
-# Convert Google Benchmark output into the shared record schema. Micro
-# kernels have no width/nodes semantics, so those fields are null and the
-# records are marked non-deterministic (wall time only).
-try:
-    with open(micro_path) as f:
-        micro = json.load(f)
-except FileNotFoundError:
-    micro = None
-if micro is not None:
-    for b in micro.get("benchmarks", []):
+# Convert Google Benchmark output into the shared record schema. The
+# microbench records have no width/nodes semantics, so those fields are
+# null and the records are marked non-deterministic (wall time only).
+# bench = binary name minus the bench_ prefix (micro_kernels,
+# join_kernels, ...).
+for path in sorted(glob.glob(os.path.join(gbench_dir, "bench_*.json"))):
+    bench = os.path.basename(path)[len("bench_"):-len(".json")]
+    with open(path) as f:
+        gbench = json.load(f)
+    for b in gbench.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         records.append({
-            "bench": "micro_kernels",
+            "bench": bench,
             "instance": b["name"],
             "algorithm": "microbench",
             "width": None,

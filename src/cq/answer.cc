@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 
+#include "csp/tree_schedule.h"
 #include "ghd/ghw_from_ordering.h"
 #include "ordering/heuristics.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hypertree {
 
@@ -50,18 +52,19 @@ bool BindAtom(const Atom& atom, const std::map<std::string, int>& var_id,
     }
   }
   Relation r(schema);
+  std::vector<int> tuple;
   for (const auto& row : table->rows) {
     bool ok = true;
     for (size_t i = 0; i < row.size() && ok; ++i) {
       if (rep[i] != static_cast<int>(i) && row[i] != row[rep[i]]) ok = false;
     }
     if (!ok) continue;
-    std::vector<int> tuple;
-    tuple.reserve(keep_cols.size());
+    tuple.clear();
     for (int c : keep_cols) tuple.push_back(row[c]);
     // Deduplicate: repeated rows in the table must not duplicate answers
-    // beyond set semantics.
-    if (!r.Contains(tuple)) r.AddTuple(std::move(tuple));
+    // beyond set semantics. InsertIfAbsent keeps this linear via the
+    // relation's row index (the old Contains scan was quadratic).
+    r.InsertIfAbsent(tuple.data());
   }
   *out = std::move(r);
   return true;
@@ -71,7 +74,7 @@ bool BindAtom(const Atom& atom, const std::map<std::string, int>& var_id,
 
 std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
                                     const Database& db, std::string* error,
-                                    AnswerStats* stats) {
+                                    AnswerStats* stats, ThreadPool* pool) {
   std::vector<std::string> vars = q.Variables();
   std::map<std::string, int> var_id;
   for (size_t i = 0; i < vars.size(); ++i) var_id[vars[i]] = static_cast<int>(i);
@@ -106,27 +109,6 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   if (stats != nullptr) stats->decomposition_width = ghd.Width();
 
   int m = ghd.NumNodes();
-  // Node relations: pi_chi(join of lambda atom relations).
-  std::vector<Relation> rel(m);
-  for (int p = 0; p < m; ++p) {
-    const std::vector<int>& lambda = ghd.Lambda(p);
-    HT_CHECK(!lambda.empty() || ghd.td().Bag(p).None());
-    Relation acc;
-    bool first = true;
-    for (int e : lambda) {
-      acc = first ? bound[e] : acc.Join(bound[e]);
-      first = false;
-    }
-    std::vector<int> chi = ghd.td().Bag(p).ToVector();
-    if (first) {
-      rel[p] = Relation(chi);
-      rel[p].AddTuple({});
-    } else {
-      rel[p] = acc.Project(chi);
-    }
-    if (stats != nullptr) stats->intermediate_tuples += rel[p].Size();
-  }
-
   // Root the decomposition tree and compute orders.
   std::vector<std::vector<int>> children(m);
   std::vector<int> parent(m, -1), order = {0};
@@ -146,14 +128,40 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
     HT_CHECK(static_cast<int>(order.size()) == m);
   }
 
-  // Full Yannakakis reduction.
-  for (size_t i = order.size(); i-- > 1;) {
-    int node = order[i];
-    rel[parent[node]] = rel[parent[node]].Semijoin(rel[node]);
-  }
-  for (int node : order) {
-    for (int c : children[node]) rel[c] = rel[c].Semijoin(rel[node]);
-  }
+  // Node relations: pi_chi(join of lambda atom relations). Independent
+  // per node, so the bag joins fan out over the pool; per-node tuple
+  // counts are collected into slots and summed afterwards so the stats
+  // are deterministic under any schedule.
+  std::vector<Relation> rel(m);
+  std::vector<long> node_tuples(m, 0);
+  RunForAll(m, pool, [&](int p) {
+    const std::vector<int>& lambda = ghd.Lambda(p);
+    HT_CHECK(!lambda.empty() || ghd.td().Bag(p).None());
+    Relation acc;
+    bool first = true;
+    for (int e : lambda) {
+      acc = first ? bound[e] : acc.Join(bound[e]);
+      first = false;
+    }
+    std::vector<int> chi = ghd.td().Bag(p).ToVector();
+    if (first) {
+      rel[p] = Relation(chi);
+      rel[p].AddTuple({});
+    } else {
+      rel[p] = acc.Project(chi);
+    }
+    node_tuples[p] = rel[p].Size();
+  });
+
+  // Full Yannakakis reduction: in-place semijoins, parallel across
+  // independent subtrees (each node only reads already-reduced
+  // neighbors; see csp/tree_schedule.h).
+  RunTreeBottomUp(parent, children, pool, [&](int node) {
+    for (int c : children[node]) rel[node].SemijoinInPlace(rel[c]);
+  });
+  RunTreeTopDown(parent, children, pool, [&](int node) {
+    if (parent[node] != -1) rel[node].SemijoinInPlace(rel[parent[node]]);
+  });
 
   // Head variables contained in each subtree.
   Bitset head_bits(h.NumVertices());
@@ -165,14 +173,16 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
     for (int c : children[node]) sub_head[node] |= sub_head[c];
   }
 
-  // Bottom-up join with projection onto connector + subtree-head vars.
+  // Bottom-up join with projection onto connector + subtree-head vars
+  // (children finish before their parent joins them, so subtrees run
+  // concurrently).
   std::vector<Relation> answers(m);
-  for (size_t i = order.size(); i-- > 0;) {
-    int node = order[i];
+  std::vector<long> join_tuples(m, 0);
+  RunTreeBottomUp(parent, children, pool, [&](int node) {
     Relation acc = rel[node];
     for (int c : children[node]) {
       acc = acc.Join(answers[c]);
-      if (stats != nullptr) stats->intermediate_tuples += acc.Size();
+      join_tuples[node] += acc.Size();
     }
     Bitset keep = sub_head[node];
     if (parent[node] != -1) {
@@ -184,6 +194,11 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
       if (keep.Test(v)) proj.push_back(v);
     }
     answers[node] = acc.Project(proj);
+  });
+  if (stats != nullptr) {
+    for (int p = 0; p < m; ++p) {
+      stats->intermediate_tuples += node_tuples[p] + join_tuples[p];
+    }
   }
 
   Relation result = answers[order[0]].Project(head_ids);

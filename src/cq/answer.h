@@ -17,6 +17,8 @@
 
 namespace hypertree {
 
+class ThreadPool;
+
 /// Work counters for query evaluation.
 struct AnswerStats {
   int decomposition_width = 0;
@@ -27,11 +29,15 @@ struct AnswerStats {
 /// relation's schema lists the head variables by their ids in
 /// q.Variables() order; a Boolean query yields an empty-schema relation
 /// with one tuple (true) or none (false). Fails (nullopt + error) on
-/// missing tables or arity mismatches.
+/// missing tables or arity mismatches. With a pool, the per-node bag
+/// joins and the Yannakakis passes run in parallel across independent
+/// subtrees; the answer relation (schema, tuples and tuple order) is
+/// bit-identical for any thread count.
 std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
                                     const Database& db,
                                     std::string* error = nullptr,
-                                    AnswerStats* stats = nullptr);
+                                    AnswerStats* stats = nullptr,
+                                    ThreadPool* pool = nullptr);
 
 /// Reference evaluation: join all atoms directly, project the head
 /// (exponential; for tests and tiny queries).

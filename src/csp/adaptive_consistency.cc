@@ -71,20 +71,20 @@ std::optional<std::vector<int>> AdaptiveConsistencySolve(
     const Relation& j = joined[v];
     const std::vector<int>& schema = j.schema();
     bool found = false;
-    for (const auto& t : j.tuples()) {
+    for (int t = 0; t < j.Size() && !found; ++t) {
+      const int* row = j.Row(t);
       bool ok = true;
       for (size_t k = 0; k < schema.size() && ok; ++k) {
-        if (schema[k] != v && assignment[schema[k]] != t[k]) ok = false;
+        if (schema[k] != v && assignment[schema[k]] != row[k]) ok = false;
       }
       if (ok) {
         // Assign only v; every other schema variable is assigned at its
         // own (earlier) turn, keeping the directional-consistency
         // induction clean.
         for (size_t k = 0; k < schema.size(); ++k) {
-          if (schema[k] == v) assignment[v] = t[k];
+          if (schema[k] == v) assignment[v] = row[k];
         }
         found = true;
-        break;
       }
     }
     HT_CHECK_MSG(found, "adaptive consistency back-substitution failed");

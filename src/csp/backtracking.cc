@@ -53,10 +53,9 @@ class Backtracker {
   bool Consistent(int var) const {
     for (int c : watch_[var]) {
       const Constraint& con = csp_.GetConstraint(c);
-      std::vector<int> tuple;
-      tuple.reserve(con.scope.size());
-      for (int v : con.scope) tuple.push_back(assignment_[v]);
-      if (!con.relation.Contains(tuple)) return false;
+      scratch_.clear();
+      for (int v : con.scope) scratch_.push_back(assignment_[v]);
+      if (!con.relation.ContainsRow(scratch_.data())) return false;
     }
     return true;
   }
@@ -69,6 +68,7 @@ class Backtracker {
   long max_nodes_;
   int n_;
   std::vector<int> assignment_;
+  mutable std::vector<int> scratch_;  // reused constraint-tuple buffer
   std::vector<std::vector<int>> watch_;
   long nodes_ = 0;
   long solutions_ = 0;

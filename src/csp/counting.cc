@@ -1,55 +1,86 @@
 #include "csp/counting.h"
 
-#include <unordered_map>
 #include <vector>
 
 #include "csp/decomposition_solving.h"
+#include "csp/tree_schedule.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace hypertree {
 
 namespace {
 
-// FNV-style hash for join keys (mirrors relation.cc).
-struct VecHash {
-  size_t operator()(const std::vector<int>& v) const {
-    size_t h = 1469598103934665603ULL;
-    for (int x : v) {
-      h ^= static_cast<size_t>(x) + 0x9e3779b9;
-      h *= 1099511628211ULL;
-    }
-    return h;
-  }
-};
-
-std::vector<int> ProjectTuple(const std::vector<int>& tuple,
-                              const std::vector<int>& positions) {
-  std::vector<int> key;
-  key.reserve(positions.size());
-  for (int p : positions) key.push_back(tuple[p]);
-  return key;
+size_t NextPow2AtLeast(size_t n) {
+  size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
 }
+
+// Open-addressing aggregation of child weights by join key, hashed in
+// place from the child's rows (no key materialization). Slots store a
+// representative child row id; sums_ accumulates the group weight.
+class KeyWeightTable {
+ public:
+  KeyWeightTable(const Relation& rel, const std::vector<int>& pos)
+      : rel_(rel), pos_(pos) {
+    size_t cap = NextPow2AtLeast(static_cast<size_t>(rel.Size()) * 2);
+    mask_ = cap - 1;
+    slots_.assign(cap, -1);
+    sums_.assign(cap, 0);
+  }
+
+  void Add(int row, long long weight) {
+    size_t slot = Find(rel_.Row(row), pos_);
+    if (slots_[slot] == -1) slots_[slot] = row;
+    sums_[slot] += weight;
+  }
+
+  // Aggregated weight of the key read from `row` at `probe_pos` (another
+  // relation's positions for the same variables), or 0.
+  long long Lookup(const int* row, const std::vector<int>& probe_pos) const {
+    size_t slot = Find(row, probe_pos);
+    return slots_[slot] == -1 ? 0 : sums_[slot];
+  }
+
+ private:
+  size_t Find(const int* row, const std::vector<int>& probe_pos) const {
+    const int k = static_cast<int>(pos_.size());
+    size_t slot = HashRowKey(row, probe_pos.data(), k) & mask_;
+    while (slots_[slot] != -1) {
+      const int* rep = rel_.Row(slots_[slot]);
+      bool equal = true;
+      for (int i = 0; i < k && equal; ++i) {
+        equal = row[probe_pos[i]] == rep[pos_[i]];
+      }
+      if (equal) break;
+      slot = (slot + 1) & mask_;
+    }
+    return slot;
+  }
+
+  const Relation& rel_;
+  const std::vector<int>& pos_;
+  size_t mask_ = 0;
+  std::vector<int32_t> slots_;
+  std::vector<long long> sums_;
+};
 
 }  // namespace
 
-long long CountRelationTree(const RelationTree& tree) {
+long long CountRelationTree(const RelationTree& tree, ThreadPool* pool) {
   int m = static_cast<int>(tree.relations.size());
   if (m == 0) return 1;  // the empty join has exactly one (empty) answer
   std::vector<std::vector<int>> children(m);
   for (int p = 0; p < m; ++p) {
     if (tree.parent[p] != -1) children[tree.parent[p]].push_back(p);
   }
-  std::vector<int> order = {tree.root};
-  for (size_t i = 0; i < order.size(); ++i) {
-    for (int c : children[order[i]]) order.push_back(c);
-  }
-  HT_CHECK(static_cast<int>(order.size()) == m);
 
   // weight[p][t] = number of consistent completions of tuple t within the
-  // subtree of p. Processed bottom-up.
+  // subtree of p. Children are aggregated before their parent runs, so
+  // independent subtrees can be processed in parallel.
   std::vector<std::vector<long long>> weight(m);
-  for (size_t i = order.size(); i-- > 0;) {
-    int p = order[i];
+  RunTreeBottomUp(tree.parent, children, pool, [&](int p) {
     const Relation& rel = tree.relations[p];
     weight[p].assign(rel.Size(), 1);
     for (int c : children[p]) {
@@ -63,32 +94,31 @@ long long CountRelationTree(const RelationTree& tree) {
           pc.push_back(ci);
         }
       }
-      std::unordered_map<std::vector<int>, long long, VecHash> agg;
-      for (int t = 0; t < crel.Size(); ++t) {
-        agg[ProjectTuple(crel.tuples()[t], pc)] += weight[c][t];
-      }
+      KeyWeightTable agg(crel, pc);
+      for (int t = 0; t < crel.Size(); ++t) agg.Add(t, weight[c][t]);
       for (int t = 0; t < rel.Size(); ++t) {
-        auto it = agg.find(ProjectTuple(rel.tuples()[t], pp));
-        weight[p][t] *= (it == agg.end()) ? 0 : it->second;
+        weight[p][t] *= agg.Lookup(rel.Row(t), pp);
       }
     }
-  }
+  });
   long long total = 0;
   for (long long w : weight[tree.root]) total += w;
   return total;
 }
 
 long long CountViaTreeDecomposition(const Csp& csp,
-                                    const TreeDecomposition& td) {
-  return CountRelationTree(BuildRelationTreeFromTd(csp, td));
+                                    const TreeDecomposition& td,
+                                    ThreadPool* pool) {
+  return CountRelationTree(BuildRelationTreeFromTd(csp, td, pool), pool);
 }
 
 long long CountViaGhd(const Csp& csp,
-                      const GeneralizedHypertreeDecomposition& ghd) {
-  return CountRelationTree(BuildRelationTreeFromGhd(csp, ghd));
+                      const GeneralizedHypertreeDecomposition& ghd,
+                      ThreadPool* pool) {
+  return CountRelationTree(BuildRelationTreeFromGhd(csp, ghd, pool), pool);
 }
 
-long long CountAcyclicCsp(const Csp& csp) {
+long long CountAcyclicCsp(const Csp& csp, ThreadPool* pool) {
   Hypergraph h = csp.ConstraintHypergraph();
   std::optional<JoinTree> jt = BuildJoinTree(h);
   HT_CHECK_MSG(jt.has_value(), "constraint hypergraph is not alpha-acyclic");
@@ -105,7 +135,7 @@ long long CountAcyclicCsp(const Csp& csp) {
     for (int val = 0; val < csp.DomainSize(vars[0]); ++val) r.AddTuple({val});
     tree.relations[e] = std::move(r);
   }
-  return CountRelationTree(tree);
+  return CountRelationTree(tree, pool);
 }
 
 }  // namespace hypertree

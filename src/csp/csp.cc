@@ -35,11 +35,11 @@ bool Csp::IsSolution(const std::vector<int>& assignment) const {
   for (int v = 0; v < NumVariables(); ++v) {
     if (assignment[v] < 0 || assignment[v] >= domain_sizes_[v]) return false;
   }
+  std::vector<int> tuple;
   for (const Constraint& c : constraints_) {
-    std::vector<int> tuple;
-    tuple.reserve(c.scope.size());
+    tuple.clear();
     for (int v : c.scope) tuple.push_back(assignment[v]);
-    if (!c.relation.Contains(tuple)) return false;
+    if (!c.relation.ContainsRow(tuple.data())) return false;
   }
   return true;
 }

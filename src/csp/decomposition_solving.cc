@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "csp/tree_schedule.h"
 #include "csp/yannakakis.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace hypertree {
 
@@ -11,6 +13,8 @@ namespace {
 
 // Enumerates all assignments of `vars` consistent with the constraints
 // whose scope lies inside `vars` (simple backtracking over the bag).
+// Constraint membership checks hit the per-relation hash index (O(1)
+// amortized), not a tuple scan.
 Relation SolveBag(const Csp& csp, const std::vector<int>& vars) {
   // Constraints fully inside the bag, watched by the last bag variable of
   // their scope (by bag position).
@@ -31,35 +35,74 @@ Relation SolveBag(const Csp& csp, const std::vector<int>& vars) {
     if (inside && last >= 0) watch[last].push_back(c);
   }
   Relation out(vars);
-  std::vector<int> assignment(vars.size(), 0);
-  // Iterative odometer with constraint checks at each level.
-  int level = 0;
-  std::vector<int> value(vars.size(), -1);
-  while (level >= 0) {
-    if (level == static_cast<int>(vars.size())) {
-      out.AddTuple(assignment);
-      --level;
-      continue;
-    }
-    ++value[level];
-    if (value[level] >= csp.DomainSize(vars[level])) {
-      value[level] = -1;
-      --level;
-      continue;
-    }
-    assignment[level] = value[level];
-    bool ok = true;
-    for (int c : watch[level]) {
-      const Constraint& con = csp.GetConstraint(c);
-      std::vector<int> tuple;
-      tuple.reserve(con.scope.size());
-      for (int v : con.scope) tuple.push_back(assignment[pos_of_var[v]]);
-      if (!con.relation.Contains(tuple)) {
-        ok = false;
-        break;
+  const int w = static_cast<int>(vars.size());
+  // Bag relations run to millions of rows; growing the flat buffer by
+  // doubling would copy (and page-fault) gigabytes. When every domain
+  // fits in 64/w bits (small CSP domains — the dominant case), one
+  // enumeration records each solution as a packed word (cheap to grow)
+  // and then unpacks into an exactly-reserved buffer; otherwise a first
+  // counting pass of the same odometer sizes the buffer.
+  int bits = 1;
+  for (int v : vars) {
+    const int top = csp.DomainSize(v) - 1;
+    while (top > 0 && (top >> bits) != 0) ++bits;
+  }
+  const bool packable = w > 0 && w * bits <= 64;
+  std::vector<uint64_t> packed;     // packed solutions (packable mode)
+  std::vector<uint64_t> prefix(w + 1, 0);  // packed assignment per level
+  std::vector<int> assignment(w, 0);
+  std::vector<int> scratch;  // reused constraint-tuple buffer
+  for (int pass = packable ? 1 : 0; pass < 2; ++pass) {
+    long count = 0;
+    int level = 0;
+    std::vector<int> value(w, -1);
+    while (level >= 0) {
+      if (level == w) {
+        if (packable) {
+          packed.push_back(prefix[w]);
+        } else if (pass == 0) {
+          ++count;
+        } else {
+          out.AddTuple(assignment);
+        }
+        --level;
+        continue;
       }
+      ++value[level];
+      if (value[level] >= csp.DomainSize(vars[level])) {
+        value[level] = -1;
+        --level;
+        continue;
+      }
+      assignment[level] = value[level];
+      if (packable) {
+        prefix[level + 1] =
+            (prefix[level] << bits) | static_cast<uint64_t>(value[level]);
+      }
+      bool ok = true;
+      for (int c : watch[level]) {
+        const Constraint& con = csp.GetConstraint(c);
+        scratch.clear();
+        for (int v : con.scope) scratch.push_back(assignment[pos_of_var[v]]);
+        if (!con.relation.ContainsRow(scratch.data())) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++level;
     }
-    if (ok) ++level;
+    if (!packable && pass == 0) out.Reserve(static_cast<int>(count));
+  }
+  if (packable) {
+    out.Reserve(static_cast<int>(packed.size()));
+    const uint64_t mask = (uint64_t{1} << bits) - 1;
+    for (uint64_t key : packed) {
+      for (int i = w - 1; i >= 0; --i) {
+        assignment[i] = static_cast<int>(key & mask);
+        key >>= bits;
+      }
+      out.AddRow(assignment.data());
+    }
   }
   return out;
 }
@@ -90,15 +133,16 @@ void RootTree(int num_nodes, const std::vector<std::pair<int, int>>& edges,
   }
 }
 
-std::optional<std::vector<int>> FinishSolve(
-    const Csp& csp, RelationTree tree, DecompositionSolveStats* stats) {
+std::optional<std::vector<int>> FinishSolve(const Csp& csp, RelationTree tree,
+                                            DecompositionSolveStats* stats,
+                                            ThreadPool* pool) {
   if (stats != nullptr) {
     for (const Relation& r : tree.relations) {
       stats->bag_tuples += r.Size();
       stats->max_bag_tuples = std::max(stats->max_bag_tuples, r.Size());
     }
   }
-  auto assignment = AcyclicSolve(std::move(tree));
+  auto assignment = AcyclicSolve(std::move(tree), pool);
   if (!assignment.has_value()) return std::nullopt;
   std::vector<int> out(csp.NumVariables(), 0);
   for (auto [var, val] : *assignment) out[var] = val;
@@ -110,19 +154,23 @@ std::optional<std::vector<int>> FinishSolve(
 }  // namespace
 
 RelationTree BuildRelationTreeFromTd(const Csp& csp,
-                                     const TreeDecomposition& td) {
+                                     const TreeDecomposition& td,
+                                     ThreadPool* pool) {
   HT_CHECK(td.NumGraphVertices() == csp.NumVariables());
   RelationTree tree;
-  tree.relations.reserve(td.NumNodes());
-  for (int p = 0; p < td.NumNodes(); ++p) {
-    tree.relations.push_back(SolveBag(csp, td.Bag(p).ToVector()));
-  }
+  tree.relations.resize(td.NumNodes());
+  // The bags are independent subproblems: solve them in parallel. Each
+  // task writes only its own slot, so results are schedule-independent.
+  RunForAll(td.NumNodes(), pool, [&](int p) {
+    tree.relations[p] = SolveBag(csp, td.Bag(p).ToVector());
+  });
   RootTree(td.NumNodes(), td.TreeEdges(), &tree.parent, &tree.root);
   return tree;
 }
 
 RelationTree BuildRelationTreeFromGhd(
-    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd) {
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    ThreadPool* pool) {
   HT_CHECK(ghd.td().NumGraphVertices() == csp.NumVariables());
   // Work on a completed copy so every constraint participates in some
   // node's join (Lemma 2 keeps the width unchanged).
@@ -142,8 +190,9 @@ RelationTree BuildRelationTreeFromGhd(
 
   RelationTree tree;
   int m = complete.NumNodes();
-  tree.relations.reserve(m);
-  for (int p = 0; p < m; ++p) {
+  tree.relations.resize(m);
+  // Per-node bag joins are independent; fan them out over the pool.
+  RunForAll(m, pool, [&](int p) {
     const std::vector<int>& lambda = complete.Lambda(p);
     HT_CHECK_MSG(!lambda.empty() || complete.td().Bag(p).None(),
                  "GHD node with vertices but empty lambda");
@@ -160,25 +209,26 @@ RelationTree BuildRelationTreeFromGhd(
       // identity (one empty tuple) so semijoins pass through.
       Relation identity(chi);
       identity.AddTuple({});
-      tree.relations.push_back(std::move(identity));
+      tree.relations[p] = std::move(identity);
     } else {
-      tree.relations.push_back(acc.Project(chi));
+      tree.relations[p] = acc.Project(chi);
     }
-  }
+  });
   RootTree(m, complete.td().TreeEdges(), &tree.parent, &tree.root);
   return tree;
 }
 
 std::optional<std::vector<int>> SolveViaTreeDecomposition(
     const Csp& csp, const TreeDecomposition& td,
-    DecompositionSolveStats* stats) {
-  return FinishSolve(csp, BuildRelationTreeFromTd(csp, td), stats);
+    DecompositionSolveStats* stats, ThreadPool* pool) {
+  return FinishSolve(csp, BuildRelationTreeFromTd(csp, td, pool), stats, pool);
 }
 
 std::optional<std::vector<int>> SolveViaGhd(
     const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
-    DecompositionSolveStats* stats) {
-  return FinishSolve(csp, BuildRelationTreeFromGhd(csp, ghd), stats);
+    DecompositionSolveStats* stats, ThreadPool* pool) {
+  return FinishSolve(csp, BuildRelationTreeFromGhd(csp, ghd, pool), stats,
+                     pool);
 }
 
 }  // namespace hypertree

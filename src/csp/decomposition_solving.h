@@ -3,6 +3,10 @@
 // relation per decomposition node, then run Yannakakis on the resulting
 // join tree. Runtime O(n d^{w+1}) for a width-w tree decomposition and
 // |I|^{k+1} log |I| for a width-k GHD.
+//
+// All entry points take an optional ThreadPool: the per-node bag joins are
+// independent and run in parallel, and the Yannakakis passes parallelize
+// across subtrees (deterministic results for any thread count).
 
 #ifndef HYPERTREE_CSP_DECOMPOSITION_SOLVING_H_
 #define HYPERTREE_CSP_DECOMPOSITION_SOLVING_H_
@@ -17,6 +21,8 @@
 
 namespace hypertree {
 
+class ThreadPool;
+
 /// Work counters for the decomposition-based solvers.
 struct DecompositionSolveStats {
   long bag_tuples = 0;      // tuples materialized across all bags
@@ -29,7 +35,7 @@ struct DecompositionSolveStats {
 /// the CSP's constraint hypergraph.
 std::optional<std::vector<int>> SolveViaTreeDecomposition(
     const Csp& csp, const TreeDecomposition& td,
-    DecompositionSolveStats* stats = nullptr);
+    DecompositionSolveStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 /// GHD solve: the decomposition is completed (Lemma 2), every node's
 /// relation is the join of its lambda constraint relations projected onto
@@ -37,17 +43,21 @@ std::optional<std::vector<int>> SolveViaTreeDecomposition(
 /// CSP's constraint hypergraph.
 std::optional<std::vector<int>> SolveViaGhd(
     const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
-    DecompositionSolveStats* stats = nullptr);
+    DecompositionSolveStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 /// Materializes the per-bag subproblem relations of `td` as a relation
 /// tree (the join tree of the solution-equivalent acyclic CSP). Shared by
-/// the solving and counting front ends.
+/// the solving and counting front ends. With a pool the bags are solved
+/// in parallel.
 RelationTree BuildRelationTreeFromTd(const Csp& csp,
-                                     const TreeDecomposition& td);
+                                     const TreeDecomposition& td,
+                                     ThreadPool* pool = nullptr);
 
-/// Materializes the per-node relations of a (completed copy of) `ghd`.
+/// Materializes the per-node relations of a (completed copy of) `ghd`,
+/// in parallel when a pool is given.
 RelationTree BuildRelationTreeFromGhd(
-    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd);
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    ThreadPool* pool = nullptr);
 
 }  // namespace hypertree
 

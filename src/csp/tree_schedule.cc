@@ -1,0 +1,110 @@
+#include "csp/tree_schedule.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace hypertree {
+
+namespace {
+
+// BFS order from the roots (nodes with parent == -1): parents before
+// children. Shared by both sequential fallbacks.
+std::vector<int> TopDownOrder(const std::vector<int>& parent,
+                              const std::vector<std::vector<int>>& children) {
+  std::vector<int> order;
+  order.reserve(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] == -1) order.push_back(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  HT_CHECK_MSG(order.size() == parent.size(),
+               "tree_schedule: parent/children describe no rooted forest");
+  return order;
+}
+
+bool Sequential(const std::vector<int>& parent, ThreadPool* pool) {
+  return pool == nullptr || pool->NumThreads() <= 1 || parent.size() <= 1;
+}
+
+}  // namespace
+
+void RunTreeBottomUp(const std::vector<int>& parent,
+                     const std::vector<std::vector<int>>& children,
+                     ThreadPool* pool,
+                     const std::function<void(int)>& visit) {
+  int m = static_cast<int>(parent.size());
+  if (m == 0) return;
+  if (Sequential(parent, pool)) {
+    std::vector<int> order = TopDownOrder(parent, children);
+    for (size_t i = order.size(); i-- > 0;) visit(order[i]);
+    return;
+  }
+  // One countdown per node; a node is ready once all children finished.
+  // Tasks submit their parent when they complete its last dependency, so
+  // the pool's Wait() (which tracks nested submissions) covers the run.
+  std::vector<std::atomic<int>> pending(m);
+  for (int i = 0; i < m; ++i) {
+    pending[i].store(static_cast<int>(children[i].size()),
+                     std::memory_order_relaxed);
+  }
+  std::atomic<int> visited{0};
+  std::function<void(int)> run = [&](int node) {
+    visit(node);
+    visited.fetch_add(1, std::memory_order_relaxed);
+    int p = parent[node];
+    if (p >= 0 &&
+        pending[p].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pool->Submit([&run, p] { run(p); });
+    }
+  };
+  for (int i = 0; i < m; ++i) {
+    if (children[i].empty()) pool->Submit([&run, i] { run(i); });
+  }
+  pool->Wait();
+  HT_CHECK_MSG(visited.load() == m,
+               "tree_schedule: parent/children describe no rooted forest");
+}
+
+void RunTreeTopDown(const std::vector<int>& parent,
+                    const std::vector<std::vector<int>>& children,
+                    ThreadPool* pool,
+                    const std::function<void(int)>& visit) {
+  int m = static_cast<int>(parent.size());
+  if (m == 0) return;
+  if (Sequential(parent, pool)) {
+    for (int node : TopDownOrder(parent, children)) visit(node);
+    return;
+  }
+  std::atomic<int> visited{0};
+  std::function<void(int)> run = [&](int node) {
+    visit(node);
+    visited.fetch_add(1, std::memory_order_relaxed);
+    for (int c : children[node]) pool->Submit([&run, c] { run(c); });
+  };
+  for (int i = 0; i < m; ++i) {
+    if (parent[i] == -1) pool->Submit([&run, i] { run(i); });
+  }
+  pool->Wait();
+  HT_CHECK_MSG(visited.load() == m,
+               "tree_schedule: parent/children describe no rooted forest");
+}
+
+void RunForAll(int count, ThreadPool* pool,
+               const std::function<void(int)>& visit) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->NumThreads() <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) visit(i);
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    pool->Submit([&visit, i] { visit(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace hypertree

@@ -1,0 +1,41 @@
+// Deterministic parallel traversal of rooted trees/forests over the shared
+// ThreadPool. The Yannakakis passes, per-node bag joins and weighted
+// counting all reduce to "visit every node, children before parents" (or
+// the reverse): independent subtrees can run concurrently as long as the
+// parent/child ordering is respected, and the result is schedule-
+// independent because each visit only reads relations owned by already-
+// visited nodes and writes its own.
+
+#ifndef HYPERTREE_CSP_TREE_SCHEDULE_H_
+#define HYPERTREE_CSP_TREE_SCHEDULE_H_
+
+#include <functional>
+#include <vector>
+
+namespace hypertree {
+
+class ThreadPool;
+
+/// Calls visit(node) once per node with every child visited before its
+/// parent. With a pool (> 1 thread) independent subtrees run in parallel;
+/// `visit` must only touch node-owned state plus already-visited children.
+/// pool == nullptr (or a 1-thread pool) runs sequentially in reverse
+/// BFS-from-the-roots order.
+void RunTreeBottomUp(const std::vector<int>& parent,
+                     const std::vector<std::vector<int>>& children,
+                     ThreadPool* pool, const std::function<void(int)>& visit);
+
+/// Calls visit(node) once per node with every parent visited before its
+/// children (parallel across subtrees with a pool, BFS order otherwise).
+void RunTreeTopDown(const std::vector<int>& parent,
+                    const std::vector<std::vector<int>>& children,
+                    ThreadPool* pool, const std::function<void(int)>& visit);
+
+/// Calls visit(i) for i in [0, count) with no ordering constraint
+/// (parallel with a pool, ascending order otherwise).
+void RunForAll(int count, ThreadPool* pool,
+               const std::function<void(int)>& visit);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_CSP_TREE_SCHEDULE_H_

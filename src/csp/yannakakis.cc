@@ -1,12 +1,16 @@
 #include "csp/yannakakis.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "csp/tree_schedule.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace hypertree {
 
-std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree) {
+std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree,
+                                                         ThreadPool* pool) {
   int m = static_cast<int>(tree.relations.size());
   if (m == 0) return std::unordered_map<int, int>{};
   HT_CHECK(static_cast<int>(tree.parent.size()) == m);
@@ -23,50 +27,71 @@ std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree) {
   HT_CHECK_MSG(static_cast<int>(order.size()) == m,
                "relation tree is not a single tree");
 
-  // Bottom-up semijoin pass.
-  for (size_t i = order.size(); i-- > 1;) {
-    int node = order[i];
-    int parent = tree.parent[node];
-    tree.relations[parent] =
-        tree.relations[parent].Semijoin(tree.relations[node]);
-    if (tree.relations[parent].Empty()) return std::nullopt;
-  }
-  if (tree.relations[tree.root].Empty()) return std::nullopt;
-  // Top-down semijoin pass (full reduction).
-  for (int node : order) {
+  // Bottom-up semijoin pass: each node filters itself against its fully
+  // reduced children (in-place, child-index order). Every visit runs to
+  // completion even after a wipeout elsewhere: the filters are
+  // deterministic, so the relation contents and the kernel's metrics
+  // counters stay bit-identical for any thread count, SAT or UNSAT.
+  std::atomic<bool> wiped{false};
+  RunTreeBottomUp(tree.parent, children, pool, [&](int node) {
     for (int c : children[node]) {
-      tree.relations[c] = tree.relations[c].Semijoin(tree.relations[node]);
-      if (tree.relations[c].Empty()) return std::nullopt;
+      tree.relations[node].SemijoinInPlace(tree.relations[c]);
     }
-  }
+    if (tree.relations[node].Empty()) {
+      wiped.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (wiped.load() || tree.relations[tree.root].Empty()) return std::nullopt;
+  // Top-down semijoin pass (full reduction): each node filters itself
+  // against its already reduced parent.
+  RunTreeTopDown(tree.parent, children, pool, [&](int node) {
+    if (tree.parent[node] == -1) return;
+    tree.relations[node].SemijoinInPlace(tree.relations[tree.parent[node]]);
+    if (tree.relations[node].Empty()) {
+      wiped.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (wiped.load()) return std::nullopt;
   // Extraction: pick any root tuple, then for each child a tuple agreeing
   // with the values fixed so far (guaranteed to exist after reduction).
+  // Fixed values live in a dense array over variable ids: the scan below
+  // touches every row element of every relation in the worst case, and a
+  // hash lookup per element dominates the whole pass.
+  int max_var = -1;
+  for (const Relation& rel : tree.relations) {
+    for (int v : rel.schema()) max_var = std::max(max_var, v);
+  }
+  std::vector<int> fixed_val(max_var + 1, 0);
+  std::vector<char> is_fixed(max_var + 1, 0);
   std::unordered_map<int, int> assignment;
   for (int node : order) {
     const Relation& rel = tree.relations[node];
     const std::vector<int>& schema = rel.schema();
-    const std::vector<int>* chosen = nullptr;
-    for (const auto& t : rel.tuples()) {
+    const int arity = rel.Arity();
+    const int* chosen = nullptr;
+    for (int t = 0; t < rel.Size() && chosen == nullptr; ++t) {
+      const int* row = rel.Row(t);
       bool ok = true;
-      for (size_t i = 0; i < schema.size() && ok; ++i) {
-        auto it = assignment.find(schema[i]);
-        if (it != assignment.end() && it->second != t[i]) ok = false;
+      for (int i = 0; i < arity && ok; ++i) {
+        const int v = schema[i];
+        if (is_fixed[v] && fixed_val[v] != row[i]) ok = false;
       }
-      if (ok) {
-        chosen = &t;
-        break;
-      }
+      if (ok) chosen = row;
     }
     HT_CHECK_MSG(chosen != nullptr,
                  "full reduction must leave a consistent tuple");
-    for (size_t i = 0; i < schema.size(); ++i) {
-      assignment[schema[i]] = (*chosen)[i];
+    for (int i = 0; i < arity; ++i) {
+      const int v = schema[i];
+      is_fixed[v] = 1;
+      fixed_val[v] = chosen[i];
+      assignment[v] = chosen[i];
     }
   }
   return assignment;
 }
 
-std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp) {
+std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp,
+                                                ThreadPool* pool) {
   Hypergraph h = csp.ConstraintHypergraph();
   std::optional<JoinTree> jt = BuildJoinTree(h);
   HT_CHECK_MSG(jt.has_value(), "constraint hypergraph is not alpha-acyclic");
@@ -87,7 +112,7 @@ std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp) {
     for (int val = 0; val < csp.DomainSize(vars[0]); ++val) r.AddTuple({val});
     tree.relations[e] = std::move(r);
   }
-  auto assignment = AcyclicSolve(std::move(tree));
+  auto assignment = AcyclicSolve(std::move(tree), pool);
   if (!assignment.has_value()) return std::nullopt;
   std::vector<int> out(csp.NumVariables(), 0);
   for (auto [var, val] : *assignment) out[var] = val;

@@ -2,6 +2,12 @@
 // over a tree of relations, then top-down extraction of one consistent
 // assignment. Runs in O(m * n log n): the polynomial-time "answer" for
 // acyclic queries that all decomposition methods reduce to.
+//
+// Both passes are in-place semijoins on the flat relation kernel, and both
+// can run the independent subtrees in parallel over a ThreadPool: a node's
+// bottom-up filter only reads its (already reduced) children, a node's
+// top-down filter only reads its (already reduced) parent, so the result
+// is bit-identical for any thread count (see src/csp/tree_schedule.h).
 
 #ifndef HYPERTREE_CSP_YANNAKAKIS_H_
 #define HYPERTREE_CSP_YANNAKAKIS_H_
@@ -16,6 +22,8 @@
 
 namespace hypertree {
 
+class ThreadPool;
+
 /// A tree of relations (e.g. a join tree with materialized constraint
 /// relations, or decomposition bags with their subproblem solutions).
 struct RelationTree {
@@ -28,13 +36,17 @@ struct RelationTree {
 /// top-down semijoins, then greedy top-down extraction. Returns an
 /// assignment var -> value for every variable appearing in some schema, or
 /// std::nullopt if the tree has no globally consistent tuple combination.
-std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree);
+/// With a pool, independent subtrees are reduced in parallel; the result
+/// is identical to the sequential one.
+std::optional<std::unordered_map<int, int>> AcyclicSolve(
+    RelationTree tree, ThreadPool* pool = nullptr);
 
 /// Convenience for acyclic CSPs: builds the join tree via GYO, attaches
 /// the constraint relations, and runs AcyclicSolve. The CSP's constraint
 /// hypergraph must be alpha-acyclic. Variables outside all constraints
 /// are assigned 0. Returns a full assignment or std::nullopt.
-std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp);
+std::optional<std::vector<int>> SolveAcyclicCsp(const Csp& csp,
+                                                ThreadPool* pool = nullptr);
 
 }  // namespace hypertree
 

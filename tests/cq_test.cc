@@ -20,7 +20,7 @@ Database SmallDb() {
 }
 
 std::vector<std::vector<int>> SortedTuples(const Relation& r) {
-  auto tuples = r.tuples();
+  auto tuples = r.ToTuples();
   std::sort(tuples.begin(), tuples.end());
   return tuples;
 }

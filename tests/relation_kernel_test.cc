@@ -1,0 +1,296 @@
+// Property tests for the flat-storage relation kernel: randomized
+// equivalence against naive reference implementations of join, semijoin
+// and projection, edge cases (empty schemas, no shared variables, empty
+// relations), in-place semijoin order preservation, index-backed
+// membership, and a collision-rate regression test for the splitmix64
+// row hashing.
+
+#include "csp/relation.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+using Tuples = std::vector<std::vector<int>>;
+
+Relation Make(std::vector<int> schema, Tuples tuples) {
+  Relation r(std::move(schema));
+  for (const auto& t : tuples) r.AddTuple(t);
+  return r;
+}
+
+Tuples Sorted(const Relation& r) {
+  Tuples t = r.ToTuples();
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference implementations (tuple-of-vectors semantics).
+
+std::vector<std::pair<int, int>> SharedPositions(const Relation& a,
+                                                 const Relation& b) {
+  std::vector<std::pair<int, int>> shared;
+  for (int i = 0; i < a.Arity(); ++i) {
+    int j = b.IndexOf(a.schema()[i]);
+    if (j >= 0) shared.push_back({i, j});
+  }
+  return shared;
+}
+
+bool Agree(const std::vector<int>& ta, const std::vector<int>& tb,
+           const std::vector<std::pair<int, int>>& shared) {
+  for (auto [i, j] : shared) {
+    if (ta[i] != tb[j]) return false;
+  }
+  return true;
+}
+
+Relation NaiveJoin(const Relation& a, const Relation& b) {
+  std::vector<int> schema = a.schema();
+  std::vector<int> extra;
+  for (int i = 0; i < b.Arity(); ++i) {
+    if (a.IndexOf(b.schema()[i]) < 0) {
+      schema.push_back(b.schema()[i]);
+      extra.push_back(i);
+    }
+  }
+  auto shared = SharedPositions(a, b);
+  Relation out(schema);
+  for (const auto& ta : a.ToTuples()) {
+    for (const auto& tb : b.ToTuples()) {
+      if (!Agree(ta, tb, shared)) continue;
+      std::vector<int> t = ta;
+      for (int i : extra) t.push_back(tb[i]);
+      out.AddTuple(t);
+    }
+  }
+  return out;
+}
+
+Relation NaiveSemijoin(const Relation& a, const Relation& b) {
+  auto shared = SharedPositions(a, b);
+  Relation out(a.schema());
+  for (const auto& ta : a.ToTuples()) {
+    for (const auto& tb : b.ToTuples()) {
+      if (Agree(ta, tb, shared)) {
+        out.AddTuple(ta);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Relation NaiveProject(const Relation& a, const std::vector<int>& vars) {
+  Relation out(vars);
+  std::set<std::vector<int>> seen;
+  for (const auto& ta : a.ToTuples()) {
+    std::vector<int> t;
+    for (int v : vars) t.push_back(ta[a.IndexOf(v)]);
+    if (seen.insert(t).second) out.AddTuple(t);
+  }
+  return out;
+}
+
+// Random relation: arity in [0, max_arity], schema drawn from `universe`
+// variables (so overlap between two relations varies from full to none),
+// values in [0, domain).
+Relation RandomRelation(Rng* rng, int universe, int max_arity, int max_rows,
+                        int domain) {
+  int arity = rng->UniformInt(max_arity + 1);
+  std::vector<int> pool(universe);
+  for (int i = 0; i < universe; ++i) pool[i] = i;
+  for (int i = 0; i < arity; ++i) {
+    std::swap(pool[i], pool[i + rng->UniformInt(universe - i)]);
+  }
+  pool.resize(arity);
+  Relation r(pool);
+  int rows = rng->UniformInt(max_rows + 1);
+  if (arity == 0) rows = std::min(rows, 1);  // set semantics: at most {()}
+  std::vector<int> t(arity);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < arity; ++j) t[j] = rng->UniformInt(domain);
+    r.InsertIfAbsent(t.data());
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+class KernelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelPropertyTest, JoinSemijoinProjectMatchNaive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int iter = 0; iter < 30; ++iter) {
+    Relation a = RandomRelation(&rng, 6, 4, 24, 4);
+    Relation b = RandomRelation(&rng, 6, 4, 24, 4);
+
+    EXPECT_EQ(Sorted(a.Join(b)), Sorted(NaiveJoin(a, b)));
+    EXPECT_EQ(a.Join(b).schema(), NaiveJoin(a, b).schema());
+
+    EXPECT_EQ(Sorted(a.Semijoin(b)), Sorted(NaiveSemijoin(a, b)));
+
+    // Projection onto a random subset of a's schema.
+    std::vector<int> vars = a.schema();
+    for (size_t k = vars.size(); k > 0; --k) {
+      if (rng.UniformInt(2) == 0) vars.erase(vars.begin() + (k - 1));
+    }
+    EXPECT_EQ(Sorted(a.Project(vars)), Sorted(NaiveProject(a, vars)));
+  }
+}
+
+TEST_P(KernelPropertyTest, SemijoinInPlaceMatchesCopyAndPreservesOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 5);
+  for (int iter = 0; iter < 30; ++iter) {
+    Relation a = RandomRelation(&rng, 6, 4, 24, 4);
+    Relation b = RandomRelation(&rng, 6, 4, 24, 4);
+    Relation copy = a.Semijoin(b);
+    Relation in_place = a;
+    in_place.SemijoinInPlace(b);
+    // Exact row order, not just set equality: in-place compaction must
+    // keep surviving rows in their original order.
+    EXPECT_EQ(in_place.ToTuples(), copy.ToTuples());
+    EXPECT_EQ(in_place.schema(), a.schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertyTest, ::testing::Range(0, 8));
+
+TEST(KernelEdgeCaseTest, EmptySchemaIdentityAndZero) {
+  Relation id(std::vector<int>{});  // {()}: join/semijoin identity
+  id.AddTuple({});
+  Relation zero(std::vector<int>{});  // {}: annihilates
+  Relation r = Make({0, 1}, {{1, 2}, {3, 4}});
+
+  EXPECT_EQ(Sorted(r.Join(id)), Sorted(r));
+  EXPECT_EQ(Sorted(id.Join(r)), Sorted(r));
+  EXPECT_TRUE(r.Join(zero).Empty());
+  EXPECT_EQ(r.Semijoin(id).Size(), 2);
+  EXPECT_TRUE(r.Semijoin(zero).Empty());
+  EXPECT_EQ(id.Join(id).Size(), 1);
+  EXPECT_TRUE(id.Contains({}));
+  EXPECT_FALSE(zero.Contains({}));
+  // Projecting away everything: nonempty input yields {()}.
+  EXPECT_EQ(r.Project({}).Size(), 1);
+  EXPECT_TRUE(zero.Project({}).Empty());
+}
+
+TEST(KernelEdgeCaseTest, NoSharedVariables) {
+  Relation r = Make({0, 1}, {{1, 2}, {3, 4}});
+  Relation s = Make({2}, {{7}, {8}, {9}});
+  Relation empty_s(std::vector<int>{2});
+
+  EXPECT_EQ(r.Join(s).Size(), 6);  // cross product
+  EXPECT_EQ(Sorted(r.Join(s)), Sorted(NaiveJoin(r, s)));
+  EXPECT_EQ(r.Semijoin(s).Size(), 2);  // other nonempty: keep all
+  EXPECT_TRUE(r.Semijoin(empty_s).Empty());
+  Relation in_place = r;
+  in_place.SemijoinInPlace(empty_s);
+  EXPECT_TRUE(in_place.Empty());
+}
+
+TEST(KernelEdgeCaseTest, EmptyRelationsPropagate) {
+  Relation empty(std::vector<int>{0, 1});
+  Relation r = Make({1, 2}, {{1, 2}});
+  EXPECT_TRUE(empty.Join(r).Empty());
+  EXPECT_TRUE(r.Join(empty).Empty());
+  EXPECT_TRUE(empty.Semijoin(r).Empty());
+  EXPECT_TRUE(r.Semijoin(empty).Empty());
+  EXPECT_TRUE(empty.Project({0}).Empty());
+}
+
+TEST(KernelIndexTest, InsertIfAbsentInterleavedWithContains) {
+  Rng rng(42);
+  Relation r(std::vector<int>{0, 1, 2});
+  std::set<std::vector<int>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int> t = {rng.UniformInt(9), rng.UniformInt(9),
+                          rng.UniformInt(9)};
+    bool fresh = reference.insert(t).second;
+    EXPECT_EQ(r.InsertIfAbsent(t.data()), fresh);
+    EXPECT_TRUE(r.ContainsRow(t.data()));
+  }
+  EXPECT_EQ(r.Size(), static_cast<int>(reference.size()));
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int> t = {rng.UniformInt(12), rng.UniformInt(12),
+                          rng.UniformInt(12)};
+    EXPECT_EQ(r.Contains(t), reference.count(t) > 0);
+  }
+}
+
+TEST(KernelIndexTest, IndexSurvivesMutationMix) {
+  // Contains (builds the index), then AddTuple (must keep it fresh),
+  // then SemijoinInPlace (must invalidate it), then Contains again.
+  Relation r = Make({0, 1}, {{1, 1}, {2, 2}});
+  EXPECT_TRUE(r.Contains({1, 1}));
+  r.AddTuple({3, 3});
+  EXPECT_TRUE(r.Contains({3, 3}));
+  Relation filter = Make({0}, {{2}, {3}});
+  r.SemijoinInPlace(filter);
+  EXPECT_FALSE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({2, 2}));
+  EXPECT_TRUE(r.Contains({3, 3}));
+  EXPECT_EQ(r.Size(), 2);
+}
+
+// Regression test for the old additive mixing (h = h * P + (x + c)), which
+// collided dense small-domain pairs: (a+1, b) and (a, b+P) style patterns
+// hashed equal, degrading joins to quadratic chains. splitmix64 per
+// element keeps all dense pairs distinct.
+TEST(HashQualityTest, DensePairsHaveNoFullHashCollisions) {
+  constexpr int kDomain = 48;
+  std::set<uint64_t> hashes;
+  int row[2];
+  for (int a = 0; a < kDomain; ++a) {
+    for (int b = 0; b < kDomain; ++b) {
+      row[0] = a;
+      row[1] = b;
+      hashes.insert(HashRowValues(row, 2));
+    }
+  }
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(kDomain) * kDomain);
+}
+
+TEST(HashQualityTest, LowBitsSpreadAcrossBuckets) {
+  // Bucketed collision rate: 2304 dense pairs into 4096 buckets (the
+  // power-of-two table the kernel uses) must stay near the birthday
+  // bound, not collapse onto a few chains.
+  constexpr int kDomain = 48;
+  constexpr uint64_t kMask = 4095;
+  std::vector<int> bucket(kMask + 1, 0);
+  int row[2];
+  int collisions = 0;
+  for (int a = 0; a < kDomain; ++a) {
+    for (int b = 0; b < kDomain; ++b) {
+      row[0] = a;
+      row[1] = b;
+      collisions += bucket[HashRowValues(row, 2) & kMask]++;
+    }
+  }
+  // Expected collisions for 2304 random keys in 4096 buckets ~= 590.
+  // The old additive mixing produced tens of thousands here.
+  EXPECT_LT(collisions, 1200);
+}
+
+TEST(HashQualityTest, KeyPositionsMatchContiguousValues) {
+  // HashRowKey over identity positions must agree with HashRowValues so
+  // build and probe sides of a join can hash different layouts.
+  int row[4] = {5, -3, 0, 1000000};
+  int pos[4] = {0, 1, 2, 3};
+  EXPECT_EQ(HashRowKey(row, pos, 4), HashRowValues(row, 4));
+  int swapped[2] = {1, 0};
+  int pair[2] = {7, 9};
+  int rpair[2] = {9, 7};
+  EXPECT_EQ(HashRowKey(pair, swapped, 2), HashRowValues(rpair, 2));
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -79,7 +79,7 @@ TEST(RelationTest, JoinIsCommutativeUpToTupleSet) {
   EXPECT_EQ(rs.Size(), sr.Size());
   // Same tuples after projecting to a common schema order.
   Relation srp = sr.Project({0, 1, 2});
-  for (const auto& t : rs.tuples()) EXPECT_TRUE(srp.Contains(t));
+  for (const auto& t : rs.ToTuples()) EXPECT_TRUE(srp.Contains(t));
 }
 
 TEST(RelationTest, EmptySchemaIdentity) {

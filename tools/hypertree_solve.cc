@@ -7,8 +7,10 @@
 //   --tightness=T     fraction of allowed tuples (default 0.3)
 //   --plant           plant a random solution (default off)
 //   --seed=N          RNG seed (default 1)
-//   --threads=N       worker threads for the hw search (default: hardware
-//                     concurrency)
+//   --threads=N       worker threads for the hw search and the parallel
+//                     td/ghd solving + counting routes (default: hardware
+//                     concurrency; 1 runs sequentially — results and the
+//                     relation counters are identical either way)
 //   --hw              also compute hw via det-k-decomp (parallel) and
 //                     report its decomposition cache statistics
 //   --count           also count all solutions
@@ -30,6 +32,7 @@
 #include "td/tree_decomposition.h"
 #include "util/flags.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -54,6 +57,29 @@ void PrintJsonRecord(const std::string& instance, const std::string& algorithm,
       .Set("counters", std::move(counters));
   std::printf("%s\n", rec.Dump().c_str());
 }
+
+/// Snapshot of the relation kernel counters (docs/BENCHMARKS.md).
+struct KernelCounters {
+  long rows_joined;
+  long rows_semijoin_dropped;
+  long probe_collisions;
+
+  static KernelCounters Now() {
+    return {metrics::GetCounter("relation.rows_joined").Value(),
+            metrics::GetCounter("relation.rows_semijoin_dropped").Value(),
+            metrics::GetCounter("relation.probe_collisions").Value()};
+  }
+
+  /// Adds the delta since `before` to `counters`.
+  static void AddDelta(const KernelCounters& before, Json* counters) {
+    KernelCounters now = Now();
+    counters->Set("rows_joined", now.rows_joined - before.rows_joined)
+        .Set("rows_semijoin_dropped",
+             now.rows_semijoin_dropped - before.rows_semijoin_dropped)
+        .Set("probe_collisions",
+             now.probe_collisions - before.probe_collisions);
+  }
+};
 
 }  // namespace
 
@@ -122,18 +148,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The solve/count routes share one pool; --threads=1 keeps them
+  // sequential (same results, same counters — see csp/yannakakis.h).
+  ThreadPool solve_pool(threads);
+  ThreadPool* pool = threads > 1 ? &solve_pool : nullptr;
+
   if (route == "td" || route == "all") {
+    KernelCounters before = KernelCounters::Now();
     Timer t;
     DecompositionSolveStats stats;
-    auto solution = SolveViaTreeDecomposition(csp, td, &stats);
+    auto solution = SolveViaTreeDecomposition(csp, td, &stats, pool);
     double ms = t.ElapsedMillis();
     Json counters = Json::Object()
                         .Set("sat", solution.has_value())
                         .Set("bag_tuples", stats.bag_tuples);
     if (count) {
       counters.Set("solutions",
-                   static_cast<long>(CountViaTreeDecomposition(csp, td)));
+                   static_cast<long>(CountViaTreeDecomposition(csp, td, pool)));
     }
+    KernelCounters::AddDelta(before, &counters);
     if (json) {
       PrintJsonRecord(h->name(), "csp_td", td.Width(), /*exact=*/true,
                       /*lower_bound=*/-1, /*nodes=*/0, ms,
@@ -148,13 +181,16 @@ int main(int argc, char** argv) {
     }
   }
   if (route == "ghd" || route == "all") {
+    KernelCounters before = KernelCounters::Now();
     Timer t;
-    auto solution = SolveViaGhd(csp, ghd);
+    auto solution = SolveViaGhd(csp, ghd, nullptr, pool);
     double ms = t.ElapsedMillis();
     Json counters = Json::Object().Set("sat", solution.has_value());
     if (count) {
-      counters.Set("solutions", static_cast<long>(CountViaGhd(csp, ghd)));
+      counters.Set("solutions",
+                   static_cast<long>(CountViaGhd(csp, ghd, pool)));
     }
+    KernelCounters::AddDelta(before, &counters);
     if (json) {
       PrintJsonRecord(h->name(), "csp_ghd", ghd.Width(), /*exact=*/true,
                       /*lower_bound=*/-1, /*nodes=*/0, ms,
