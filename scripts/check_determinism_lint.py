@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Project-specific determinism / hygiene lint for the hypertree library.
+
+The repo's central claim is bit-identical output for any --threads N; this
+pass fails CI on the C++ constructs that historically break that promise
+(ambient randomness, wall-clock reads, pointer-keyed ordering, unordered
+container iteration feeding user-visible output) plus a couple of include
+hygiene rules.
+
+Usage:
+    scripts/check_determinism_lint.py             # lint src/ tools/ bench/
+    scripts/check_determinism_lint.py PATH...     # lint explicit paths
+    scripts/check_determinism_lint.py --self-test # run the fixture suite
+
+Escape hatch: a finding is suppressed when the offending line, or the line
+directly above it, carries
+
+    // lint: allow(<rule-id>)
+
+Rules (ids are stable; see docs/STATIC_ANALYSIS.md):
+    no-libc-rand        rand()/srand()/drand48()/random() — unseeded or
+                        process-global generators; use util/rng.h.
+    no-random-device    std::random_device — hardware entropy is
+                        nondeterministic by design.
+    no-wall-clock       time()/clock()/gettimeofday()/localtime()/
+                        system_clock — wall-clock values leaking into
+                        results; steady_clock durations are fine.
+    no-pointer-key      std::map/std::set keyed by a pointer type —
+                        iteration order depends on the allocator.
+    unordered-output    range-for over an unordered container whose body
+                        prints / builds JSON — emission order is
+                        unspecified; sort the keys first.
+    include-guard       headers must carry a HYPERTREE_*_H_ include guard.
+    banned-header       <ctime>/<time.h>/<sys/time.h> (wall clock) and
+                        <random> (use util/rng.h) are off limits.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_DIRS = ("src", "tools", "bench")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
+
+# Content rules applied line-by-line to comment/string-stripped text.
+PATTERN_RULES = [
+    ("no-libc-rand",
+     re.compile(r"\b(rand|srand|drand48|lrand48|random)\s*\("),
+     "libc randomness is process-global and unseeded; use util/rng.h"),
+    ("no-random-device",
+     re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic by design; use util/rng.h"),
+    ("no-wall-clock",
+     re.compile(r"\b(time|clock|gettimeofday|localtime|gmtime|strftime)\s*\("
+                r"|\bsystem_clock\b"),
+     "wall-clock reads leak into output; use steady_clock durations"),
+    ("no-pointer-key",
+     re.compile(r"\b(?:std\s*::\s*)?(?:multi)?(?:map|set)\s*<[^<>]*\*\s*[,>]"),
+     "pointer-keyed ordered containers iterate in allocator order"),
+    ("banned-header",
+     re.compile(r'#\s*include\s*[<"](ctime|time\.h|sys/time\.h|random)[>"]'),
+     "banned header: wall clock / stdlib randomness (use util/rng.h)"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;({=]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(?:\w+\.)?(\w+)\s*\)")
+EMIT_SINK_RE = re.compile(
+    r"\b(?:printf|fprintf|puts|fputs)\s*\(|<<|\.Set\s*\(|\.Dump\s*\(")
+SORT_RE = re.compile(r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(")
+
+GUARD_RE = re.compile(r"#\s*ifndef\s+(HYPERTREE_\w+_H_)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal *contents* with spaces,
+    preserving line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "squote"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed(raw_lines, lineno, rule):
+    """True when line `lineno` (1-based) or the line above carries the
+    escape hatch for `rule`."""
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(raw_lines):
+            for m in ALLOW_RE.finditer(raw_lines[candidate - 1]):
+                if m.group(1) == rule:
+                    return True
+    return False
+
+
+def lint_unordered_output(stripped_lines, raw_lines, path, findings):
+    """Flags range-for loops over locally declared unordered containers
+    whose body emits (print / stream / JSON) before any sort."""
+    unordered_vars = set()
+    for line in stripped_lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group(1))
+    if not unordered_vars:
+        return
+    for idx, line in enumerate(stripped_lines):
+        m = RANGE_FOR_RE.search(line)
+        if not m or m.group(1) not in unordered_vars:
+            continue
+        # Inspect the loop body: until the braces opened at/after the for
+        # close again (cheap depth scan, capped at 30 lines).
+        depth = 0
+        opened = False
+        body_end = min(idx + 30, len(stripped_lines))
+        for j in range(idx, body_end):
+            depth += stripped_lines[j].count("{") - stripped_lines[j].count("}")
+            if "{" in stripped_lines[j]:
+                opened = True
+            body = stripped_lines[j]
+            if j > idx and SORT_RE.search(body):
+                break  # sorted before emission: fine
+            if EMIT_SINK_RE.search(body) and (j > idx or opened):
+                lineno = idx + 1
+                if not allowed(raw_lines, lineno, "unordered-output"):
+                    findings.append(Finding(
+                        path, lineno, "unordered-output",
+                        f"iteration over unordered container "
+                        f"'{m.group(1)}' feeds output; sort keys first"))
+                break
+            if opened and depth <= 0:
+                break
+
+
+def lint_include_guard(stripped_text, raw_lines, path, findings):
+    if not GUARD_RE.search(stripped_text):
+        if not allowed(raw_lines, 1, "include-guard"):
+            findings.append(Finding(
+                path, 1, "include-guard",
+                "header lacks a HYPERTREE_*_H_ include guard"))
+
+
+def lint_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.splitlines()
+
+    findings = []
+    for rule, pattern, message in PATTERN_RULES:
+        for idx, line in enumerate(stripped_lines):
+            if pattern.search(line):
+                lineno = idx + 1
+                if not allowed(raw_lines, lineno, rule):
+                    findings.append(Finding(path, lineno, rule, message))
+    lint_unordered_output(stripped_lines, raw_lines, path, findings)
+    if path.endswith(".h"):
+        lint_include_guard(stripped, raw_lines, path, findings)
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                for name in names:
+                    if name.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def run_lint(paths):
+    findings = []
+    for f in collect_files(paths):
+        findings.extend(lint_file(f))
+    findings.sort(key=Finding.key)
+    for finding in findings:
+        print(finding)
+    return findings
+
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z0-9-]+)")
+
+
+def self_test(repo_root):
+    """Runs the linter over the fixture suite: every `// expect-lint:`
+    annotation in tests/lint_fixtures/bad must produce exactly one finding
+    of that rule in that file, and the good fixtures must be clean."""
+    fixtures = os.path.join(repo_root, "tests", "lint_fixtures")
+    good = os.path.join(fixtures, "good")
+    bad = os.path.join(fixtures, "bad")
+    ok = True
+
+    good_findings = []
+    for f in collect_files([good]):
+        good_findings.extend(lint_file(f))
+    for finding in good_findings:
+        print(f"SELF-TEST FAIL (false positive): {finding}")
+        ok = False
+
+    for f in collect_files([bad]):
+        with open(f, encoding="utf-8") as fh:
+            expected = sorted(EXPECT_RE.findall(fh.read()))
+        if not expected:
+            print(f"SELF-TEST FAIL: {f} declares no expect-lint annotation")
+            ok = False
+            continue
+        actual = sorted(x.rule for x in lint_file(f))
+        if actual != expected:
+            print(f"SELF-TEST FAIL: {f}: expected rules {expected}, "
+                  f"got {actual}")
+            ok = False
+
+    print("lint self-test:", "PASS" if ok else "FAIL")
+    return ok
+
+
+def main(argv):
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(script_dir)
+    if "--self-test" in argv:
+        return 0 if self_test(repo_root) else 1
+    paths = [a for a in argv if not a.startswith("--")]
+    if not paths:
+        paths = [os.path.join(repo_root, d) for d in DEFAULT_DIRS]
+    findings = run_lint(paths)
+    if findings:
+        print(f"\n{len(findings)} determinism lint finding(s). "
+              "Suppress a deliberate use with '// lint: allow(<rule>)'.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

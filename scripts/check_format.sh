@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate over the C++ sources. Never rewrites files;
+# prints a unified diff of what clang-format would change and exits
+# nonzero if any file is mis-formatted.
+#
+#   scripts/check_format.sh [file ...]
+#
+# With no arguments, checks every tracked .h/.cc/.cpp under src/, tests/,
+# tools/, bench/ and examples/. When clang-format is not installed the
+# gate is skipped with exit 0 so local builds on minimal containers are
+# not blocked; CI installs clang-format explicitly.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+clang_format="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${clang_format}" >/dev/null 2>&1; then
+  echo "check_format: ${clang_format} not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/*.h' 'src/*.cc' 'src/*.cpp' \
+    'tests/*.h' 'tests/*.cc' 'tools/*.h' 'tools/*.cc' \
+    'bench/*.h' 'bench/*.cc' 'examples/*.h' 'examples/*.cc')
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! diff -u --label "${f}" --label "${f} (formatted)" \
+      "${f}" <("${clang_format}" --style=file "${f}") >/tmp/fmt_diff.$$; then
+    status=1
+    cat /tmp/fmt_diff.$$
+  fi
+done
+rm -f /tmp/fmt_diff.$$
+
+if [[ ${status} -ne 0 ]]; then
+  echo ""
+  echo "check_format: run '${clang_format} -i <file>' on the files above."
+fi
+exit "${status}"

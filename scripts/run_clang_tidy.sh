@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over the library
+# and tool sources using the compile database that every CMake configure
+# exports.
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# The build directory (default: build) must have been configured already;
+# CMAKE_EXPORT_COMPILE_COMMANDS is always on, so any configured tree
+# works. When clang-tidy is not installed the gate is skipped with exit 0
+# so minimal containers are not blocked; CI installs clang-tidy
+# explicitly.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${clang_tidy}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: ${clang_tidy} not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing;" \
+       "configure first: cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc')
+
+# run-clang-tidy parallelizes when available; otherwise iterate.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "${clang_tidy}" -p "${build_dir}" \
+    -quiet "${sources[@]}"
+else
+  status=0
+  for f in "${sources[@]}"; do
+    "${clang_tidy}" -p "${build_dir}" --quiet "${f}" || status=1
+  done
+  exit "${status}"
+fi

@@ -78,6 +78,11 @@ struct JoinKeyTable {
     const int rows = rel.Size();
     const int k = static_cast<int>(pos_.size());
     size_t cap = NextPow2AtLeast(static_cast<size_t>(rows) * 2);
+    // Load-factor contract: open addressing stays O(1) only while at most
+    // half the slots are occupied, and the probe loops terminate only
+    // while at least one slot is empty.
+    HT_CHECK_GE(cap, static_cast<size_t>(rows) * 2)
+        << "JoinKeyTable capacity violates the 0.5 load-factor bound";
     mask_ = cap - 1;
     slot_row_.assign(cap, -1);
     if (!keys_only) {
@@ -175,18 +180,22 @@ struct JoinKeyTable {
         key = (key << bits_) | static_cast<uint64_t>(v);
       }
       size_t slot = SplitMix64(key) & mask_;
+      size_t probes = 0;
       while (slot_row_[slot] != -1) {
         if (slot_key_[slot] == key) return count_[slot];
         slot = (slot + 1) & mask_;
+        HT_DCHECK_LE(++probes, mask_) << "JoinKeyTable probe loop wrapped";
       }
     } else {
       size_t slot = HashRowKey(row, probe_pos.data(), k) & mask_;
+      size_t probes = 0;
       while (slot_row_[slot] != -1) {
         if (KeysEqual(row, probe_pos.data(), rel_.Row(slot_row_[slot]),
                       pos_.data(), k)) {
           return count_[slot];
         }
         slot = (slot + 1) & mask_;
+        HT_DCHECK_LE(++probes, mask_) << "JoinKeyTable probe loop wrapped";
       }
     }
     return 0;
@@ -213,6 +222,8 @@ struct JoinKeyTable {
           break;
         }
         ++collisions;
+        HT_DCHECK_LE(collisions, static_cast<long>(mask_))
+            << "JoinKeyTable probe loop wrapped";
         slot = (slot + 1) & mask_;
       }
     } else {
@@ -224,6 +235,8 @@ struct JoinKeyTable {
           break;
         }
         ++collisions;
+        HT_DCHECK_LE(collisions, static_cast<long>(mask_))
+            << "JoinKeyTable probe loop wrapped";
         slot = (slot + 1) & mask_;
       }
     }
@@ -304,7 +317,8 @@ std::vector<std::vector<int>> Relation::ToTuples() const {
 }
 
 void Relation::AddTuple(const std::vector<int>& tuple) {
-  HT_CHECK(tuple.size() == schema_.size());
+  HT_CHECK_EQ(tuple.size(), schema_.size())
+      << "tuple arity does not match the relation schema";
   AddRow(tuple.data());
 }
 
@@ -334,6 +348,8 @@ int Relation::IndexOf(int var) const {
 }
 
 Relation Relation::Join(const Relation& other) const {
+  DCheckRep();
+  other.DCheckRep();
   std::vector<int> pa, pb;
   SharedPositions(schema_, other.schema_, &pa, &pb);
   // Output schema: this schema plus other's non-shared variables.
@@ -367,6 +383,9 @@ Relation Relation::Join(const Relation& other) const {
   RowsJoined().Add(emitted);
   BytesAllocated().Add(
       static_cast<long>(out.data_.capacity() * sizeof(int)));
+  HT_CHECK_EQ(emitted, total)
+      << "join emitted a different row count than its exact-size pre-pass";
+  out.DCheckRep();
   return out;
 }
 
@@ -377,7 +396,9 @@ Relation Relation::Semijoin(const Relation& other) const {
 }
 
 void Relation::SemijoinInPlace(const Relation& other) {
-  HT_CHECK(this != &other);
+  HT_CHECK(this != &other) << "SemijoinInPlace must not alias its argument";
+  DCheckRep();
+  other.DCheckRep();
   std::vector<int> pa, pb;
   SharedPositions(schema_, other.schema_, &pa, &pb);
   if (pa.empty()) {
@@ -411,8 +432,11 @@ void Relation::SemijoinInPlace(const Relation& other) {
     ++write;
   }
   RowsSemijoinDropped().Add(rows_ - write);
+  HT_CHECK_LE(write, rows_)
+      << "semijoin compaction produced more survivors than input rows";
   rows_ = write;
   data_.resize(static_cast<size_t>(write) * arity);
+  DCheckRep();
 }
 
 Relation Relation::Project(const std::vector<int>& vars) const {
@@ -458,6 +482,9 @@ Relation Relation::Project(const std::vector<int>& vars) const {
   }
   BytesAllocated().Add(static_cast<long>(
       (out.data_.capacity() + slots.capacity()) * sizeof(int)));
+  HT_CHECK_LE(out.rows_, rows_)
+      << "projection emitted more distinct rows than its input has";
+  out.DCheckRep();
   return out;
 }
 
@@ -468,6 +495,9 @@ bool Relation::Contains(const std::vector<int>& tuple) const {
 
 bool Relation::ContainsRow(const int* row) const {
   if (rows_ == 0) return false;
+  // Arity 0: the only possible tuple is the empty one, and `row` may be
+  // null (vector<int>{}.data()) — never hand it to memcmp/hash.
+  if (schema_.empty()) return true;
   // Tiny relations (typical CSP constraint tables) are cheaper to scan in
   // the flat buffer than to hash-probe; skip the index while none exists.
   // Never building an index for them also keeps bytes_allocated

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
+
 namespace hypertree {
 
 /// splitmix64 finalizer: a cheap, statistically strong 64-bit mixer
@@ -60,8 +62,12 @@ class Relation {
  public:
   Relation() = default;
 
-  /// Creates an empty relation with the given schema.
-  explicit Relation(std::vector<int> schema) : schema_(std::move(schema)) {}
+  /// Creates an empty relation with the given schema (variable ids must
+  /// be distinct — a duplicate column would make join/project positions
+  /// ambiguous).
+  explicit Relation(std::vector<int> schema) : schema_(std::move(schema)) {
+    DCheckSchemaUnique();
+  }
   ~Relation();
 
   Relation(const Relation& other);
@@ -80,6 +86,8 @@ class Relation {
   /// Pointer to row `i` (valid for Arity() values). Arity-0 relations
   /// return the buffer base for every row.
   const int* Row(int i) const {
+    HT_DCHECK_GE(i, 0);
+    HT_DCHECK_LT(i, rows_);
     return data_.data() + static_cast<size_t>(i) * schema_.size();
   }
 
@@ -154,6 +162,25 @@ class Relation {
   void MaybeGrowIndex(RowIndex* idx) const;
   // Out-of-line tail of AddRow: appends the last row to the published index.
   void AddRowToIndex();
+
+  // Flat-buffer representation invariant: the value buffer holds exactly
+  // rows_ * Arity() values. Compiled out under NDEBUG; mutation paths
+  // call it on entry and exit.
+  void DCheckRep() const {
+    HT_DCHECK_EQ(data_.size(), static_cast<size_t>(rows_) * schema_.size());
+    HT_DCHECK_GE(rows_, 0);
+  }
+  // Schema columns must be distinct variable ids (checked on
+  // construction; O(arity^2) over the tiny schemas involved).
+  void DCheckSchemaUnique() const {
+    if (!ht_internal::kDCheckEnabled) return;
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      for (size_t j = i + 1; j < schema_.size(); ++j) {
+        HT_DCHECK_NE(schema_[i], schema_[j])
+            << "duplicate variable in relation schema";
+      }
+    }
+  }
 
   std::vector<int> schema_;
   std::vector<int> data_;  // row-major, rows_ * Arity() values

@@ -31,6 +31,42 @@ bool Sequential(const std::vector<int>& parent, ThreadPool* pool) {
   return pool == nullptr || pool->NumThreads() <= 1 || parent.size() <= 1;
 }
 
+// Debug-only precondition: parent/children must describe the same rooted
+// forest — parents in range, no self-loops, every parent/child edge
+// mirrored, child counts adding up. The traversals' own countdown logic
+// (and the post-condition visited == m) relies on all of this; a
+// malformed forest would otherwise hang the pool or skip nodes.
+void DCheckForest(const std::vector<int>& parent,
+                  const std::vector<std::vector<int>>& children) {
+  if (!ht_internal::kDCheckEnabled) return;
+  const int m = static_cast<int>(parent.size());
+  HT_DCHECK_EQ(children.size(), parent.size())
+      << "tree_schedule: parent/children size mismatch";
+  size_t edges = 0;
+  for (int i = 0; i < m; ++i) {
+    const int p = parent[i];
+    HT_DCHECK_GE(p, -1) << "tree_schedule: parent id out of range";
+    HT_DCHECK_LT(p, m) << "tree_schedule: parent id out of range";
+    HT_DCHECK_NE(p, i) << "tree_schedule: node is its own parent";
+    for (int c : children[i]) {
+      HT_DCHECK_GE(c, 0) << "tree_schedule: child id out of range";
+      HT_DCHECK_LT(c, m) << "tree_schedule: child id out of range";
+      HT_DCHECK_EQ(parent[c], i)
+          << "tree_schedule: child's parent back-pointer disagrees";
+    }
+    edges += children[i].size();
+    if (p >= 0) ++edges;  // counted from both endpoints below
+  }
+  // Every non-root contributes its parent edge exactly once from each
+  // side, so the totals must agree (roots contribute nothing).
+  size_t non_roots = 0;
+  for (int i = 0; i < m; ++i) {
+    if (parent[i] >= 0) ++non_roots;
+  }
+  HT_DCHECK_EQ(edges, non_roots * 2)
+      << "tree_schedule: children lists disagree with parent pointers";
+}
+
 }  // namespace
 
 void RunTreeBottomUp(const std::vector<int>& parent,
@@ -39,6 +75,7 @@ void RunTreeBottomUp(const std::vector<int>& parent,
                      const std::function<void(int)>& visit) {
   int m = static_cast<int>(parent.size());
   if (m == 0) return;
+  DCheckForest(parent, children);
   if (Sequential(parent, pool)) {
     std::vector<int> order = TopDownOrder(parent, children);
     for (size_t i = order.size(); i-- > 0;) visit(order[i]);
@@ -76,6 +113,7 @@ void RunTreeTopDown(const std::vector<int>& parent,
                     const std::function<void(int)>& visit) {
   int m = static_cast<int>(parent.size());
   if (m == 0) return;
+  DCheckForest(parent, children);
   if (Sequential(parent, pool)) {
     for (int node : TopDownOrder(parent, children)) visit(node);
     return;

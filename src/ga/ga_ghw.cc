@@ -17,12 +17,14 @@ GaResult GaGhw(const Hypergraph& h, const GaConfig& config, CoverMode mode,
     cfg.initial.push_back(McsOrdering(eval.primal(), nullptr));
   }
   Rng cover_rng(config.seed ^ 0x5eedc0de);
-  return RunPermutationGa(
+  GaResult res = RunPermutationGa(
       h.NumVertices(),
       [&eval, mode, &cover_rng](const EliminationOrdering& sigma) {
         return eval.EvaluateOrdering(sigma, mode, &cover_rng);
       },
       cfg);
+  DValidateOrderingWitness(h, res.best);
+  return res;
 }
 
 }  // namespace hypertree

@@ -154,6 +154,7 @@ SaigaResult SaigaGhw(const Hypergraph& h, const SaigaConfig& config,
   res.final_mutation_rate = islands[winner].pm;
   res.final_tournament_size = islands[winner].s;
   res.ga.seconds = timer.ElapsedSeconds();
+  DValidateOrderingWitness(h, res.ga.best);
   return res;
 }
 

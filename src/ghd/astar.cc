@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bounds/ghw_lower_bounds.h"
+#include "ghd/ghw_from_ordering.h"
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
@@ -227,6 +228,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
     res.exact = options.cover_mode == CoverMode::kExact;
     res.lower_bound = res.exact ? ub : lb;
   }
+  DValidateOrderingWitness(h, res.best_ordering);
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "bounds/ghw_lower_bounds.h"
+#include "ghd/ghw_from_ordering.h"
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
 #include "ordering/heuristics.h"
@@ -218,7 +219,9 @@ class GhwBbSearch {
 
 WidthResult BranchAndBoundGhw(const Hypergraph& h,
                               const GhwSearchOptions& options) {
-  return GhwBbSearch(h, options).Run();
+  WidthResult res = GhwBbSearch(h, options).Run();
+  DValidateOrderingWitness(h, res.best_ordering);
+  return res;
 }
 
 }  // namespace hypertree

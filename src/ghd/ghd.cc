@@ -84,7 +84,14 @@ GeneralizedHypertreeDecomposition SimplifyGhd(
     ExactSetCover(edge_sets, out.td().Bag(p), &cover);
     out.SetLambda(p, std::move(cover));
   }
+  if (ht_internal::kDCheckEnabled) ValidateDecomposition(h, out);
   return out;
+}
+
+void ValidateDecomposition(const Hypergraph& h,
+                           const GeneralizedHypertreeDecomposition& ghd) {
+  std::string why;
+  HT_CHECK(ghd.IsValidFor(h, &why)) << "invalid GHD: " << why;
 }
 
 }  // namespace hypertree

@@ -62,6 +62,13 @@ class GeneralizedHypertreeDecomposition {
 GeneralizedHypertreeDecomposition SimplifyGhd(
     const Hypergraph& h, const GeneralizedHypertreeDecomposition& ghd);
 
+/// Fatal form of IsValidFor: aborts with the violated condition when the
+/// decomposition breaks connectedness or cover validity against `h`.
+/// Always compiled; the searches invoke it after construction when
+/// HT_DCHECKs are enabled (see util/check.h).
+void ValidateDecomposition(const Hypergraph& h,
+                           const GeneralizedHypertreeDecomposition& ghd);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_GHD_GHD_H_

@@ -54,7 +54,20 @@ GeneralizedHypertreeDecomposition GhwEvaluator::BuildGhd(
     CoverBag(t.bags[v], mode, rng, &chosen);
     ghd.SetLambda(v, std::move(chosen));
   }
+  if (ht_internal::kDCheckEnabled) ValidateDecomposition(h_, ghd);
   return ghd;
+}
+
+void DValidateOrderingWitness(const Hypergraph& h,
+                              const EliminationOrdering& sigma) {
+  if (!ht_internal::kDCheckEnabled) return;
+  if (static_cast<int>(sigma.size()) != h.NumVertices()) return;
+  GhwEvaluator eval(h);
+  // Exact covers keep the check independent of any greedy tie-break rng;
+  // BuildGhd validates the result before returning it.
+  GeneralizedHypertreeDecomposition ghd =
+      eval.BuildGhd(sigma, CoverMode::kExact);
+  ValidateDecomposition(h, ghd);
 }
 
 }  // namespace hypertree

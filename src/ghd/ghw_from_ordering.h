@@ -58,6 +58,13 @@ class GhwEvaluator {
   std::unordered_map<Bitset, int> exact_cache_;
 };
 
+/// Debug-mode search post-condition: rebuilds a GHD from the witness
+/// ordering `sigma` and aborts if it violates any GHD condition. No-op
+/// when HT_DCHECKs are compiled out, or when `sigma` does not cover the
+/// vertex set (aborted searches may return partial witnesses).
+void DValidateOrderingWitness(const Hypergraph& h,
+                              const EliminationOrdering& sigma);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_GHD_GHW_FROM_ORDERING_H_

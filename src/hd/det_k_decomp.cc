@@ -318,6 +318,10 @@ std::optional<HypertreeDecomposition> BuildDecomposition(
   for (size_t p = 0; p < worker.chi_.size(); ++p) {
     hd.AddNode(worker.chi_[p], worker.lambda_[p], worker.parent_[p]);
   }
+  // Every successful det-k run flows through here (including spliced
+  // cache witnesses), so this debug check covers conditions 1-4 for all
+  // of them.
+  if (ht_internal::kDCheckEnabled) ValidateDecomposition(ctx.h, hd);
   return hd;
 }
 
@@ -397,7 +401,7 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
 std::optional<HypertreeDecomposition> DetKDecompImpl(
     const Hypergraph& h, int k, const SearchOptions& options,
     DecompCache* cache, bool* aborted) {
-  HT_CHECK(k >= 1);
+  HT_CHECK_GE(k, 1);
   if (aborted != nullptr) *aborted = false;
   if (h.NumEdges() == 0) {
     return HypertreeDecomposition(h.NumVertices());

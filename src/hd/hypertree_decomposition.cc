@@ -95,4 +95,11 @@ bool HypertreeDecomposition::IsValidFor(const Hypergraph& h,
   return true;
 }
 
+void ValidateDecomposition(const Hypergraph& h,
+                           const HypertreeDecomposition& hd) {
+  std::string why;
+  HT_CHECK(hd.IsValidFor(h, &why)) << "invalid hypertree decomposition: "
+                                   << why;
+}
+
 }  // namespace hypertree

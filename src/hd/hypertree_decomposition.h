@@ -50,6 +50,13 @@ class HypertreeDecomposition {
   std::vector<std::vector<int>> children_;
 };
 
+/// Fatal form of IsValidFor: aborts with the violated condition when the
+/// decomposition breaks any of conditions 1-4 against `h`. Always
+/// compiled; det-k-decomp invokes it on success when HT_DCHECKs are
+/// enabled (see util/check.h).
+void ValidateDecomposition(const Hypergraph& h,
+                           const HypertreeDecomposition& hd);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_HD_HYPERTREE_DECOMPOSITION_H_

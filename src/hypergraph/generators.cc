@@ -197,7 +197,11 @@ Hypergraph RandomAcyclicHypergraph(int num_edges, int max_arity,
   for (int e = 1; e < num_edges; ++e) {
     const std::vector<int>& parent =
         edges[rng.UniformInt(static_cast<int>(edges.size()))];
-    int shared = rng.UniformRange(1, static_cast<int>(parent.size()));
+    // Edges can outgrow max_arity by one vertex per generation (see the
+    // fresh-vertex guarantee below), so clamp the shared-subset size to
+    // keep [shared, max_arity] a valid draw range.
+    int shared = rng.UniformRange(
+        1, std::min(static_cast<int>(parent.size()), max_arity));
     std::vector<int> vs = parent;
     rng.Shuffle(&vs);
     vs.resize(shared);

@@ -48,6 +48,10 @@ DecompCache::DecompCache(int num_shards) {
 DecompCache::Outcome DecompCache::Lookup(
     const Bitset& component, const Bitset& connector, int k,
     std::shared_ptr<const CachedSubtree>* subtree) {
+  // det-k keys use k >= 1; k = -1 is reserved for transposition entries
+  // (see TranspositionKey), so a stray non-positive k would silently read
+  // the wrong keyspace.
+  HT_DCHECK_GE(k, 1);
   Key key{component, connector, k};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -65,6 +69,7 @@ DecompCache::Outcome DecompCache::Lookup(
 
 void DecompCache::InsertNegative(const Bitset& component,
                                  const Bitset& connector, int k) {
+  HT_DCHECK_GE(k, 1);
   Key key{component, connector, k};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -78,6 +83,13 @@ void DecompCache::InsertNegative(const Bitset& component,
 void DecompCache::InsertPositive(const Bitset& component,
                                  const Bitset& connector, int k,
                                  std::shared_ptr<const CachedSubtree> subtree) {
+  HT_DCHECK_GE(k, 1);
+  HT_CHECK(subtree != nullptr)
+      << "positive det-k entries must carry their witness subtree";
+  HT_CHECK_EQ(subtree->chi.size(), subtree->parent.size())
+      << "cached subtree chi/parent arrays out of step";
+  HT_CHECK_EQ(subtree->lambda.size(), subtree->parent.size())
+      << "cached subtree lambda/parent arrays out of step";
   Key key{component, connector, k};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);

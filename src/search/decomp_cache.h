@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/check.h"
 
 namespace hypertree {
 
@@ -125,7 +126,11 @@ class DecompCache {
   void CountInsert();
 
   Shard& ShardFor(const Key& key) {
-    return *shards_[KeyHash{}(key) % shards_.size()];
+    HT_DCHECK(!shards_.empty());
+    const size_t shard = KeyHash{}(key) % shards_.size();
+    HT_DCHECK_LT(shard, shards_.size());
+    HT_DCHECK(shards_[shard] != nullptr);
+    return *shards_[shard];
   }
   static Key TranspositionKey(const Bitset& state) {
     // Transposition entries live in the same store under k = -1 (det-k

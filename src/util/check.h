@@ -1,28 +1,128 @@
-// Lightweight assertion macros used throughout the library.
+// Contract macros used throughout the library.
 //
 // The library follows Google-style error handling: logic errors (broken
 // invariants, misuse of the API) abort the process with a message, while
 // recoverable conditions (bad input files, infeasible parameters) are
 // reported through return values.
+//
+// Two severity tiers:
+//
+//   HT_CHECK*   — always on, in every build type. Decomposition validity
+//                 bugs must never silently produce wrong widths, so the
+//                 cheap structural checks stay enabled in Release.
+//   HT_DCHECK*  — compiled out under NDEBUG (zero code emitted). Used on
+//                 hot paths (per-row, per-probe) where the check would be
+//                 measurable in benchmarks.
+//
+// Every macro supports a streamed explanation that is only evaluated on
+// failure:
+//
+//   HT_CHECK(rows >= 0) << "relation " << name << " corrupted";
+//   HT_CHECK_EQ(data.size(), rows * arity);   // prints both values
+//
+// The comparison macros (HT_CHECK_EQ/NE/LT/LE/GT/GE and their HT_DCHECK_
+// twins) evaluate each operand exactly once and report the observed
+// values alongside the failed expression. HT_CHECK_MSG keeps the older
+// printf-style form for existing callers.
 
 #ifndef HYPERTREE_UTIL_CHECK_H_
 #define HYPERTREE_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
 
-/// Aborts with a message if `cond` is false. Enabled in all build types:
-/// decomposition validity bugs must never silently produce wrong widths.
-#define HT_CHECK(cond)                                                      \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "HT_CHECK failed at %s:%d: %s\n", __FILE__,      \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
-  } while (0)
+namespace hypertree::ht_internal {
 
-/// HT_CHECK with a printf-style explanation appended to the failure report.
+/// True when HT_DCHECK* checks are compiled in. Lets call sites gate
+/// expensive debug-only validation (e.g. whole-decomposition checks) on
+/// the same switch as the macros: `if (kDCheckEnabled) Validate(...);`.
+#ifdef NDEBUG
+inline constexpr bool kDCheckEnabled = false;
+#else
+inline constexpr bool kDCheckEnabled = true;
+#endif
+
+/// Collects the streamed failure message; aborts in the destructor. The
+/// whole object only exists on the (cold) failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "HT_CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    if (!separated_) {
+      stream_ << "\n  ";
+      separated_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool separated_ = false;
+};
+
+/// Lowest-precedence void conversion: makes the `cond ? (void)0 : ...`
+/// ternary in HT_CHECK well-typed while keeping `<<` chaining on the
+/// failure branch.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+/// Applies `op` to operands evaluated exactly once. Returns null when the
+/// comparison holds, otherwise the observed values rendered as
+/// "(a vs. b)" — allocation only happens on the cold failure path.
+template <typename A, typename B, typename Op>
+std::unique_ptr<std::string> CheckOp(const A& a, const B& b, Op op) {
+  if (op(a, b)) return nullptr;
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ") ";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace hypertree::ht_internal
+
+/// Aborts with file:line and a streamable message if `cond` is false.
+/// Enabled in all build types.
+#define HT_CHECK(cond)                                  \
+  (cond) ? (void)0                                      \
+         : ::hypertree::ht_internal::Voidify() &        \
+               ::hypertree::ht_internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+// Shared implementation of the binary comparison checks: operands are
+// evaluated exactly once; on failure both observed values are reported
+// and the streamed tail (if any) is appended. The `while` runs at most
+// once (the failure branch aborts) and, unlike an `if`, cannot capture a
+// caller's dangling `else`.
+#define HT_CHECK_CMP(a, b, op)                                            \
+  while (auto ht_check_detail = ::hypertree::ht_internal::CheckOp(        \
+             a, b, [](const auto& x, const auto& y) { return x op y; }))  \
+  ::hypertree::ht_internal::Voidify() &                                   \
+      ::hypertree::ht_internal::CheckFailure(__FILE__, __LINE__,          \
+                                             #a " " #op " " #b)           \
+          << *ht_check_detail
+
+#define HT_CHECK_EQ(a, b) HT_CHECK_CMP(a, b, ==)
+#define HT_CHECK_NE(a, b) HT_CHECK_CMP(a, b, !=)
+#define HT_CHECK_LT(a, b) HT_CHECK_CMP(a, b, <)
+#define HT_CHECK_LE(a, b) HT_CHECK_CMP(a, b, <=)
+#define HT_CHECK_GT(a, b) HT_CHECK_CMP(a, b, >)
+#define HT_CHECK_GE(a, b) HT_CHECK_CMP(a, b, >=)
+
+/// HT_CHECK with a printf-style explanation appended to the failure
+/// report (pre-streaming form; new code should stream into HT_CHECK).
 #define HT_CHECK_MSG(cond, ...)                                             \
   do {                                                                      \
     if (!(cond)) {                                                          \
@@ -30,15 +130,34 @@
                    __LINE__, #cond);                                        \
       std::fprintf(stderr, __VA_ARGS__);                                    \
       std::fprintf(stderr, "\n");                                           \
+      std::fflush(stderr);                                                  \
       std::abort();                                                         \
     }                                                                       \
   } while (0)
 
-/// Cheap debug-only check for hot loops.
+// Debug-only variants: compiled out under NDEBUG. The disabled form sits
+// in a dead `while (false)` so the operands stay odr-used (no unused-
+// variable warnings under -Werror Release builds), streamed tails still
+// parse, and the optimizer removes every trace.
 #ifdef NDEBUG
-#define HT_DCHECK(cond) ((void)0)
+#define HT_DCHECK(cond)                                     \
+  while (false) ::hypertree::ht_internal::Voidify() &       \
+      ::hypertree::ht_internal::CheckFailure("", 0, "")     \
+          << static_cast<bool>(cond)
+#define HT_DCHECK_EQ(a, b) HT_DCHECK((a) == (b))
+#define HT_DCHECK_NE(a, b) HT_DCHECK((a) != (b))
+#define HT_DCHECK_LT(a, b) HT_DCHECK((a) < (b))
+#define HT_DCHECK_LE(a, b) HT_DCHECK((a) <= (b))
+#define HT_DCHECK_GT(a, b) HT_DCHECK((a) > (b))
+#define HT_DCHECK_GE(a, b) HT_DCHECK((a) >= (b))
 #else
 #define HT_DCHECK(cond) HT_CHECK(cond)
+#define HT_DCHECK_EQ(a, b) HT_CHECK_EQ(a, b)
+#define HT_DCHECK_NE(a, b) HT_CHECK_NE(a, b)
+#define HT_DCHECK_LT(a, b) HT_CHECK_LT(a, b)
+#define HT_DCHECK_LE(a, b) HT_CHECK_LE(a, b)
+#define HT_DCHECK_GT(a, b) HT_CHECK_GT(a, b)
+#define HT_DCHECK_GE(a, b) HT_CHECK_GE(a, b)
 #endif
 
 #endif  // HYPERTREE_UTIL_CHECK_H_

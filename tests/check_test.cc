@@ -1,0 +1,99 @@
+// Death tests for the contract macros: every HT_CHECK* flavor must abort
+// with file:line, the failed expression, the observed operand values and
+// any streamed tail — and must be free of side effects on the pass path.
+
+#include "util/check.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hypertree {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  HT_CHECK(true);
+  HT_CHECK(1 + 1 == 2) << "never rendered";
+  HT_CHECK_EQ(4, 4);
+  HT_CHECK_NE(4, 5);
+  HT_CHECK_LT(4, 5);
+  HT_CHECK_LE(5, 5);
+  HT_CHECK_GT(5, 4);
+  HT_CHECK_GE(5, 5);
+  HT_CHECK_MSG(true, "never rendered %d", 0);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  HT_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, StreamedTailIsLazy) {
+  // The message expression must not run when the check passes.
+  int evaluated = 0;
+  auto render = [&evaluated] {
+    ++evaluated;
+    return std::string("boom");
+  };
+  HT_CHECK(true) << render();
+  EXPECT_EQ(evaluated, 0);
+}
+
+TEST(CheckTest, DanglingElseSafe) {
+  bool took_else = false;
+  if (false)
+    HT_CHECK_EQ(1, 1);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(CheckDeathTest, CheckReportsExpressionAndLocation) {
+  EXPECT_DEATH(HT_CHECK(2 + 2 == 5),
+               "HT_CHECK failed at .*check_test\\.cc:[0-9]+: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckAppendsStreamedMessage) {
+  int width = 7;
+  EXPECT_DEATH(HT_CHECK(width == 3) << "bad width " << width,
+               "HT_CHECK failed.*width == 3.*bad width 7");
+}
+
+TEST(CheckDeathTest, ComparisonReportsBothValues) {
+  int rows = 3, arity = 4;
+  EXPECT_DEATH(HT_CHECK_EQ(rows, arity), "rows == arity.*\\(3 vs. 4\\)");
+  EXPECT_DEATH(HT_CHECK_GE(rows, arity) << "flat buffer torn",
+               "\\(3 vs. 4\\).*flat buffer torn");
+}
+
+TEST(CheckDeathTest, AllComparisonFlavorsAreFatal) {
+  EXPECT_DEATH(HT_CHECK_NE(1, 1), "1 != 1");
+  EXPECT_DEATH(HT_CHECK_LT(2, 1), "2 < 1");
+  EXPECT_DEATH(HT_CHECK_LE(2, 1), "2 <= 1");
+  EXPECT_DEATH(HT_CHECK_GT(1, 2), "1 > 2");
+  EXPECT_DEATH(HT_CHECK_GE(1, 2), "1 >= 2");
+}
+
+TEST(CheckDeathTest, CheckMsgKeepsPrintfForm) {
+  EXPECT_DEATH(HT_CHECK_MSG(false, "shard %d of %d", 7, 4),
+               "shard 7 of 4");
+}
+
+TEST(CheckDeathTest, DCheckMatchesBuildType) {
+  std::vector<int> empty;
+  if (ht_internal::kDCheckEnabled) {
+    EXPECT_DEATH(HT_DCHECK(!empty.empty()), "HT_CHECK failed");
+    EXPECT_DEATH(HT_DCHECK_EQ(empty.size(), 1u), "0 vs. 1");
+  } else {
+    // Compiled out: nothing evaluates, nothing aborts.
+    HT_DCHECK(!empty.empty());
+    HT_DCHECK_EQ(empty.size(), 1u) << "never rendered";
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

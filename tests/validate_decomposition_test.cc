@@ -1,0 +1,107 @@
+// ValidateDecomposition is the fatal form of IsValidFor: it must stay
+// silent on a correct decomposition and abort — naming the violated
+// condition — on a deliberately corrupted one.
+
+#include <string>
+#include <utility>
+
+#include "ghd/ghd.h"
+#include "ghd/ghw_from_ordering.h"
+#include "gtest/gtest.h"
+#include "hd/hypertree_decomposition.h"
+#include "ordering/heuristics.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+Hypergraph Example5() {
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2}, "C1");
+  h.AddEdge({0, 4, 5}, "C2");
+  h.AddEdge({2, 3, 4}, "C3");
+  return h;
+}
+
+GeneralizedHypertreeDecomposition WidthTwoGhd() {
+  TreeDecomposition td(6);
+  int root = td.AddNode(Bitset::FromVector(6, {0, 2, 3, 4, 5}));
+  int leaf = td.AddNode(Bitset::FromVector(6, {0, 1, 2}));
+  td.AddTreeEdge(root, leaf);
+  GeneralizedHypertreeDecomposition ghd(std::move(td));
+  ghd.SetLambda(root, {1, 2});
+  ghd.SetLambda(leaf, {0});
+  return ghd;
+}
+
+TEST(ValidateDecompositionTest, AcceptsManualGhd) {
+  Hypergraph h = Example5();
+  ValidateDecomposition(h, WidthTwoGhd());  // must not abort
+}
+
+TEST(ValidateDecompositionTest, AcceptsOrderingBuiltGhd) {
+  Hypergraph h = Example5();
+  GhwEvaluator eval(h);
+  Rng rng(7);
+  EliminationOrdering sigma = MinFillOrdering(eval.primal(), &rng);
+  ValidateDecomposition(h, eval.BuildGhd(sigma, CoverMode::kExact));
+}
+
+TEST(ValidateDecompositionDeathTest, CatchesEmptiedLambda) {
+  Hypergraph h = Example5();
+  GeneralizedHypertreeDecomposition ghd = WidthTwoGhd();
+  ghd.SetLambda(0, {});  // root bag {0,2,3,4,5} is now uncovered
+  EXPECT_DEATH(ValidateDecomposition(h, ghd), "invalid GHD");
+}
+
+TEST(ValidateDecompositionDeathTest, CatchesWrongCover) {
+  Hypergraph h = Example5();
+  GeneralizedHypertreeDecomposition ghd = WidthTwoGhd();
+  ghd.SetLambda(1, {1});  // C2 = {0,4,5} does not cover leaf bag {0,1,2}
+  EXPECT_DEATH(ValidateDecomposition(h, ghd), "invalid GHD");
+}
+
+TEST(ValidateDecompositionDeathTest, CatchesBrokenConnectedness) {
+  Hypergraph h = Example5();
+  // Vertex 0 appears in the two leaves but not in the root between them,
+  // violating the connectedness condition.
+  TreeDecomposition td(6);
+  int root = td.AddNode(Bitset::FromVector(6, {2, 3, 4}));
+  int a = td.AddNode(Bitset::FromVector(6, {0, 1, 2}));
+  int b = td.AddNode(Bitset::FromVector(6, {0, 4, 5}));
+  td.AddTreeEdge(root, a);
+  td.AddTreeEdge(root, b);
+  GeneralizedHypertreeDecomposition ghd(std::move(td));
+  ghd.SetLambda(root, {2});
+  ghd.SetLambda(a, {0});
+  ghd.SetLambda(b, {1});
+  EXPECT_DEATH(ValidateDecomposition(h, ghd), "invalid GHD");
+}
+
+TEST(ValidateDecompositionHdTest, AcceptsManualHd) {
+  Hypergraph h = Example5();
+  HypertreeDecomposition hd(6);
+  int root = hd.AddNode(Bitset::FromVector(6, {0, 2, 3, 4, 5}), {1, 2}, -1);
+  hd.AddNode(Bitset::FromVector(6, {0, 1, 2}), {0, 1}, root);
+  ValidateDecomposition(h, hd);  // must not abort
+}
+
+TEST(ValidateDecompositionHdDeathTest, CatchesDescendantViolation) {
+  Hypergraph h = Example5();
+  // Root uses lambda {C1} but chi(root) omits vertex 1 even though 1 occurs
+  // in chi of the subtree below — the special condition 4 of hypertree
+  // decompositions.
+  HypertreeDecomposition hd(6);
+  int root = hd.AddNode(Bitset::FromVector(6, {0, 2}), {0}, -1);
+  int mid = hd.AddNode(Bitset::FromVector(6, {0, 1, 2}), {0}, root);
+  hd.AddNode(Bitset::FromVector(6, {2, 3, 4}), {2}, mid);
+  hd.AddNode(Bitset::FromVector(6, {0, 4, 5}), {1}, mid);
+  // The underlying GHD conditions hold; only condition 4 is violated.
+  std::string why;
+  ASSERT_FALSE(hd.IsValidFor(h, &why));
+  EXPECT_DEATH(ValidateDecomposition(h, hd),
+               "invalid hypertree decomposition");
+}
+
+}  // namespace
+}  // namespace hypertree
