@@ -6,6 +6,7 @@
 #include "ghd/ghw_from_ordering.h"
 #include "graph/generators.h"
 #include "hypergraph/generators.h"
+#include "hypergraph/incidence_index.h"
 #include "ordering/evaluator.h"
 #include "setcover/exact.h"
 #include "setcover/greedy.h"
@@ -78,6 +79,72 @@ void BM_BitsetIntersectCount(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsetIntersectCount)->Arg(64)->Arg(1024)->Arg(8192);
+
+// Incidence-index construction (once per instance in the exact searches).
+void BM_IncidenceBuild(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 11);
+  for (auto _ : state) {
+    IncidenceIndex index(h);
+    benchmark::DoNotOptimize(index.NumEdges());
+  }
+}
+BENCHMARK(BM_IncidenceBuild)->Arg(32)->Arg(128)->Arg(512);
+
+// Word-parallel component split (det-k's TrySeparator hot path) vs the
+// quadratic fixed-point reference it replaced.
+void BM_ComponentSplit(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 13);
+  IncidenceIndex index(h);
+  ComponentSplitter splitter(&index);
+  Rng rng(14);
+  Bitset comp(h.NumEdges());
+  comp.SetAll();
+  Bitset sep_vars(n);
+  for (int i = 0; i < n / 3; ++i) sep_vars.Set(rng.UniformInt(n));
+  std::vector<Bitset> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter.Split(comp, sep_vars, &out, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComponentSplit)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_NaiveComponentSplit(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 13);
+  Rng rng(14);
+  Bitset comp(h.NumEdges());
+  comp.SetAll();
+  Bitset sep_vars(n);
+  for (int i = 0; i < n / 3; ++i) sep_vars.Set(rng.UniformInt(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveComponents(h, comp, sep_vars));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveComponentSplit)->Arg(32)->Arg(128)->Arg(512);
+
+// Candidate-separator generation (one OR sweep + decorate-sort).
+void BM_SortedCandidates(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 15);
+  IncidenceIndex index(h);
+  CandidateGenerator gen(&index);
+  Rng rng(16);
+  Bitset conn(n), scope(n);
+  for (int i = 0; i < n / 4; ++i) conn.Set(rng.UniformInt(n));
+  for (int i = 0; i < n / 2; ++i) scope.Set(rng.UniformInt(n));
+  scope |= conn;
+  std::vector<int> out;
+  for (auto _ : state) {
+    gen.SortedCandidates(conn, scope, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SortedCandidates)->Arg(32)->Arg(128)->Arg(512);
 
 }  // namespace
 }  // namespace hypertree

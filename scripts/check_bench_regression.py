@@ -14,6 +14,12 @@ Records are matched on (bench, instance, algorithm). The check fails when
   * a baseline record is missing from the current report (or vice versa),
     unless --allow-missing is given.
 
+--ignore-wall skips the wall_ms comparison and checks only the
+bit-identical result fields. Use it (typically with --allow-missing) to
+validate an intentional performance change: the new report must keep every
+deterministic width/exact/lower_bound/nodes value, while wall time is
+expected to move.
+
 Exit status: 0 clean, 1 regression(s) found, 2 usage / unreadable input.
 """
 
@@ -69,6 +75,8 @@ def main():
                     help="ignore wall regressions below this absolute size (default 50)")
     ap.add_argument("--allow-missing", action="store_true",
                     help="do not fail on records present in only one report")
+    ap.add_argument("--ignore-wall", action="store_true",
+                    help="compare only deterministic result fields, not wall_ms")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -103,6 +111,8 @@ def main():
             warnings.append(f"non-deterministic, widths not compared: {fmt(key)}")
             continue
 
+        if args.ignore_wall:
+            continue
         bw, cw = b.get("wall_ms"), c.get("wall_ms")
         if isinstance(bw, (int, float)) and isinstance(cw, (int, float)):
             if cw > bw * args.wall_ratio and cw - bw > args.wall_floor_ms:

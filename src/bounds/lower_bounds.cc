@@ -1,6 +1,7 @@
 #include "bounds/lower_bounds.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/algorithms.h"
@@ -128,17 +129,112 @@ int MinorMinWidthOn(ContractionGraph& cg, Rng* rng) {
   return lb;
 }
 
+// Single-word specialization of the contraction loop for n <= 64. The
+// exact searches evaluate minor-min-width once per generated state, which
+// makes it their hottest bound; on one-word graphs the whole contraction
+// sequence runs on plain uint64_t rows with no heap allocation. The scan
+// order (ascending bit index, matching Bitset::First/Next), the
+// incremental degree updates, and the reservoir tie-break draws replicate
+// ContractionGraph exactly, so both the value and the rng stream are
+// bit-identical to the generic path.
+
+inline uint64_t Bit64(int v) { return uint64_t{1} << v; }
+
+int MinDegree64(const int* deg, uint64_t from, Rng* rng) {
+  int best = -1, best_deg = 0, ties = 0;
+  for (uint64_t m = from; m != 0; m &= m - 1) {
+    int v = __builtin_ctzll(m);
+    int d = deg[v];
+    if (best == -1 || d < best_deg) {
+      best = v;
+      best_deg = d;
+      ties = 1;
+    } else if (d == best_deg && rng != nullptr) {
+      ++ties;
+      if (rng->UniformInt(ties) == 0) best = v;
+    }
+  }
+  return best;
+}
+
+int MinorMinWidth64(uint64_t alive, uint64_t* adj, Rng* rng) {
+  int deg[64];
+  for (uint64_t m = alive; m != 0; m &= m - 1) {
+    int v = __builtin_ctzll(m);
+    deg[v] = __builtin_popcountll(adj[v] & alive);
+  }
+  int lb = 0;
+  while (alive != 0) {
+    int v = MinDegree64(deg, alive, rng);
+    int d = deg[v];
+    lb = std::max(lb, d);
+    if (d == 0) {
+      alive &= ~Bit64(v);
+      continue;
+    }
+    int u = MinDegree64(deg, adj[v] & alive, rng);
+    // Contract v into u, mirroring ContractionGraph::Contract: w loses v
+    // and gains u (net zero degree change) unless already adjacent to u.
+    // The neighbor mask is snapshotted before the row updates, like `nb`
+    // there; rows may keep dead bits, which the alive mask screens out.
+    adj[u] |= adj[v];
+    adj[u] &= ~(Bit64(u) | Bit64(v));
+    for (uint64_t m = adj[v] & alive; m != 0; m &= m - 1) {
+      int w = __builtin_ctzll(m);
+      adj[w] &= ~Bit64(v);
+      if (w != u) {
+        if ((adj[w] & Bit64(u)) != 0) --deg[w];
+        adj[w] |= Bit64(u);
+      }
+    }
+    alive &= ~Bit64(v);
+    deg[u] = __builtin_popcountll(adj[u] & alive);
+  }
+  return lb;
+}
+
 }  // namespace
 
 int MinorMinWidthLowerBound(const Graph& g, Rng* rng) {
+  const int n = g.NumVertices();
+  if (n > 0 && n <= 64) {
+    uint64_t adj[64];
+    for (int v = 0; v < n; ++v) adj[v] = g.NeighborBits(v).Word(0);
+    const uint64_t alive = (n == 64) ? ~uint64_t{0} : Bit64(n) - 1;
+    return MinorMinWidth64(alive, adj, rng);
+  }
   ContractionGraph cg(g);
   return MinorMinWidthOn(cg, rng);
 }
 
 int MinorMinWidthLowerBound(const EliminationGraph& eg, Rng* rng) {
+  const int n = eg.NumVertices();
+  if (n > 0 && n <= 64) {
+    const uint64_t alive = eg.ActiveBits().Word(0);
+    uint64_t adj[64] = {};
+    for (uint64_t m = alive; m != 0; m &= m - 1) {
+      int v = __builtin_ctzll(m);
+      adj[v] = eg.RawNeighborBits(v).Word(0) & alive;
+    }
+    return MinorMinWidth64(alive, adj, rng);
+  }
   ContractionGraph cg(eg);
   return MinorMinWidthOn(cg, rng);
 }
+
+namespace ht_internal {
+
+int MinorMinWidthLowerBoundGeneric(const Graph& g, Rng* rng) {
+  ContractionGraph cg(g);
+  return MinorMinWidthOn(cg, rng);
+}
+
+int MinorMinWidthLowerBoundGeneric(const EliminationGraph& eg, Rng* rng) {
+  ContractionGraph cg(eg);
+  return MinorMinWidthOn(cg, rng);
+}
+
+}  // namespace ht_internal
 
 int MinorGammaRLowerBound(const Graph& g, Rng* rng) {
   ContractionGraph cg(g);

@@ -25,7 +25,21 @@ int MinorMinWidthLowerBound(const Graph& g, Rng* rng = nullptr);
 /// active vertices. Produces the same value (and the same rng draw
 /// sequence) as MinorMinWidthLowerBound(eg.CurrentGraph(), rng) because
 /// the id remap in CurrentGraph() is order-preserving.
+///
+/// Graphs with at most 64 vertices take an allocation-free single-word
+/// fast path (the searches call this once per generated state, making it
+/// their hottest bound); the fast path replays the exact scan order and
+/// tie-break draw sequence of the generic implementation, so values and
+/// rng streams are bit-identical (`lower_bounds_test` asserts this
+/// against the exported generic reference).
 int MinorMinWidthLowerBound(const EliminationGraph& eg, Rng* rng = nullptr);
+
+namespace ht_internal {
+/// The generic (any-n) implementation, exported as the reference the
+/// fast-path equivalence tests compare against. Not for production use.
+int MinorMinWidthLowerBoundGeneric(const Graph& g, Rng* rng);
+int MinorMinWidthLowerBoundGeneric(const EliminationGraph& eg, Rng* rng);
+}  // namespace ht_internal
 
 /// minor-gamma_R: the Ramachandramurthi gamma parameter evaluated on the
 /// same contraction sequence. gamma(G) = n-1 for complete graphs, else

@@ -9,6 +9,7 @@
 #include "ghd/ghw_from_ordering.h"
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
+#include "hypergraph/incidence_index.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
 #include "util/metrics.h"
@@ -56,7 +57,10 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   int n = h.NumVertices();
   Rng rng(options.seed);
   SearchBudget budget(options);
-  GhwEvaluator eval(h);
+  // One incidence index per instance; every bag-cover candidate
+  // restriction (child generation and the greedy goal test) reads it.
+  IncidenceIndex index(h);
+  GhwEvaluator eval(h, &index);
 
   int lb = GhwLowerBound(h, &rng);
   EliminationOrdering greedy =
@@ -101,15 +105,20 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       eg.Eliminate(v);
     }
   };
+  // Scratch bag: bag_cover_of runs once per child per pop, and the
+  // temporary NeighborBits() materializes otherwise dominates the
+  // allocation profile of child generation.
+  Bitset bag_scratch(n);
   auto bag_cover_of = [&](int v) {
-    Bitset bag = eg.NeighborBits(v);
-    bag.Set(v);
-    return eval.CoverBag(bag, options.cover_mode, &rng, nullptr);
+    bag_scratch.AssignAnd(eg.RawNeighborBits(v), eg.ActiveBits());
+    bag_scratch.Set(v);
+    return eval.CoverBag(bag_scratch, options.cover_mode, &rng, nullptr);
   };
 
   long popped = 0;
   int best_f_seen = lb;
   int goal = -1;
+  std::vector<int> children;  // reused across pops
 
   while (!open.empty()) {
     if ((popped & 31) == 0 && budget.PollDeadline()) break;
@@ -135,7 +144,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       break;
     }
 
-    std::vector<int> children;
+    children.clear();
     if (options.use_simplicial_reduction) {
       for (int v = eg.ActiveBits().First(); v >= 0;
            v = eg.ActiveBits().Next(v)) {
@@ -145,7 +154,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
         }
       }
     }
-    if (children.empty()) children = eg.ActiveBits().ToVector();
+    if (children.empty()) eg.ActiveBits().AppendTo(&children);
 
     int parent_index = top.index;
     int parent_g = s.g;

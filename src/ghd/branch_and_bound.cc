@@ -7,6 +7,7 @@
 #include "ghd/ghw_from_ordering.h"
 #include "ghd/search_common.h"
 #include "graph/elimination_graph.h"
+#include "hypergraph/incidence_index.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
 #include "util/metrics.h"
@@ -28,7 +29,10 @@ class GhwBbSearch {
         opts_(opts),
         rng_(opts.seed),
         budget_(opts),
-        eval_(h),
+        // One incidence index per instance, shared read-only by every
+        // bag-cover candidate restriction below it.
+        index_(h),
+        eval_(h, &index_),
         eg_(eval_.primal()),
         n_(h.NumVertices()),
         // The transposition table is only sound with exact covers: greedy
@@ -59,6 +63,8 @@ class GhwBbSearch {
       ub_ = opts_.initial_upper_bound;
     if (n_ > 0 && lb < ub_) {
       child_scratch_.assign(n_ + 1, {});
+      nb_scratch_.assign(n_ + 1, Bitset(n_));
+      bag_scratch_ = Bitset(n_);
       Dfs(/*g_val=*/0, /*f_parent=*/lb, /*prev_vertex=*/-1, Bitset(n_),
           /*parent_free=*/false);
     }
@@ -88,9 +94,12 @@ class GhwBbSearch {
   }
 
   int BagCoverOf(int v) {
-    Bitset bag = eg_.NeighborBits(v);
-    bag.Set(v);
-    return eval_.CoverBag(bag, opts_.cover_mode, &rng_, nullptr);
+    // Scratch bag: this runs once per child per node, and the temporary
+    // NeighborBits() materializes otherwise dominates the allocation
+    // profile of the search.
+    bag_scratch_.AssignAnd(eg_.RawNeighborBits(v), eg_.ActiveBits());
+    bag_scratch_.Set(v);
+    return eval_.CoverBag(bag_scratch_, opts_.cover_mode, &rng_, nullptr);
   }
 
   // Greedy cover of the whole active set, memoized per state in exact
@@ -172,12 +181,17 @@ class GhwBbSearch {
            v = eg_.ActiveBits().Next(v)) {
         children.emplace_back(BagCoverOf(v), v);
       }
-      // Cheapest bags first.
-      std::stable_sort(children.begin(), children.end(),
-                       [](const std::pair<int, int>& a,
-                          const std::pair<int, int>& b) {
-                         return a.first < b.first;
-                       });
+      // Cheapest bags first. Insertion sort: stable like the
+      // std::stable_sort it replaces (equal costs keep vertex order) but
+      // without the temporary buffer that allocates on every node.
+      for (size_t i = 1; i < children.size(); ++i) {
+        std::pair<int, int> key = children[i];
+        size_t j = i;
+        for (; j > 0 && children[j - 1].first > key.first; --j) {
+          children[j] = children[j - 1];
+        }
+        children[j] = key;
+      }
     }
 
     for (const auto& [c, v] : children) {
@@ -186,7 +200,11 @@ class GhwBbSearch {
         continue;  // PR2: swap-equivalent ordering explored elsewhere
       }
       if (std::max(g_val, c) >= ub_) continue;
-      Bitset nb = eg_.NeighborBits(v);
+      // Per-depth slot: the child frame reads prev_nb before any deeper
+      // frame writes its own (deeper) slot, and siblings overwrite only
+      // after the previous child's subtree returned.
+      Bitset& nb = nb_scratch_[suffix_.size()];
+      nb.AssignAnd(eg_.RawNeighborBits(v), eg_.ActiveBits());
       suffix_.push_back(v);
       eg_.Eliminate(v);
       Dfs(std::max(g_val, c), f, v, nb, forced < 0);
@@ -200,6 +218,7 @@ class GhwBbSearch {
   GhwSearchOptions opts_;
   Rng rng_;
   SearchBudget budget_;
+  IncidenceIndex index_;
   GhwEvaluator eval_;
   EliminationGraph eg_;
   int n_;
@@ -210,6 +229,8 @@ class GhwBbSearch {
   std::vector<int> suffix_;
   long nodes_ = 0;
   std::vector<std::vector<std::pair<int, int>>> child_scratch_;
+  std::vector<Bitset> nb_scratch_;
+  Bitset bag_scratch_{0};
   DecompCache cache_;
   std::unordered_map<Bitset, int> all_cover_memo_;
   std::unordered_map<Bitset, int> hb_memo_;

@@ -7,28 +7,72 @@
 #include "setcover/exact.h"
 #include "setcover/greedy.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace hypertree {
 
+namespace {
+
+metrics::Counter& CoverRestrictionsMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("incidence.cover_restrictions");
+  return c;
+}
+metrics::Counter& CoverCandidatesMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("incidence.cover_candidates");
+  return c;
+}
+
+}  // namespace
+
 GhwEvaluator::GhwEvaluator(const Hypergraph& h)
-    : h_(h), primal_(h.PrimalGraph()) {
+    : GhwEvaluator(h, nullptr) {}
+
+GhwEvaluator::GhwEvaluator(const Hypergraph& h, const IncidenceIndex* index)
+    : h_(h), primal_(h.PrimalGraph()), touched_scratch_(h.NumEdges()) {
+  if (index == nullptr) {
+    owned_index_ = std::make_unique<IncidenceIndex>(h);
+    index_ = owned_index_.get();
+  } else {
+    index_ = index;
+  }
   edge_sets_.reserve(h.NumEdges());
   for (int e = 0; e < h.NumEdges(); ++e) edge_sets_.push_back(h.EdgeBits(e));
 }
 
 int GhwEvaluator::CoverBag(const Bitset& bag, CoverMode mode, Rng* rng,
                            std::vector<int>* chosen) {
-  if (mode == CoverMode::kGreedy) {
-    return GreedySetCover(edge_sets_, bag, rng, chosen);
-  }
-  if (chosen == nullptr) {
+  if (mode == CoverMode::kExact && chosen == nullptr) {
     auto it = exact_cache_.find(bag);
     if (it != exact_cache_.end()) return it->second;
-    int k = ExactSetCover(edge_sets_, bag, nullptr);
-    exact_cache_.emplace(bag, k);
-    return k;
   }
-  return ExactSetCover(edge_sets_, bag, chosen);
+  // Restrict the cover scans to the edges the incidence index reports as
+  // touching the bag: edges disjoint from the bag can never join a cover
+  // (and never influence greedy tie-break draws), so the result — and in
+  // greedy mode the rng state — is bit-identical to the full scan.
+  //
+  // Greedy covers are the per-child hot path, so the restriction must pay
+  // for its own EdgesTouching OR: with a one-word candidate universe the
+  // unrestricted scan costs one popcount per edge per round and is
+  // strictly cheaper, so only larger universes take the mask.
+  if (mode == CoverMode::kGreedy) {
+    if (h_.NumEdges() <= 64) {
+      return GreedySetCover(edge_sets_, bag, rng, chosen);
+    }
+    index_->EdgesTouching(bag, &touched_scratch_);
+    CoverRestrictionsMetric().Increment();
+    CoverCandidatesMetric().Add(touched_scratch_.Count());
+    return GreedySetCover(edge_sets_, touched_scratch_, bag, rng, chosen);
+  }
+  index_->EdgesTouching(bag, &touched_scratch_);
+  CoverRestrictionsMetric().Increment();
+  CoverCandidatesMetric().Add(touched_scratch_.Count());
+  active_scratch_.clear();
+  touched_scratch_.AppendTo(&active_scratch_);
+  int k = ExactSetCover(edge_sets_, active_scratch_, bag, chosen);
+  if (chosen == nullptr) exact_cache_.emplace(bag, k);
+  return k;
 }
 
 int GhwEvaluator::EvaluateOrdering(const EliminationOrdering& sigma,

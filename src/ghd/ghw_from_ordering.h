@@ -9,11 +9,13 @@
 #ifndef HYPERTREE_GHD_GHW_FROM_ORDERING_H_
 #define HYPERTREE_GHD_GHW_FROM_ORDERING_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "ghd/ghd.h"
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/incidence_index.h"
 #include "ordering/ordering.h"
 #include "util/bitset.h"
 #include "util/rng.h"
@@ -33,6 +35,10 @@ class GhwEvaluator {
  public:
   explicit GhwEvaluator(const Hypergraph& h);
 
+  /// Shares a prebuilt read-only incidence index (must outlive the
+  /// evaluator). Passing nullptr builds an owned one.
+  GhwEvaluator(const Hypergraph& h, const IncidenceIndex* index);
+
   /// width of `sigma` under the chosen cover mode. Greedy tie-breaking
   /// uses `rng` when given.
   int EvaluateOrdering(const EliminationOrdering& sigma, CoverMode mode,
@@ -50,11 +56,18 @@ class GhwEvaluator {
 
   const Graph& primal() const { return primal_; }
   const Hypergraph& hypergraph() const { return h_; }
+  const IncidenceIndex& index() const { return *index_; }
 
  private:
   const Hypergraph& h_;
   Graph primal_;
   std::vector<Bitset> edge_sets_;
+  std::unique_ptr<IncidenceIndex> owned_index_;  // null when shared
+  const IncidenceIndex* index_;
+  // Reusable cover-candidate scratch: CoverBag restricts the set-cover
+  // scans to the edges the incidence index reports as touching the bag.
+  Bitset touched_scratch_;
+  std::vector<int> active_scratch_;
   std::unordered_map<Bitset, int> exact_cache_;
 };
 

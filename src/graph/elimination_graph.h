@@ -48,6 +48,12 @@ class EliminationGraph {
     return adj_[v] & alive_;
   }
 
+  /// Raw adjacency row of `v`, without the active mask applied. May
+  /// contain bits of eliminated vertices; intersect with ActiveBits()
+  /// before use. Lets allocation-free consumers avoid the temporary
+  /// that NeighborBits() materializes.
+  const Bitset& RawNeighborBits(int v) const { return adj_[v]; }
+
   /// Current neighborhood of active vertex `v` as a vertex list.
   std::vector<int> Neighbors(int v) const { return NeighborBits(v).ToVector(); }
 

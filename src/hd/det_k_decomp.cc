@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <climits>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 
 #include "bounds/ghw_lower_bounds.h"
 #include "ghd/search_common.h"
+#include "hypergraph/incidence_index.h"
 #include "search/decomp_cache.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -19,6 +21,12 @@
 namespace hypertree {
 
 namespace {
+
+// The per-edge-set VarsOfEdges memo is bounded so adversarial instances
+// (exponentially many distinct components) cannot grow it without limit;
+// at the cap the whole memo is dropped (deterministic, and the hot keys
+// repopulate immediately).
+constexpr size_t kVarsMemoMaxEntries = 1 << 16;
 
 // Registry counters for the observability layer; resolved once, bumped
 // with relaxed atomics on the hot paths.
@@ -38,30 +46,56 @@ metrics::Counter& RootTasksMetric() {
   static metrics::Counter& c = metrics::GetCounter("detk.root_tasks");
   return c;
 }
+metrics::Counter& VarsMemoHitsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.vars_memo_hits");
+  return c;
+}
+metrics::Counter& VarsMemoEvictionsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("detk.vars_memo_evictions");
+  return c;
+}
+metrics::Counter& ScratchBytesMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("detk.scratch_bytes_allocated");
+  return c;
+}
 
-// Read-only problem description shared by all search workers.
+// Read-only problem description shared by all search workers. The
+// incidence index is immutable, so sharing it across pool threads is
+// race-free by construction.
 struct DetKContext {
   const Hypergraph& h;
+  const IncidenceIndex& index;
   int k;
   int n;
   int m;
   DecompCache* cache;  // nullptr: shared memoization disabled
 };
 
-// One det-k search worker. Workers own their node arrays and their
-// VarsOfEdges memo; the (component, connector, k) cache and the budget's
-// tick counter are shared through DetKContext / SearchBudget. All
-// enumeration orders are deterministic functions of the subproblem, so
-// every worker that solves a subproblem positively records the *same*
-// witness subtree — which is what makes sharing positive entries across
-// threads result-deterministic.
+// One det-k search worker. Workers own their node arrays, their
+// VarsOfEdges memo and their scratch arena; the (component, connector, k)
+// cache and the budget's tick counter are shared through DetKContext /
+// SearchBudget. All enumeration orders are deterministic functions of the
+// subproblem, so every worker that solves a subproblem positively records
+// the *same* witness subtree — which is what makes sharing positive
+// entries across threads result-deterministic.
+//
+// Steady-state allocation discipline: every set the separator-enumeration
+// recursion manipulates (scopes, separator vertex unions, connectors,
+// component edge sets, candidate lists) lives in a per-depth scratch
+// frame that is constructed once and reused; slot construction is the
+// only heap traffic and is counted in detk.scratch_bytes_allocated, which
+// plateaus once the search reaches its maximum recursion depth.
 class DetKWorker {
  public:
   DetKWorker(const DetKContext& ctx, SearchBudget budget,
              std::function<bool()> superseded = nullptr)
       : ctx_(ctx),
         budget_(std::move(budget)),
-        superseded_(std::move(superseded)) {}
+        superseded_(std::move(superseded)) {
+    splitter_.Attach(&ctx.index);
+    cand_gen_.Attach(&ctx.index);
+  }
 
   bool aborted() const { return aborted_; }
 
@@ -71,7 +105,9 @@ class DetKWorker {
 
   // Tries to decompose `comp` under connecting vertices `conn`; appends
   // decomposition nodes under `parent` on success (rolled back on fail).
-  bool Decompose(const Bitset& comp, const Bitset& conn, int parent) {
+  // `depth` selects the scratch frame (root calls pass 0).
+  bool Decompose(const Bitset& comp, const Bitset& conn, int parent,
+                 int depth) {
     if (BudgetExceeded()) return false;
     if (comp.None()) return true;
     DecomposeCallsMetric().Increment();
@@ -90,7 +126,7 @@ class DetKWorker {
       return false;
     }
     size_t mark = chi_.size();
-    bool ok = Search(comp, conn, parent);
+    bool ok = Search(comp, conn, parent, depth);
     if (ctx_.cache != nullptr) {
       if (ok) {
         ctx_.cache->InsertPositive(comp, conn, ctx_.k, Capture(mark));
@@ -113,29 +149,33 @@ class DetKWorker {
     int e = candidates[from];
     std::vector<int> sep{e};
     return EnumerateSeparators(comp, conn, scope, candidates, from + 1, &sep,
-                               ctx_.h.EdgeBits(e), /*parent=*/-1);
+                               ctx_.h.EdgeBits(e), /*parent=*/-1,
+                               /*depth=*/0);
   }
 
   // Sorted candidate separator edges for (comp, conn): edges intersecting
-  // the scope, those covering many connector vertices first. Deterministic
-  // (stable sort over the fixed edge order).
-  std::vector<int> Candidates(const Bitset& conn, const Bitset& scope) const {
+  // the scope, those covering many connector vertices first (generated
+  // word-parallel from the incidence index; deterministic count-desc,
+  // id-asc order — identical to the old rescan + stable_sort).
+  std::vector<int> Candidates(const Bitset& conn, const Bitset& scope) {
     std::vector<int> candidates;
-    for (int e = 0; e < ctx_.m; ++e) {
-      if (ctx_.h.EdgeBits(e).Intersects(scope)) candidates.push_back(e);
-    }
-    std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-      return ctx_.h.EdgeBits(a).IntersectCount(conn) >
-             ctx_.h.EdgeBits(b).IntersectCount(conn);
-    });
+    cand_gen_.SortedCandidates(conn, scope, &candidates);
     return candidates;
   }
 
   // var(edges), memoized per edge set: the same component/separator edge
-  // sets recur on every recursion level.
+  // sets recur on every recursion level. Bounded by kVarsMemoMaxEntries
+  // (the whole memo is dropped at the cap; see detk.vars_memo_evictions).
   const Bitset& VarsOfEdges(const Bitset& edges) {
     auto it = vars_memo_.find(edges);
-    if (it != vars_memo_.end()) return it->second;
+    if (it != vars_memo_.end()) {
+      VarsMemoHitsMetric().Increment();
+      return it->second;
+    }
+    if (vars_memo_.size() >= kVarsMemoMaxEntries) {
+      VarsMemoEvictionsMetric().Add(static_cast<long>(vars_memo_.size()));
+      vars_memo_.clear();
+    }
     Bitset vars(ctx_.n);
     for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
       vars |= ctx_.h.EdgeBits(e);
@@ -149,6 +189,33 @@ class DetKWorker {
   std::vector<int> parent_;
 
  private:
+  // Reusable per-recursion-depth scratch frame. References into a frame
+  // stay valid while deeper frames are created (std::deque growth does
+  // not move elements), and a frame is only written by recursion levels
+  // at exactly its depth.
+  struct DepthScratch {
+    Bitset scope;                  // n bits: var(comp) | conn
+    Bitset child_conn;             // n bits: var(child comp) & sep_vars
+    std::vector<Bitset> sep_vars;  // per separator size s, slot s (n bits)
+    std::vector<int> sep;
+    std::vector<int> candidates;
+    std::vector<Bitset> comps;     // component slots (m bits)
+  };
+
+  DepthScratch& ScratchAt(int depth) {
+    while (static_cast<int>(scratch_.size()) <= depth) {
+      scratch_.emplace_back();
+      DepthScratch& s = scratch_.back();
+      s.scope = Bitset(ctx_.n);
+      s.child_conn = Bitset(ctx_.n);
+      s.sep_vars.reserve(ctx_.k + 2);
+      for (int i = 0; i < ctx_.k + 2; ++i) s.sep_vars.emplace_back(ctx_.n);
+      ScratchBytesMetric().Add(static_cast<long>(ctx_.k + 4) *
+                               ((ctx_.n + 63) / 64) * 8);
+    }
+    return scratch_[depth];
+  }
+
   bool BudgetExceeded() {
     if (aborted_) return true;
     if (budget_.Tick()) {
@@ -170,73 +237,44 @@ class DetKWorker {
   }
 
   // The separator enumeration for one (comp, conn) subproblem.
-  bool Search(const Bitset& comp, const Bitset& conn, int parent) {
-    Bitset scope = VarsOfEdges(comp) | conn;
-    std::vector<int> candidates = Candidates(conn, scope);
-    std::vector<int> sep;
-    return EnumerateSeparators(comp, conn, scope, candidates, 0, &sep,
-                               Bitset(ctx_.n), parent);
-  }
-
-  // Edge components of `comp` w.r.t. separator vertices `sep_vars`:
-  // edges not fully inside sep_vars, grouped by connectivity through
-  // vertices outside sep_vars.
-  std::vector<Bitset> Components(const Bitset& comp,
-                                 const Bitset& sep_vars) const {
-    std::vector<int> pending;
-    for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
-      if (!ctx_.h.EdgeBits(e).IsSubsetOf(sep_vars)) pending.push_back(e);
-    }
-    std::vector<Bitset> out;
-    std::vector<bool> assigned(ctx_.m, false);
-    for (int seed : pending) {
-      if (assigned[seed]) continue;
-      Bitset comp_edges(ctx_.m);
-      Bitset frontier_vars = ctx_.h.EdgeBits(seed) - sep_vars;
-      comp_edges.Set(seed);
-      assigned[seed] = true;
-      bool grew = true;
-      while (grew) {
-        grew = false;
-        for (int e : pending) {
-          if (assigned[e]) continue;
-          Bitset outside = ctx_.h.EdgeBits(e) - sep_vars;
-          if (outside.Intersects(frontier_vars)) {
-            comp_edges.Set(e);
-            assigned[e] = true;
-            frontier_vars |= outside;
-            grew = true;
-          }
-        }
-      }
-      out.push_back(comp_edges);
-    }
-    return out;
+  bool Search(const Bitset& comp, const Bitset& conn, int parent, int depth) {
+    DepthScratch& s = ScratchAt(depth);
+    s.scope.AssignOr(VarsOfEdges(comp), conn);
+    cand_gen_.SortedCandidates(conn, s.scope, &s.candidates);
+    s.sep.clear();
+    s.sep_vars[0].Clear();
+    return EnumerateSeparators(comp, conn, s.scope, s.candidates, 0, &s.sep,
+                               s.sep_vars[0], parent, depth);
   }
 
   // Recursively chooses up to k separator edges from candidates[from..).
+  // A frame whose partial separator has size s reads `sep_vars` from slot
+  // s of its depth's sep_vars stack (or a caller-owned set at the root)
+  // and writes the extended union into slot s+1, so no live slot is ever
+  // overwritten and the whole enumeration allocates nothing.
   bool EnumerateSeparators(const Bitset& comp, const Bitset& conn,
                            const Bitset& scope,
                            const std::vector<int>& candidates, size_t from,
-                           std::vector<int>* sep, Bitset sep_vars,
-                           int parent) {
+                           std::vector<int>* sep, const Bitset& sep_vars,
+                           int parent, int depth) {
     if (aborted_) return false;
     if (!sep->empty() && conn.IsSubsetOf(sep_vars)) {
-      if (TrySeparator(comp, scope, *sep, sep_vars, parent)) {
+      if (TrySeparator(comp, scope, *sep, sep_vars, parent, depth)) {
         return true;
       }
     }
     if (static_cast<int>(sep->size()) == ctx_.k) return false;
+    DepthScratch& s = ScratchAt(depth);
     for (size_t i = from; i < candidates.size(); ++i) {
       int e = candidates[i];
       // Each added edge must contribute new scope vertices (otherwise it
       // neither helps covering conn nor splitting comp).
-      Bitset contrib = ctx_.h.EdgeBits(e) & scope;
-      if (contrib.IsSubsetOf(sep_vars)) continue;
-      Bitset next_vars = sep_vars | ctx_.h.EdgeBits(e);
+      if (!ctx_.h.EdgeBits(e).IntersectsAndNot(scope, sep_vars)) continue;
+      Bitset& next_vars = s.sep_vars[sep->size() + 1];
+      next_vars.AssignOr(sep_vars, ctx_.h.EdgeBits(e));
       sep->push_back(e);
       if (EnumerateSeparators(comp, conn, scope, candidates, i + 1, sep,
-                              next_vars, parent)) {
+                              next_vars, parent, depth)) {
         return true;
       }
       sep->pop_back();
@@ -247,23 +285,25 @@ class DetKWorker {
 
   bool TrySeparator(const Bitset& comp, const Bitset& scope,
                     const std::vector<int>& sep, const Bitset& sep_vars,
-                    int parent) {
+                    int parent, int depth) {
     SeparatorAttemptsMetric().Increment();
-    std::vector<Bitset> comps = Components(comp, sep_vars);
+    DepthScratch& s = ScratchAt(depth);
+    int ncomps = splitter_.Split(comp, sep_vars, &s.comps, 0);
     int comp_size = comp.Count();
-    for (const Bitset& c : comps) {
-      if (c.Count() >= comp_size) return false;  // no progress
+    for (int i = 0; i < ncomps; ++i) {
+      if (s.comps[i].Count() >= comp_size) return false;  // no progress
     }
     // Create the node; chi = var(lambda) ∩ (var(comp) ∪ conn).
     Bitset chi = sep_vars & scope;
     size_t rollback = chi_.size();
-    chi_.push_back(chi);
+    chi_.push_back(std::move(chi));
     lambda_.push_back(sep);
     parent_.push_back(parent);
     int node = static_cast<int>(rollback);
-    for (const Bitset& c : comps) {
-      Bitset child_conn = VarsOfEdges(c) & sep_vars;
-      if (!Decompose(c, child_conn, node)) {
+    for (int i = 0; i < ncomps; ++i) {
+      const Bitset& c = s.comps[i];
+      s.child_conn.AssignAnd(VarsOfEdges(c), sep_vars);
+      if (!Decompose(c, s.child_conn, node, depth + 1)) {
         chi_.resize(rollback);
         lambda_.resize(rollback);
         parent_.resize(rollback);
@@ -308,6 +348,9 @@ class DetKWorker {
   std::function<bool()> superseded_;
   bool aborted_ = false;
   bool superseded_abort_ = false;
+  ComponentSplitter splitter_;
+  CandidateGenerator cand_gen_;
+  std::deque<DepthScratch> scratch_;
   std::unordered_map<Bitset, std::vector<Bitset>> failed_;  // cache-off mode
   std::unordered_map<Bitset, Bitset> vars_memo_;
 };
@@ -342,7 +385,7 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
 
   if (threads <= 1) {
     DetKWorker worker(ctx, budget);
-    bool ok = worker.Decompose(all_edges, root_conn, -1);
+    bool ok = worker.Decompose(all_edges, root_conn, -1, /*depth=*/0);
     if (aborted != nullptr) *aborted = worker.aborted();
     if (!ok) return std::nullopt;
     return BuildDecomposition(ctx, worker);
@@ -399,14 +442,18 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
 }
 
 std::optional<HypertreeDecomposition> DetKDecompImpl(
-    const Hypergraph& h, int k, const SearchOptions& options,
-    DecompCache* cache, bool* aborted) {
+    const Hypergraph& h, const IncidenceIndex& index, int k,
+    const SearchOptions& options, DecompCache* cache, bool* aborted) {
   HT_CHECK_GE(k, 1);
   if (aborted != nullptr) *aborted = false;
   if (h.NumEdges() == 0) {
     return HypertreeDecomposition(h.NumVertices());
   }
-  DetKContext ctx{h, k, h.NumVertices(), h.NumEdges(),
+  DetKContext ctx{h,
+                  index,
+                  k,
+                  h.NumVertices(),
+                  h.NumEdges(),
                   options.use_decomp_cache ? cache : nullptr};
   return RunDetK(ctx, options, aborted);
 }
@@ -417,7 +464,8 @@ std::optional<HypertreeDecomposition> DetKDecomp(const Hypergraph& h, int k,
                                                  const SearchOptions& options,
                                                  bool* aborted) {
   DecompCache cache;
-  return DetKDecompImpl(h, k, options, &cache, aborted);
+  IncidenceIndex index(h);
+  return DetKDecompImpl(h, index, k, options, &cache, aborted);
 }
 
 WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
@@ -435,8 +483,11 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
   res.lower_bound = lb;
   res.upper_bound = m;  // trivial: one node with all edges
   Deadline deadline(options.time_limit_seconds);
-  // One cache for all k iterations: entries are keyed on k, so refutation
-  // work at k never contaminates k+1, but the stats aggregate naturally.
+  // One incidence index and one cache for all k iterations: the index is
+  // a function of the instance alone, and cache entries are keyed on k,
+  // so refutation work at k never contaminates k+1 while the stats
+  // aggregate naturally.
+  IncidenceIndex index(h);
   DecompCache cache;
   for (int k = std::max(1, lb); k <= m; ++k) {
     SearchOptions sub = options;
@@ -446,7 +497,7 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
       if (sub.time_limit_seconds <= 0) break;
     }
     bool aborted = false;
-    auto hd = DetKDecompImpl(h, k, sub, &cache, &aborted);
+    auto hd = DetKDecompImpl(h, index, k, sub, &cache, &aborted);
     if (hd.has_value()) {
       res.upper_bound = k;
       res.lower_bound = k;

@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "hypergraph/incidence_index.h"
 #include "util/bitset.h"
 #include "util/check.h"
 
@@ -20,13 +21,24 @@ namespace {
 
 // Runs GYO reduction. Returns true if the hypergraph reduces to nothing
 // (alpha-acyclic); fills parent pointers when `parent` is non-null.
+//
+// Both rules run off the incidence index: rule 1 locates the unique live
+// edge of a degree-1 vertex through its incidence row, and rule 2 finds
+// containers of rest[e] as the AND of the incidence rows of e's live
+// vertices — a live edge f appears in that intersection iff
+// rest[e] ⊆ rest[f] (a vertex live in e can never have been dropped from
+// a live f that originally contains it, because dropping needs
+// occurrence count 1 while e still counts). Parent selection (lowest
+// container id) is bit-identical to the old O(m^2) subset scan.
 bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
   int n = h.NumVertices();
   int m = h.NumEdges();
+  IncidenceIndex index(h);
   std::vector<Bitset> rest;  // live part of each edge
   rest.reserve(m);
   for (int e = 0; e < m; ++e) rest.push_back(h.EdgeBits(e));
-  std::vector<bool> edge_live(m, true);
+  Bitset live(m);
+  live.SetAll();
   if (parent != nullptr) parent->assign(m, -1);
 
   // occurrence counts per vertex over live edges
@@ -35,6 +47,7 @@ bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
     for (int v = rest[e].First(); v >= 0; v = rest[e].Next(v)) ++occ[v];
   }
 
+  Bitset scratch(m);
   bool changed = true;
   int live_edges = m;
   while (changed) {
@@ -42,8 +55,9 @@ bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
     // Rule 1: drop vertices occurring in at most one live edge.
     for (int v = 0; v < n; ++v) {
       if (occ[v] != 1) continue;
-      for (int e = 0; e < m; ++e) {
-        if (edge_live[e] && rest[e].Test(v)) {
+      scratch.AssignAnd(index.VertexEdges(v), live);
+      for (int e = scratch.First(); e >= 0; e = scratch.Next(e)) {
+        if (rest[e].Test(v)) {
           rest[e].Reset(v);
           occ[v] = 0;
           changed = true;
@@ -54,23 +68,25 @@ bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
     // Rule 2: drop edges whose live part is empty or contained in another
     // live edge.
     for (int e = 0; e < m; ++e) {
-      if (!edge_live[e]) continue;
+      if (!live.Test(e)) continue;
       if (rest[e].None()) {
-        edge_live[e] = false;
+        live.Reset(e);
         --live_edges;
         changed = true;
         continue;
       }
-      for (int f = 0; f < m; ++f) {
-        if (f == e || !edge_live[f]) continue;
-        if (rest[e].IsSubsetOf(rest[f])) {
-          edge_live[e] = false;
-          --live_edges;
-          if (parent != nullptr) (*parent)[e] = f;
-          for (int v = rest[e].First(); v >= 0; v = rest[e].Next(v)) --occ[v];
-          changed = true;
-          break;
-        }
+      scratch = live;
+      for (int v = rest[e].First(); v >= 0; v = rest[e].Next(v)) {
+        scratch &= index.VertexEdges(v);
+      }
+      scratch.Reset(e);
+      int f = scratch.First();
+      if (f >= 0) {
+        live.Reset(e);
+        --live_edges;
+        if (parent != nullptr) (*parent)[e] = f;
+        for (int v = rest[e].First(); v >= 0; v = rest[e].Next(v)) --occ[v];
+        changed = true;
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hypergraph/incidence_index.h"
 #include "util/check.h"
 
 namespace hypertree {
@@ -54,10 +55,12 @@ Graph Hypergraph::PrimalGraph() const {
 Graph Hypergraph::DualGraph() const {
   int m = NumEdges();
   Graph g(m);
+  // The index's intersection-graph rows are exactly the dual adjacency;
+  // reading them replaces the O(m^2) pairwise Intersects scans.
+  IncidenceIndex index(*this);
   for (int a = 0; a < m; ++a) {
-    for (int b = a + 1; b < m; ++b) {
-      if (edges_[a].Intersects(edges_[b])) g.AddEdge(a, b);
-    }
+    const Bitset& row = index.EdgeNeighbors(a);
+    for (int b = row.Next(a); b >= 0; b = row.Next(b)) g.AddEdge(a, b);
   }
   g.set_name(name_.empty() ? "dual" : name_ + "_dual");
   return g;

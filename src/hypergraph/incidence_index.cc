@@ -1,0 +1,243 @@
+#include "hypergraph/incidence_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace hypertree {
+
+namespace {
+
+// Counters live here because det-k-decomp is the sole client of the
+// splitter/generator hot paths; the names follow the detk.* /
+// incidence.* observability scheme (docs/BENCHMARKS.md).
+metrics::Counter& BuildsMetric() {
+  static metrics::Counter& c = metrics::GetCounter("incidence.builds");
+  return c;
+}
+metrics::Counter& BytesMetric() {
+  static metrics::Counter& c = metrics::GetCounter("incidence.bytes");
+  return c;
+}
+metrics::Counter& SplitsMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("detk.component_bfs_splits");
+  return c;
+}
+metrics::Counter& ExpansionsMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("detk.component_bfs_expansions");
+  return c;
+}
+metrics::Counter& ComponentsMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("detk.component_bfs_components");
+  return c;
+}
+metrics::Counter& ScratchBytesMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("detk.scratch_bytes_allocated");
+  return c;
+}
+metrics::Counter& CandidateListsMetric() {
+  static metrics::Counter& c =
+      metrics::GetCounter("incidence.candidate_lists");
+  return c;
+}
+
+// Reshapes `b` into a cleared `bits`-universe slot, counting the bytes of
+// any (re)allocation so steady-state zero-allocation is observable.
+void ConfigureSlot(Bitset* b, int bits) {
+  if (b->size() != bits) {
+    *b = Bitset(bits);
+    ScratchBytesMetric().Add(((bits + 63) / 64) * 8);
+  } else {
+    b->Clear();
+  }
+}
+
+}  // namespace
+
+IncidenceIndex::IncidenceIndex(const Hypergraph& h)
+    : h_(h), n_(h.NumVertices()), m_(h.NumEdges()) {
+  vertex_edges_.reserve(n_);
+  for (int v = 0; v < n_; ++v) vertex_edges_.emplace_back(m_);
+  edge_neighbors_.reserve(m_);
+  for (int e = 0; e < m_; ++e) edge_neighbors_.emplace_back(m_);
+  for (int e = 0; e < m_; ++e) {
+    const Bitset& vars = h.EdgeBits(e);
+    for (int v = vars.First(); v >= 0; v = vars.Next(v)) {
+      vertex_edges_[v].Set(e);
+    }
+  }
+  // Row e of the intersection graph = union of the incidence rows of its
+  // vertices (includes e itself: reflexive closure).
+  for (int v = 0; v < n_; ++v) {
+    const Bitset& row = vertex_edges_[v];
+    for (int e = row.First(); e >= 0; e = row.Next(e)) {
+      edge_neighbors_[e] |= row;
+    }
+  }
+  BuildsMetric().Increment();
+  BytesMetric().Add(static_cast<long>(n_ + m_) * ((m_ + 63) / 64) * 8);
+}
+
+void IncidenceIndex::EdgesTouching(const Bitset& vars, Bitset* out) const {
+  HT_DCHECK_EQ(out->size(), m_);
+  out->Clear();
+  for (int v = vars.First(); v >= 0; v = vars.Next(v)) {
+    *out |= vertex_edges_[v];
+  }
+}
+
+void ComponentSplitter::Attach(const IncidenceIndex* index) {
+  index_ = index;
+  ConfigureSlot(&pending_, index->NumEdges());
+  ConfigureSlot(&reach_edges_, index->NumEdges());
+  ConfigureSlot(&frontier_vars_, index->NumVertices());
+  ConfigureSlot(&next_vars_, index->NumVertices());
+  ConfigureSlot(&seen_vars_, index->NumVertices());
+}
+
+int ComponentSplitter::Split(const Bitset& comp, const Bitset& sep_vars,
+                             std::vector<Bitset>* out, size_t out_base) {
+  HT_DCHECK(index_ != nullptr);
+  const Hypergraph& h = index_->hypergraph();
+  SplitsMetric().Increment();
+  // Edges with at least one vertex outside the separator take part in
+  // the split; edges fully inside sep_vars vanish (they are covered).
+  pending_.Clear();
+  for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
+    if (!h.EdgeBits(e).IsSubsetOf(sep_vars)) pending_.Set(e);
+  }
+  int count = 0;
+  long expansions = 0;
+  for (int seed = pending_.First(); seed >= 0; seed = pending_.First()) {
+    // Acquire the output slot only now (growth may move earlier slots,
+    // but none are referenced during the push).
+    if (out->size() < out_base + static_cast<size_t>(count) + 1) {
+      out->emplace_back(index_->NumEdges());
+      ScratchBytesMetric().Add(((index_->NumEdges() + 63) / 64) * 8);
+    }
+    Bitset& comp_edges = (*out)[out_base + static_cast<size_t>(count)];
+    ConfigureSlot(&comp_edges, index_->NumEdges());
+    comp_edges.Set(seed);
+    pending_.Reset(seed);
+    // Word-parallel BFS: frontier expansion is the OR of the incidence
+    // rows of the frontier's non-separator vertices, masked by the
+    // still-unassigned edges. Every vertex is expanded at most once per
+    // split and every edge joins at most one component, so the whole
+    // split is O(sum deg * m/64 + sum |e| * n/64) words instead of the
+    // naive O(|comp|^2) subset rounds.
+    frontier_vars_.AssignDiff(h.EdgeBits(seed), sep_vars);
+    seen_vars_ = frontier_vars_;
+    while (frontier_vars_.Any()) {
+      reach_edges_.Clear();
+      for (int v = frontier_vars_.First(); v >= 0;
+           v = frontier_vars_.Next(v)) {
+        reach_edges_ |= index_->VertexEdges(v);
+        ++expansions;
+      }
+      reach_edges_ &= pending_;
+      if (reach_edges_.None()) break;
+      comp_edges |= reach_edges_;
+      pending_ -= reach_edges_;
+      next_vars_.Clear();
+      for (int e = reach_edges_.First(); e >= 0; e = reach_edges_.Next(e)) {
+        next_vars_ |= h.EdgeBits(e);
+      }
+      next_vars_ -= sep_vars;
+      next_vars_ -= seen_vars_;
+      seen_vars_ |= next_vars_;
+      std::swap(frontier_vars_, next_vars_);
+    }
+    ++count;
+  }
+  ExpansionsMetric().Add(expansions);
+  ComponentsMetric().Add(count);
+  return count;
+}
+
+void CandidateGenerator::Attach(const IncidenceIndex* index) {
+  index_ = index;
+  ConfigureSlot(&touched_, index->NumEdges());
+}
+
+void CandidateGenerator::SortedCandidates(const Bitset& conn,
+                                          const Bitset& scope,
+                                          std::vector<int>* out) {
+  HT_DCHECK(index_ != nullptr);
+  const Hypergraph& h = index_->hypergraph();
+  CandidateListsMetric().Increment();
+  index_->EdgesTouching(scope, &touched_);
+  decorated_.clear();
+  for (int e = touched_.First(); e >= 0; e = touched_.Next(e)) {
+    decorated_.emplace_back(h.EdgeBits(e).IntersectCount(conn), e);
+  }
+  // Count descending, edge id ascending: the total order a stable sort
+  // by descending count over the ascending edge scan produces.
+  std::sort(decorated_.begin(), decorated_.end(),
+            [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  out->clear();
+  for (const auto& [count, e] : decorated_) out->push_back(e);
+}
+
+std::vector<Bitset> NaiveComponents(const Hypergraph& h, const Bitset& comp,
+                                    const Bitset& sep_vars) {
+  std::vector<int> pending;
+  for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
+    if (!h.EdgeBits(e).IsSubsetOf(sep_vars)) pending.push_back(e);
+  }
+  std::vector<Bitset> out;
+  std::vector<bool> assigned(h.NumEdges(), false);
+  for (int seed : pending) {
+    if (assigned[seed]) continue;
+    Bitset comp_edges(h.NumEdges());
+    Bitset frontier_vars = h.EdgeBits(seed) - sep_vars;
+    comp_edges.Set(seed);
+    assigned[seed] = true;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int e : pending) {
+        if (assigned[e]) continue;
+        Bitset outside = h.EdgeBits(e) - sep_vars;
+        if (outside.Intersects(frontier_vars)) {
+          comp_edges.Set(e);
+          assigned[e] = true;
+          frontier_vars |= outside;
+          grew = true;
+        }
+      }
+    }
+    out.push_back(std::move(comp_edges));
+  }
+  return out;
+}
+
+std::vector<int> NaiveCandidates(const Hypergraph& h, const Bitset& conn,
+                                 const Bitset& scope) {
+  // Connector counts are computed once per edge, not O(m log m) times
+  // inside the sort comparator.
+  std::vector<std::pair<int, int>> decorated;
+  for (int e = 0; e < h.NumEdges(); ++e) {
+    if (h.EdgeBits(e).Intersects(scope)) {
+      decorated.emplace_back(h.EdgeBits(e).IntersectCount(conn), e);
+    }
+  }
+  std::stable_sort(decorated.begin(), decorated.end(),
+                   [](const std::pair<int, int>& a,
+                      const std::pair<int, int>& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<int> out;
+  out.reserve(decorated.size());
+  for (const auto& [count, e] : decorated) out.push_back(e);
+  return out;
+}
+
+}  // namespace hypertree

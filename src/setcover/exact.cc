@@ -56,8 +56,16 @@ void Dfs(SearchState* st, Bitset* uncovered, int used) {
 
 }  // namespace
 
-int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
-                  std::vector<int>* chosen) {
+namespace {
+
+// `active == nullptr` means all candidates. The first step restricts
+// candidates to the target and drops empty restrictions, so passing a
+// pre-filtered index list (every candidate intersecting the target, in
+// ascending order) yields the identical restricted instance and hence a
+// bit-identical cover.
+int ExactSetCoverImpl(const std::vector<Bitset>& candidates, const int* active,
+                      int count, const Bitset& target,
+                      std::vector<int>* chosen) {
   if (target.None()) {
     if (chosen != nullptr) chosen->clear();
     return 0;
@@ -65,7 +73,8 @@ int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
   // Restrict candidates to the target and remove dominated sets.
   std::vector<Bitset> restricted;
   std::vector<int> origin;
-  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+  for (int t = 0; t < count; ++t) {
+    int i = active == nullptr ? t : active[t];
     Bitset r = candidates[i] & target;
     if (r.None()) continue;
     restricted.push_back(r);
@@ -119,6 +128,22 @@ int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
     for (int s : st.best_sets) chosen->push_back(set_origin[s]);
   }
   return st.best;
+}
+
+}  // namespace
+
+int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                  std::vector<int>* chosen) {
+  return ExactSetCoverImpl(candidates, nullptr,
+                           static_cast<int>(candidates.size()), target,
+                           chosen);
+}
+
+int ExactSetCover(const std::vector<Bitset>& candidates,
+                  const std::vector<int>& active, const Bitset& target,
+                  std::vector<int>* chosen) {
+  return ExactSetCoverImpl(candidates, active.data(),
+                           static_cast<int>(active.size()), target, chosen);
 }
 
 }  // namespace hypertree

@@ -23,6 +23,15 @@ namespace hypertree {
 int ExactSetCover(const std::vector<Bitset>& candidates, const Bitset& target,
                   std::vector<int>* chosen = nullptr);
 
+/// Restricted variant: only the candidates listed in `active` (ascending
+/// original indices) take part; `chosen` still receives positions into
+/// `candidates`. When `active` contains every candidate intersecting
+/// `target` the result is bit-identical to the full scan (the first
+/// thing the solver does is drop candidates disjoint from the target).
+int ExactSetCover(const std::vector<Bitset>& candidates,
+                  const std::vector<int>& active, const Bitset& target,
+                  std::vector<int>* chosen = nullptr);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_SETCOVER_EXACT_H_

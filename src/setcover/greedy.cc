@@ -6,18 +6,57 @@ namespace hypertree {
 
 namespace {
 
+// Shared scan core: `active == nullptr` scans every candidate, otherwise
+// only the `count` listed indices. Pick sequence, tie-breaking draws and
+// the result are identical between the two whenever the active list
+// contains every candidate intersecting the target — sets that never
+// intersect the uncovered remainder score cover == 0, draw no rng ticks
+// and can never be picked, so dropping them is invisible.
+
 // Specialization for universes of at most 64 elements: the whole scan
-// runs on plain words. Pick sequence, tie-breaking draws and the result
-// are identical to the general path.
+// runs on plain words.
 int GreedySetCover1Word(const std::vector<Bitset>& candidates,
-                        const Bitset& target, Rng* rng,
-                        std::vector<int>* chosen) {
+                        const int* active, int count, const Bitset& target,
+                        Rng* rng, std::vector<int>* chosen) {
   uint64_t uncovered = target.NumWords() > 0 ? target.Word(0) : 0;
-  int m = static_cast<int>(candidates.size());
   int used = 0;
+  if (count <= 64) {
+    // Track the still-useful candidates in a word: once a candidate's
+    // cover hits zero it stays zero (the uncovered set only shrinks), it
+    // can never be picked and never draws a tie-break tick, so dropping
+    // it from later rounds changes nothing. Bag covers retire most
+    // candidates in the first round, so the later rounds scan a handful.
+    uint64_t live = count == 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+    while (uncovered != 0) {
+      int best = -1, best_cover = 0, ties = 0;
+      for (uint64_t m = live; m != 0; m &= m - 1) {
+        int t = __builtin_ctzll(m);
+        int i = active == nullptr ? t : active[t];
+        int cover = __builtin_popcountll(candidates[i].Word(0) & uncovered);
+        if (cover == 0) {
+          live &= ~(uint64_t{1} << t);
+          continue;
+        }
+        if (cover > best_cover) {
+          best = i;
+          best_cover = cover;
+          ties = 1;
+        } else if (cover == best_cover && rng != nullptr) {
+          ++ties;
+          if (rng->UniformInt(ties) == 0) best = i;
+        }
+      }
+      HT_CHECK_MSG(best >= 0, "target not coverable by candidate sets");
+      uncovered &= ~candidates[best].Word(0);
+      ++used;
+      if (chosen != nullptr) chosen->push_back(best);
+    }
+    return used;
+  }
   while (uncovered != 0) {
     int best = -1, best_cover = 0, ties = 0;
-    for (int i = 0; i < m; ++i) {
+    for (int t = 0; t < count; ++t) {
+      int i = active == nullptr ? t : active[t];
       int cover = __builtin_popcountll(candidates[i].Word(0) & uncovered);
       if (cover > best_cover) {
         best = i;
@@ -36,19 +75,19 @@ int GreedySetCover1Word(const std::vector<Bitset>& candidates,
   return used;
 }
 
-}  // namespace
-
-int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
-                   Rng* rng, std::vector<int>* chosen) {
+int GreedySetCoverImpl(const std::vector<Bitset>& candidates,
+                       const int* active, int count, const Bitset& target,
+                       Rng* rng, std::vector<int>* chosen) {
   if (chosen != nullptr) chosen->clear();
   if (target.NumWords() <= 1) {
-    return GreedySetCover1Word(candidates, target, rng, chosen);
+    return GreedySetCover1Word(candidates, active, count, target, rng, chosen);
   }
   Bitset uncovered = target;
   int used = 0;
   while (uncovered.Any()) {
     int best = -1, best_cover = 0, ties = 0;
-    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    for (int t = 0; t < count; ++t) {
+      int i = active == nullptr ? t : active[t];
       int cover = candidates[i].IntersectCount(uncovered);
       if (cover > best_cover) {
         best = i;
@@ -65,6 +104,87 @@ int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
     if (chosen != nullptr) chosen->push_back(best);
   }
   return used;
+}
+
+// Mask-restricted variant: iterates the set bits of `active` each round
+// (ascending, matching the vector form) instead of an index list. Split
+// like Impl on the universe size so one-word targets stay on plain words.
+int GreedySetCoverMask(const std::vector<Bitset>& candidates,
+                       const Bitset& active, const Bitset& target, Rng* rng,
+                       std::vector<int>* chosen) {
+  if (chosen != nullptr) chosen->clear();
+  int used = 0;
+  const int mask_words = active.NumWords();
+  if (target.NumWords() <= 1) {
+    uint64_t uncovered = target.NumWords() > 0 ? target.Word(0) : 0;
+    while (uncovered != 0) {
+      int best = -1, best_cover = 0, ties = 0;
+      for (int wi = 0; wi < mask_words; ++wi) {
+        for (uint64_t m = active.Word(wi); m != 0; m &= m - 1) {
+          int i = wi * 64 + __builtin_ctzll(m);
+          int cover = __builtin_popcountll(candidates[i].Word(0) & uncovered);
+          if (cover > best_cover) {
+            best = i;
+            best_cover = cover;
+            ties = 1;
+          } else if (cover == best_cover && cover > 0 && rng != nullptr) {
+            ++ties;
+            if (rng->UniformInt(ties) == 0) best = i;
+          }
+        }
+      }
+      HT_CHECK_MSG(best >= 0, "target not coverable by candidate sets");
+      uncovered &= ~candidates[best].Word(0);
+      ++used;
+      if (chosen != nullptr) chosen->push_back(best);
+    }
+    return used;
+  }
+  Bitset uncovered = target;
+  while (uncovered.Any()) {
+    int best = -1, best_cover = 0, ties = 0;
+    for (int wi = 0; wi < mask_words; ++wi) {
+      for (uint64_t m = active.Word(wi); m != 0; m &= m - 1) {
+        int i = wi * 64 + __builtin_ctzll(m);
+        int cover = candidates[i].IntersectCount(uncovered);
+        if (cover > best_cover) {
+          best = i;
+          best_cover = cover;
+          ties = 1;
+        } else if (cover == best_cover && cover > 0 && rng != nullptr) {
+          ++ties;
+          if (rng->UniformInt(ties) == 0) best = i;
+        }
+      }
+    }
+    HT_CHECK_MSG(best >= 0, "target not coverable by candidate sets");
+    uncovered -= candidates[best];
+    ++used;
+    if (chosen != nullptr) chosen->push_back(best);
+  }
+  return used;
+}
+
+}  // namespace
+
+int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
+                   Rng* rng, std::vector<int>* chosen) {
+  return GreedySetCoverImpl(candidates, nullptr,
+                            static_cast<int>(candidates.size()), target, rng,
+                            chosen);
+}
+
+int GreedySetCover(const std::vector<Bitset>& candidates,
+                   const std::vector<int>& active, const Bitset& target,
+                   Rng* rng, std::vector<int>* chosen) {
+  return GreedySetCoverImpl(candidates, active.data(),
+                            static_cast<int>(active.size()), target, rng,
+                            chosen);
+}
+
+int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& active,
+                   const Bitset& target, Rng* rng, std::vector<int>* chosen) {
+  return GreedySetCoverMask(candidates, active, target, rng, chosen);
 }
 
 }  // namespace hypertree

@@ -20,6 +20,26 @@ namespace hypertree {
 int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& target,
                    Rng* rng = nullptr, std::vector<int>* chosen = nullptr);
 
+/// Restricted variant: only the candidates listed in `active` (ascending
+/// original indices, typically the edges an incidence index reports as
+/// touching the target) are scanned; `chosen` still receives positions
+/// into `candidates`. When `active` contains every candidate that
+/// intersects `target`, the picks, the rng tie-break draw sequence and
+/// the result are bit-identical to the full scan — candidates disjoint
+/// from the uncovered remainder score zero and influence nothing.
+int GreedySetCover(const std::vector<Bitset>& candidates,
+                   const std::vector<int>& active, const Bitset& target,
+                   Rng* rng = nullptr, std::vector<int>* chosen = nullptr);
+
+/// Same restriction with the active candidates given as a bitmask over
+/// candidate indices, so hot callers can pass an incidence-index row
+/// without materializing an index vector first. Scans in ascending index
+/// order — picks, draws and result are identical to the vector form over
+/// the same active set.
+int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& active,
+                   const Bitset& target, Rng* rng = nullptr,
+                   std::vector<int>* chosen = nullptr);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_SETCOVER_GREEDY_H_

@@ -226,6 +226,60 @@ class Bitset {
     return true;
   }
 
+  /// Non-allocating three-address ops for scratch-arena slots: the
+  /// destination must already have the operands' universe size, so the
+  /// assignment is a pure word loop (no resize, no heap traffic). The
+  /// exact searches run their inner separator/component loops entirely
+  /// on preallocated slots through these.
+
+  /// this = a | b.
+  void AssignOr(const Bitset& a, const Bitset& b) {
+    HT_DCHECK(size_ == a.size_ && size_ == b.size_);
+    uint64_t* w = words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    for (int i = 0; i < nwords_; ++i) w[i] = aw[i] | bw[i];
+  }
+
+  /// this = a & b.
+  void AssignAnd(const Bitset& a, const Bitset& b) {
+    HT_DCHECK(size_ == a.size_ && size_ == b.size_);
+    uint64_t* w = words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    for (int i = 0; i < nwords_; ++i) w[i] = aw[i] & bw[i];
+  }
+
+  /// this = a & ~b.
+  void AssignAndNot(const Bitset& a, const Bitset& b) {
+    HT_DCHECK(size_ == a.size_ && size_ == b.size_);
+    uint64_t* w = words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    for (int i = 0; i < nwords_; ++i) w[i] = aw[i] & ~bw[i];
+  }
+
+  /// this = a \ b (alias of AssignAndNot, named for set-difference call
+  /// sites).
+  void AssignDiff(const Bitset& a, const Bitset& b) { AssignAndNot(a, b); }
+
+  /// True if this ∩ a ∩ ~b is non-empty, i.e. this intersects (a \ b),
+  /// without materializing either intermediate.
+  bool IntersectsAndNot(const Bitset& a, const Bitset& b) const {
+    HT_DCHECK(size_ == a.size_ && size_ == b.size_);
+    const uint64_t* w = words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    for (int i = 0; i < nwords_; ++i)
+      if ((w[i] & aw[i] & ~bw[i]) != 0) return true;
+    return false;
+  }
+
+  /// Appends the set bits (ascending) to `out` without clearing it.
+  void AppendTo(std::vector<int>* out) const {
+    for (int i = First(); i >= 0; i = Next(i)) out->push_back(i);
+  }
+
   /// True if this and `o` share at least one set bit.
   bool Intersects(const Bitset& o) const {
     HT_DCHECK(size_ == o.size_);

@@ -1,0 +1,204 @@
+#include "hypergraph/incidence_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hypergraph/generators.h"
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hypertree {
+namespace {
+
+// Random subset of [0, bits) where each element is kept with probability
+// num/den.
+Bitset RandomSubset(int bits, Rng* rng, uint64_t num, uint64_t den) {
+  Bitset s(bits);
+  for (int i = 0; i < bits; ++i) {
+    if (rng->Next() % den < num) s.Set(i);
+  }
+  return s;
+}
+
+std::vector<Hypergraph> TestInstances() {
+  std::vector<Hypergraph> out;
+  out.push_back(Hypergraph(0));
+  {
+    Hypergraph h(4);  // two disconnected binary edges
+    h.AddEdge({0, 1});
+    h.AddEdge({2, 3});
+    out.push_back(std::move(h));
+  }
+  {
+    Hypergraph h(3);  // triangle
+    h.AddEdge({0, 1});
+    h.AddEdge({1, 2});
+    h.AddEdge({0, 2});
+    out.push_back(std::move(h));
+  }
+  out.push_back(AdderHypergraph(4));
+  out.push_back(BridgeHypergraph(3));
+  out.push_back(Grid2DHypergraph(4));
+  out.push_back(CircuitHypergraph(4, 12, 7));
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    out.push_back(RandomHypergraph(24, 18, 2, 5, seed));
+    out.push_back(RandomHypergraph(70, 40, 2, 8, seed + 100));
+  }
+  return out;
+}
+
+TEST(IncidenceIndexTest, RowsMatchDirectScan) {
+  for (const Hypergraph& h : TestInstances()) {
+    IncidenceIndex index(h);
+    ASSERT_EQ(index.NumVertices(), h.NumVertices());
+    ASSERT_EQ(index.NumEdges(), h.NumEdges());
+    for (int v = 0; v < h.NumVertices(); ++v) {
+      Bitset expect(h.NumEdges());
+      for (int e = 0; e < h.NumEdges(); ++e) {
+        if (h.EdgeBits(e).Test(v)) expect.Set(e);
+      }
+      EXPECT_EQ(index.VertexEdges(v), expect) << "vertex " << v;
+    }
+    for (int e = 0; e < h.NumEdges(); ++e) {
+      Bitset expect(h.NumEdges());
+      for (int f = 0; f < h.NumEdges(); ++f) {
+        if (h.EdgeBits(e).Intersects(h.EdgeBits(f))) expect.Set(f);
+      }
+      EXPECT_EQ(index.EdgeNeighbors(e), expect) << "edge " << e;
+    }
+  }
+}
+
+TEST(IncidenceIndexTest, EdgesTouchingMatchesDirectScan) {
+  Rng rng(11);
+  for (const Hypergraph& h : TestInstances()) {
+    IncidenceIndex index(h);
+    Bitset out(h.NumEdges());
+    for (int round = 0; round < 16; ++round) {
+      Bitset vars = RandomSubset(h.NumVertices(), &rng, 1, 3);
+      index.EdgesTouching(vars, &out);
+      Bitset expect(h.NumEdges());
+      for (int e = 0; e < h.NumEdges(); ++e) {
+        if (h.EdgeBits(e).Intersects(vars)) expect.Set(e);
+      }
+      EXPECT_EQ(out, expect);
+    }
+  }
+}
+
+// The word-parallel splitter must produce exactly the naive fixed-point
+// components, in the same deterministic order (ascending lowest edge id).
+TEST(IncidenceIndexTest, SplitMatchesNaiveComponents) {
+  Rng rng(23);
+  for (const Hypergraph& h : TestInstances()) {
+    IncidenceIndex index(h);
+    ComponentSplitter splitter(&index);
+    splitter.Attach(&index);
+    std::vector<Bitset> got;
+    for (int round = 0; round < 24; ++round) {
+      Bitset comp = RandomSubset(h.NumEdges(), &rng, 3, 4);
+      if (round == 0) comp.SetAll();  // full edge set, empty separator
+      Bitset sep_vars = round == 0
+                            ? Bitset(h.NumVertices())
+                            : RandomSubset(h.NumVertices(), &rng, 1, 3);
+      int ncomps = splitter.Split(comp, sep_vars, &got, 0);
+      std::vector<Bitset> expect = NaiveComponents(h, comp, sep_vars);
+      ASSERT_EQ(ncomps, static_cast<int>(expect.size()));
+      for (int i = 0; i < ncomps; ++i) {
+        EXPECT_EQ(got[i], expect[i]) << "component " << i;
+      }
+    }
+  }
+}
+
+// Split() writes into caller slots starting at out_base and must leave
+// lower slots untouched (det-k reuses one comps vector per depth frame).
+TEST(IncidenceIndexTest, SplitRespectsOutBaseAndReusesSlots) {
+  Hypergraph h = RandomHypergraph(30, 20, 2, 5, 5);
+  IncidenceIndex index(h);
+  ComponentSplitter splitter(&index);
+  Rng rng(31);
+  Bitset comp = RandomSubset(h.NumEdges(), &rng, 3, 4);
+  Bitset sep_vars = RandomSubset(h.NumVertices(), &rng, 1, 4);
+  std::vector<Bitset> out;
+  Bitset sentinel(h.NumEdges());
+  sentinel.Set(0);
+  out.push_back(sentinel);
+  int ncomps = splitter.Split(comp, sep_vars, &out, 1);
+  EXPECT_EQ(out[0], sentinel);
+  std::vector<Bitset> expect = NaiveComponents(h, comp, sep_vars);
+  ASSERT_EQ(ncomps, static_cast<int>(expect.size()));
+  for (int i = 0; i < ncomps; ++i) EXPECT_EQ(out[1 + i], expect[i]);
+  // Second call reuses the now-existing slots.
+  int again = splitter.Split(comp, sep_vars, &out, 1);
+  EXPECT_EQ(again, ncomps);
+  for (int i = 0; i < ncomps; ++i) EXPECT_EQ(out[1 + i], expect[i]);
+}
+
+TEST(IncidenceIndexTest, SortedCandidatesMatchesNaive) {
+  Rng rng(47);
+  for (const Hypergraph& h : TestInstances()) {
+    IncidenceIndex index(h);
+    CandidateGenerator gen(&index);
+    gen.Attach(&index);
+    std::vector<int> got;
+    for (int round = 0; round < 24; ++round) {
+      Bitset conn = RandomSubset(h.NumVertices(), &rng, 1, 4);
+      Bitset scope = RandomSubset(h.NumVertices(), &rng, 2, 3);
+      scope |= conn;  // det-k invariant: conn is part of the scope
+      gen.SortedCandidates(conn, scope, &got);
+      std::vector<int> expect = NaiveCandidates(h, conn, scope);
+      EXPECT_EQ(got, expect);
+    }
+  }
+}
+
+// One immutable index shared read-only across pool threads, each worker
+// owning its splitter/generator scratch. Run under TSan in CI: any write
+// to shared index state is a reported race.
+TEST(IncidenceIndexTest, SharedIndexAcrossThreads) {
+  Hypergraph h = RandomHypergraph(60, 40, 2, 6, 9);
+  IncidenceIndex index(h);
+  constexpr int kThreads = 4;
+  std::vector<int> failures(kThreads, 0);
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&h, &index, &failures, t] {
+        Rng rng(1000 + t);
+        ComponentSplitter splitter(&index);
+        CandidateGenerator gen(&index);
+        std::vector<Bitset> comps;
+        std::vector<int> cands;
+        for (int round = 0; round < 40; ++round) {
+          Bitset comp = RandomSubset(h.NumEdges(), &rng, 3, 4);
+          Bitset sep_vars = RandomSubset(h.NumVertices(), &rng, 1, 3);
+          int ncomps = splitter.Split(comp, sep_vars, &comps, 0);
+          std::vector<Bitset> expect = NaiveComponents(h, comp, sep_vars);
+          if (ncomps != static_cast<int>(expect.size())) {
+            ++failures[t];
+            continue;
+          }
+          for (int i = 0; i < ncomps; ++i) {
+            if (comps[i] != expect[i]) ++failures[t];
+          }
+          Bitset conn = RandomSubset(h.NumVertices(), &rng, 1, 4);
+          Bitset scope = RandomSubset(h.NumVertices(), &rng, 2, 3);
+          scope |= conn;
+          gen.SortedCandidates(conn, scope, &cands);
+          if (cands != NaiveCandidates(h, conn, scope)) ++failures[t];
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bounds/ghw_lower_bounds.h"
+#include "graph/elimination_graph.h"
 #include "graph/generators.h"
 #include "hypergraph/generators.h"
 #include "ordering/evaluator.h"
@@ -47,6 +48,63 @@ TEST(LowerBoundsTest, KTreeSandwich) {
     EXPECT_EQ(ub, k);  // chordal: min-fill is optimal
     EXPECT_GE(lb, k / 2);  // contraction bounds are reasonably tight here
   }
+}
+
+// The n <= 64 single-word fast path must match the generic contraction
+// loop bit-for-bit: same bound AND same number of rng draws (the streams
+// stay aligned afterwards). The draw-sequence check matters because the
+// searches thread one rng through every heuristic call, so an extra or
+// missing tie-break draw would silently change downstream node counts.
+TEST(LowerBoundsTest, SingleWordFastPathMatchesGenericOnGraphs) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    int n = 4 + static_cast<int>(seed * 3) % 61;  // spans up to n = 64
+    Graph g = RandomGraph(n, n + static_cast<int>(seed) * 7, seed);
+    Rng fast_rng(seed + 100);
+    Rng ref_rng(seed + 100);
+    int fast = MinorMinWidthLowerBound(g, &fast_rng);
+    int ref = ht_internal::MinorMinWidthLowerBoundGeneric(g, &ref_rng);
+    EXPECT_EQ(fast, ref) << "n=" << n << " seed=" << seed;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(fast_rng.Next(), ref_rng.Next())
+          << "rng streams diverged: n=" << n << " seed=" << seed;
+    }
+    // rng == nullptr (deterministic first-wins ties) must agree too.
+    EXPECT_EQ(MinorMinWidthLowerBound(g, nullptr),
+              ht_internal::MinorMinWidthLowerBoundGeneric(g, nullptr));
+  }
+}
+
+TEST(LowerBoundsTest, SingleWordFastPathMatchesGenericOnEliminations) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    int n = 10 + static_cast<int>(seed * 5) % 55;
+    Graph g = RandomGraph(n, 2 * n, seed + 7);
+    EliminationGraph eg(g);
+    Rng order_rng(seed);
+    int depth = static_cast<int>(order_rng.Next() % (n - 2));
+    for (int i = 0; i < depth; ++i) {
+      Bitset act = eg.ActiveBits();
+      int pick = order_rng.UniformInt(act.Count());
+      int v = act.First();
+      while (pick-- > 0) v = act.Next(v);
+      eg.Eliminate(v);
+    }
+    Rng fast_rng(seed + 200);
+    Rng ref_rng(seed + 200);
+    int fast = MinorMinWidthLowerBound(eg, &fast_rng);
+    int ref = ht_internal::MinorMinWidthLowerBoundGeneric(eg, &ref_rng);
+    EXPECT_EQ(fast, ref) << "n=" << n << " seed=" << seed;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(fast_rng.Next(), ref_rng.Next())
+          << "rng streams diverged: n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(LowerBoundsTest, GenericPathStillUsedAbove64Vertices) {
+  // n > 64 takes the multi-word path; spot-check it against known shapes.
+  Rng rng(9);
+  EXPECT_EQ(MinorMinWidthLowerBound(PathGraph(80), &rng), 1);
+  EXPECT_EQ(MinorMinWidthLowerBound(CompleteGraph(70), &rng), 69);
 }
 
 TEST(GhwLowerBoundsTest, AcyclicIsOne) {

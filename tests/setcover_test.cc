@@ -43,6 +43,49 @@ TEST(GreedyCoverTest, ClassicLogFactorInstance) {
   EXPECT_GE(greedy, exact);
 }
 
+// The mask-restricted overload must match the index-vector form exactly:
+// same count, same picks, same rng draw sequence afterwards. Universes
+// above 64 elements exercise the multi-word scan.
+TEST(GreedyCoverTest, MaskOverloadMatchesVectorForm) {
+  for (int universe : {10, 70, 130}) {
+    Rng gen(universe);
+    std::vector<std::vector<int>> raw;
+    for (int s = 0; s < 3 * universe / 2; ++s) {
+      std::vector<int> elems;
+      for (int e = 0; e < universe; ++e)
+        if (gen.Next() % 4 == 0) elems.push_back(e);
+      raw.push_back(elems);
+    }
+    // Guarantee coverability whatever the random draw produced.
+    std::vector<int> all(universe);
+    for (int e = 0; e < universe; ++e) all[e] = e;
+    raw.push_back(all);
+    auto sets = Sets(universe, raw);
+    Bitset target(universe);
+    for (int e = 0; e < universe; ++e)
+      if (gen.Next() % 2 == 0) target.Set(e);
+    // Restrict to the sets that intersect the target, plus a few
+    // non-intersecting ones (which must influence nothing).
+    std::vector<int> active_list;
+    Bitset active_mask(static_cast<int>(sets.size()));
+    for (size_t s = 0; s < sets.size(); ++s) {
+      if (sets[s].Intersects(target) || s % 5 == 0) {
+        active_list.push_back(static_cast<int>(s));
+        active_mask.Set(static_cast<int>(s));
+      }
+    }
+    Rng rng_list(7), rng_mask(7);
+    std::vector<int> chosen_list, chosen_mask;
+    int k_list =
+        GreedySetCover(sets, active_list, target, &rng_list, &chosen_list);
+    int k_mask =
+        GreedySetCover(sets, active_mask, target, &rng_mask, &chosen_mask);
+    EXPECT_EQ(k_list, k_mask) << "universe " << universe;
+    EXPECT_EQ(chosen_list, chosen_mask) << "universe " << universe;
+    EXPECT_EQ(rng_list.Next(), rng_mask.Next()) << "universe " << universe;
+  }
+}
+
 TEST(ExactCoverTest, FindsOptimum) {
   auto sets = Sets(5, {{0}, {1}, {2}, {3}, {4}, {0, 1, 2, 3, 4}});
   Bitset target = Bitset::FromVector(5, {0, 1, 2, 3, 4});
