@@ -8,6 +8,7 @@
 #include "hypergraph/generators.h"
 #include "hypergraph/incidence_index.h"
 #include "ordering/evaluator.h"
+#include "portfolio/features.h"
 #include "setcover/exact.h"
 #include "setcover/greedy.h"
 #include "util/rng.h"
@@ -125,6 +126,60 @@ void BM_NaiveComponentSplit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NaiveComponentSplit)->Arg(32)->Arg(128)->Arg(512);
+
+// Portfolio feature extraction (the router's input, once per instance).
+// Budget: the whole prologue must stay well under 1% of a typical exact
+// solve, so extraction on table-8-sized instances (n <= 43, m <= 30)
+// has to land in the microsecond range.
+void BM_ExtractFeatures(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 17);
+  IncidenceIndex index(h);
+  for (auto _ : state) {
+    InstanceFeatures f = ExtractFeatures(index);
+    benchmark::DoNotOptimize(f.max_intersection);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtractFeatures)->Arg(32)->Arg(128)->Arg(512);
+
+// Same, including the IncidenceIndex build — the true cold-start cost the
+// portfolio prologue pays before routing.
+void BM_ExtractFeaturesColdStart(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomHypergraph(n, 2 * n, 2, 5, 17);
+  for (auto _ : state) {
+    IncidenceIndex index(h);
+    InstanceFeatures f = ExtractFeatures(index);
+    benchmark::DoNotOptimize(f.max_intersection);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtractFeaturesColdStart)->Arg(32)->Arg(128);
+
+// Extraction (index build included) across the exact table-8/9 instance
+// set, one full sweep per iteration: the per-instance cost is this time
+// divided by 8, to compare against the table_8 median solve wall.
+void BM_ExtractFeaturesTable8Set(benchmark::State& state) {
+  std::vector<Hypergraph> instances;
+  instances.push_back(RandomAcyclicHypergraph(25, 4, 2));
+  instances.push_back(CycleHypergraph(12, 2));
+  instances.push_back(CliqueHypergraph(8));
+  instances.push_back(AdderHypergraph(6));
+  instances.push_back(BridgeHypergraph(6));
+  instances.push_back(Grid2DHypergraph(4));
+  instances.push_back(CircuitHypergraph(6, 30, 5));
+  instances.push_back(RandomHypergraph(20, 22, 2, 4, 8));
+  for (auto _ : state) {
+    for (const Hypergraph& h : instances) {
+      IncidenceIndex index(h);
+      InstanceFeatures f = ExtractFeatures(index);
+      benchmark::DoNotOptimize(f.max_intersection);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * instances.size());
+}
+BENCHMARK(BM_ExtractFeaturesTable8Set);
 
 // Candidate-separator generation (one OR sweep + decorate-sort).
 void BM_SortedCandidates(benchmark::State& state) {

@@ -11,6 +11,7 @@
 #include "ghd/astar.h"
 #include "ghd/branch_and_bound.h"
 #include "hypergraph/generators.h"
+#include "portfolio/portfolio.h"
 
 using namespace hypertree;
 
@@ -29,7 +30,8 @@ int main() {
   };
   bench::Header(
       "Tables 9.1/9.2: A*-ghw on benchmark hypergraphs",
-      "hypergraph            V     H    lb  a*-ghw  a*-lb  bb-ghw    nodes  time[s]");
+      "hypergraph            V     H    lb  a*-ghw  a*-lb  bb-ghw    nodes  "
+      "time[s]  pfolio  winner");
   for (const Hypergraph& h : instances) {
     Rng rng(2);
     int lb = GhwLowerBound(h, &rng);
@@ -38,17 +40,31 @@ int main() {
     opts.max_nodes = static_cast<long>(100000 * scale);
     WidthResult as = AStarGhw(h, opts);
     WidthResult bb = BranchAndBoundGhw(h, opts);
+    PortfolioOptions popts;
+    popts.time_limit_seconds = 2.0 * scale;
+    popts.max_nodes = static_cast<long>(100000 * scale);
+    popts.seed = 2;
+    PortfolioResult pf = PortfolioGhw(h, popts);
     report.Record(h.name(), "astar_ghw", as,
                   Json::Object().Set("static_lb", lb));
     report.Record(h.name(), "bb_ghw", bb);
-    std::printf("%-20s %4d %5d %5d %7s %6d %7s %8ld %8.2f\n",
+    report.Record(h.name(), "portfolio_ghw", pf.result,
+                  Json::Object()
+                      .Set("static_lb", lb)
+                      .Set("portfolio_rule", Json(pf.plan.rule))
+                      .Set("portfolio_winner", Json(pf.winner_name)));
+    std::printf("%-20s %4d %5d %5d %7s %6d %7s %8ld %8.2f %7s  %s\n",
                 h.name().c_str(), h.NumVertices(), h.NumEdges(), lb,
                 bench::Exactness(as.upper_bound, as.exact).c_str(),
                 as.lower_bound,
                 bench::Exactness(bb.upper_bound, bb.exact).c_str(), as.nodes,
-                as.seconds);
+                as.seconds,
+                bench::Exactness(pf.result.upper_bound, pf.result.exact)
+                    .c_str(),
+                pf.winner_name.c_str());
   }
   std::printf("\n(expected: a*-ghw == bb-ghw where both are exact; a*-lb >= "
-              "the static lb on interrupted runs)\n");
+              "the static lb on interrupted runs; portfolio agrees with the "
+              "exact columns)\n");
   return 0;
 }

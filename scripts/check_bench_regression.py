@@ -2,7 +2,7 @@
 """Compare two BENCH.json reports produced by scripts/run_benchmarks.sh.
 
     scripts/check_bench_regression.py BASELINE.json CURRENT.json \
-        [--wall-ratio=1.5] [--wall-floor-ms=50] [--allow-missing]
+        [--wall-ratio=1.5] [--wall-floor-ms=50] [--allow-new]
 
 Records are matched on (bench, instance, algorithm). The check fails when
 
@@ -11,11 +11,17 @@ Records are matched on (bench, instance, algorithm). The check fails when
   * a deterministic record's wall_ms regresses by more than --wall-ratio
     AND by more than --wall-floor-ms (the absolute floor keeps sub-
     millisecond noise from failing the build);
-  * a baseline record is missing from the current report (or vice versa),
-    unless --allow-missing is given.
+  * a baseline record is missing from the current report. This is ALWAYS
+    a failure — a run that silently drops records (a bench crashed, a row
+    was deleted while adding another) must not pass. There is
+    deliberately no flag to downgrade it; refresh the baseline when a
+    record is removed on purpose;
+  * the current report has a record the baseline lacks, unless
+    --allow-new is given (use it when a change intentionally adds rows,
+    e.g. a new algorithm column).
 
 --ignore-wall skips the wall_ms comparison and checks only the
-bit-identical result fields. Use it (typically with --allow-missing) to
+bit-identical result fields. Use it (typically with --allow-new) to
 validate an intentional performance change: the new report must keep every
 deterministic width/exact/lower_bound/nodes value, while wall time is
 expected to move.
@@ -73,8 +79,13 @@ def main():
                     help="fail when wall_ms grows beyond this factor (default 1.5)")
     ap.add_argument("--wall-floor-ms", type=float, default=50.0,
                     help="ignore wall regressions below this absolute size (default 50)")
-    ap.add_argument("--allow-missing", action="store_true",
-                    help="do not fail on records present in only one report")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="do not fail on records the baseline lacks "
+                         "(dropped baseline records still fail)")
+    # Deprecated spelling kept for older wrappers; it never excused
+    # dropped baseline records under the new semantics either.
+    ap.add_argument("--allow-missing", dest="allow_new", action="store_true",
+                    help=argparse.SUPPRESS)
     ap.add_argument("--ignore-wall", action="store_true",
                     help="compare only deterministic result fields, not wall_ms")
     args = ap.parse_args()
@@ -88,12 +99,13 @@ def main():
 
     for key in sorted(set(base) | set(cur)):
         if key not in cur:
-            msg = f"missing from current: {fmt(key)}"
-            (warnings if args.allow_missing else failures).append(msg)
+            # A dropped record can hide a crashed bench or a silently
+            # deleted row; never downgrade this to a warning.
+            failures.append(f"baseline record missing from current: {fmt(key)}")
             continue
         if key not in base:
             msg = f"new record (not in baseline): {fmt(key)}"
-            (warnings if args.allow_missing else failures).append(msg)
+            (warnings if args.allow_new else failures).append(msg)
             continue
         b, c = base[key], cur[key]
         compared += 1

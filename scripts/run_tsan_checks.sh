@@ -19,7 +19,8 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DHYPERTREE_SANITIZE=thread >/dev/null
 
 tests=(thread_pool_test decomp_cache_test search_acceleration_test
-       relation_kernel_test parallel_yannakakis_test)
+       relation_kernel_test parallel_yannakakis_test shared_bounds_test
+       portfolio_test)
 cmake --build "${build_dir}" -j "$(nproc)" --target "${tests[@]}"
 
 # halt_on_error makes a race fail the script instead of just logging it.

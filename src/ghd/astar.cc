@@ -69,6 +69,12 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   if (options.initial_upper_bound > 0)
     ub = std::min(ub, options.initial_upper_bound);
   res.best_ordering = greedy;
+  if (options.exchange) {
+    options.exchange->PublishLowerBound(lb);
+    if (n > 0 && options.cover_mode == CoverMode::kExact)
+      options.exchange->PublishUpperBound(
+          eval.EvaluateOrdering(greedy, CoverMode::kExact, &rng));
+  }
   if (n == 0 || lb >= ub) {
     res.lower_bound = res.upper_bound = ub;
     res.exact = true;
@@ -123,6 +129,13 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   while (!open.empty()) {
     if ((popped & 31) == 0 && budget.PollDeadline()) break;
     if (budget.ExceedsNodeBudget(static_cast<long>(arena.size()))) break;
+    // Live racing: a better incumbent from a concurrent engine tightens
+    // the pruning cutoff (sound: pruning at f >= ub with a witnessed ub
+    // never discards a strictly better solution).
+    if (options.exchange) {
+      int inc = options.exchange->IncumbentUpperBound();
+      if (inc < ub) ub = inc;
+    }
     QueueEntry top = open.top();
     open.pop();
     const State& s = arena[top.index];
@@ -137,9 +150,14 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
     int remaining = eg.NumActive();
     // Goal test: covering the whole remainder with at most g hyperedges
     // caps every remaining bag cover at g, so the optimum through s is g.
-    if (remaining == 0 ||
-        eval.CoverBag(eg.ActiveBits(), CoverMode::kGreedy, &rng, nullptr) <=
-            s.g) {
+    // The s.g < ub guard matters only in live-exchange mode, where ub may
+    // have shrunk below the g of an already-stored state: such a state
+    // cannot beat the incumbent and proves nothing (without an exchange,
+    // generation-time pruning already guarantees g < ub).
+    if (s.g < ub &&
+        (remaining == 0 ||
+         eval.CoverBag(eg.ActiveBits(), CoverMode::kGreedy, &rng, nullptr) <=
+             s.g)) {
       goal = top.index;
       break;
     }
@@ -162,6 +180,9 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
     Bitset parent_set = s.eliminated;
     int parent_depth = s.depth;
     for (int v : children) {
+      // Exact bag covers dominate per-child cost; poll between them so
+      // cancellation latency stays bounded by one cover.
+      if (budget.PollDeadline()) break;
       int c = bag_cover_of(v);
       int child_g = std::max(parent_g, c);
       if (child_g >= ub) continue;
@@ -224,6 +245,10 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
     res.best_ordering = sigma;
     res.upper_bound = arena[goal].g;
     res.exact = options.cover_mode == CoverMode::kExact;
+    if (options.exchange && res.exact) {
+      options.exchange->PublishUpperBound(res.upper_bound);
+      options.exchange->PublishLowerBound(res.upper_bound);
+    }
     // With greedy covers the g/f values overestimate bag costs, so they
     // prove nothing about the true ghw: fall back to the static bound.
     res.lower_bound = res.exact ? arena[goal].g : lb;

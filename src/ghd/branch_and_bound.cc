@@ -61,6 +61,11 @@ class GhwBbSearch {
     best_ = best;
     if (opts_.initial_upper_bound > 0 && opts_.initial_upper_bound < ub_)
       ub_ = opts_.initial_upper_bound;
+    if (opts_.exchange) {
+      opts_.exchange->PublishLowerBound(lb);
+      if (opts_.cover_mode == CoverMode::kExact)
+        opts_.exchange->PublishUpperBound(ub);
+    }
     if (n_ > 0 && lb < ub_) {
       child_scratch_.assign(n_ + 1, {});
       nb_scratch_.assign(n_ + 1, Bitset(n_));
@@ -91,6 +96,15 @@ class GhwBbSearch {
       if (!used[v]) sigma[pos--] = v;
     }
     return sigma;
+  }
+
+  // Records a new incumbent witnessed by the current suffix and shares it
+  // with concurrently racing engines.
+  void ImproveUb(int w) {
+    ub_ = w;
+    best_ = BuildOrdering();
+    if (opts_.exchange && opts_.cover_mode == CoverMode::kExact)
+      opts_.exchange->PublishUpperBound(w);
   }
 
   int BagCoverOf(int v) {
@@ -128,11 +142,17 @@ class GhwBbSearch {
     if (budget_.Tick()) return;
     ++nodes_;
     NodesMetric().Increment();
+    // Live racing: adopt a better incumbent published by a concurrent
+    // engine as the pruning cutoff (sound: every cutoff at f >= ub_ is
+    // still justified by the final, witnessed ub_).
+    if (opts_.exchange) {
+      int inc = opts_.exchange->IncumbentUpperBound();
+      if (inc < ub_) ub_ = inc;
+    }
     int remaining = eg_.NumActive();
     if (remaining == 0) {
       if (g_val < ub_) {
-        ub_ = g_val;
-        best_ = BuildOrdering();
+        ImproveUb(g_val);
       }
       return;
     }
@@ -146,8 +166,7 @@ class GhwBbSearch {
     int all_cover = WholeRemainderCover();
     int w = std::max(g_val, all_cover);
     if (w < ub_) {
-      ub_ = w;
-      best_ = BuildOrdering();
+      ImproveUb(w);
     }
     if (all_cover <= g_val) return;  // completions below cannot beat g_val
 
@@ -179,6 +198,9 @@ class GhwBbSearch {
     } else {
       for (int v = eg_.ActiveBits().First(); v >= 0;
            v = eg_.ActiveBits().Next(v)) {
+        // Exact bag covers are the expensive part of a node; poll between
+        // them so cancellation latency stays bounded by one cover.
+        if (budget_.PollDeadline()) return;
         children.emplace_back(BagCoverOf(v), v);
       }
       // Cheapest bags first. Insertion sort: stable like the

@@ -18,64 +18,8 @@
 
 namespace hypertree {
 
-/// Unified deadline / node-budget / cancellation bookkeeping for the
-/// exact searches. One Tick() per search node; the wall clock is polled
-/// every 64 ticks, the node budget and the cancellation token on every
-/// tick. Copies share the tick counter and the deadline (det-k's parallel
-/// workers draw from one global budget), while the sticky `exceeded` state
-/// is per-copy so each worker stops itself exactly once.
-class SearchBudget {
- public:
-  explicit SearchBudget(const SearchOptions& opts)
-      : deadline_(opts.time_limit_seconds),
-        max_nodes_(opts.max_nodes),
-        cancel_(opts.cancel),
-        ticks_(std::make_shared<std::atomic<long>>(0)) {}
-
-  /// Counts one unit of work; returns true once the budget is exhausted.
-  bool Tick() {
-    if (exceeded_) return true;
-    long t = ticks_->fetch_add(1, std::memory_order_relaxed) + 1;
-    if (max_nodes_ > 0 && t >= max_nodes_) {
-      exceeded_ = true;
-    } else if ((t & 63) == 0 && deadline_.Expired()) {
-      exceeded_ = true;
-    } else if (cancel_.Cancelled()) {
-      exceeded_ = true;
-    }
-    return exceeded_;
-  }
-
-  /// Node budget expressed against an externally maintained count (A*
-  /// bounds *stored* states, not expanded ones). Also polls the deadline
-  /// and the cancellation token. Sticky like Tick().
-  bool ExceedsNodeBudget(long count) {
-    if (exceeded_) return true;
-    if (max_nodes_ > 0 && count > max_nodes_) exceeded_ = true;
-    if (cancel_.Cancelled()) exceeded_ = true;
-    return exceeded_;
-  }
-
-  /// Polls only the wall clock / cancellation (for loops that tick
-  /// elsewhere).
-  bool PollDeadline() {
-    if (exceeded_) return true;
-    if (deadline_.Expired() || cancel_.Cancelled()) exceeded_ = true;
-    return exceeded_;
-  }
-
-  bool Exceeded() const { return exceeded_; }
-  void MarkExceeded() { exceeded_ = true; }
-  long ticks() const { return ticks_->load(std::memory_order_relaxed); }
-  double ElapsedSeconds() const { return deadline_.ElapsedSeconds(); }
-
- private:
-  Deadline deadline_;
-  long max_nodes_;
-  CancellationToken cancel_;
-  std::shared_ptr<std::atomic<long>> ticks_;
-  bool exceeded_ = false;
-};
+// SearchBudget lives in td/exact.h (shared with the treewidth searches);
+// this header keeps only the ghw-specific pruning helpers.
 
 /// Lower bound on the best ghw-width achievable on the remaining (already
 /// partially eliminated, hence filled) graph: a minor-min-width treewidth

@@ -227,6 +227,22 @@ class DetKWorker {
     return aborted_;
   }
 
+  // Deadline / cancellation / supersede poll that does NOT consume a
+  // node-budget tick: separator attempts between two Decompose calls can
+  // be numerous and individually slow (a component split each), so they
+  // poll here to bound cancellation latency without changing the
+  // semantics of max_nodes.
+  bool PollCancelled() {
+    if (aborted_) return true;
+    if (budget_.PollDeadline()) {
+      aborted_ = true;
+    } else if (superseded_ != nullptr && superseded_()) {
+      aborted_ = true;
+      superseded_abort_ = true;
+    }
+    return aborted_;
+  }
+
   bool LocalFailed(const Bitset& comp, const Bitset& conn) const {
     auto it = failed_.find(comp);
     if (it == failed_.end()) return false;
@@ -286,6 +302,7 @@ class DetKWorker {
   bool TrySeparator(const Bitset& comp, const Bitset& scope,
                     const std::vector<int>& sep, const Bitset& sep_vars,
                     int parent, int depth) {
+    if (PollCancelled()) return false;
     SeparatorAttemptsMetric().Increment();
     DepthScratch& s = ScratchAt(depth);
     int ncomps = splitter_.Split(comp, sep_vars, &s.comps, 0);
@@ -489,7 +506,17 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
   // aggregate naturally.
   IncidenceIndex index(h);
   DecompCache cache;
+  if (options.exchange) options.exchange->PublishLowerBound(lb);
   for (int k = std::max(1, lb); k <= m; ++k) {
+    // Width cap: proving hw <= k cannot improve on an upper bound of
+    // max_width, so stop before k reaches it (the portfolio seeds this
+    // with the prologue incumbent; deterministic, unlike the live poll).
+    if (options.max_width > 0 && k >= options.max_width) break;
+    // Live racing: skip k values a concurrent engine has already beaten
+    // (a hypertree decomposition of width k is also a ghd of width k, so
+    // only k < incumbent can improve the race).
+    if (options.exchange && k >= options.exchange->IncumbentUpperBound())
+      break;
     SearchOptions sub = options;
     if (options.time_limit_seconds > 0) {
       sub.time_limit_seconds =
@@ -503,6 +530,7 @@ WidthResult HypertreeWidth(const Hypergraph& h, const SearchOptions& options,
       res.lower_bound = k;
       res.exact = true;
       if (witness != nullptr) *witness = std::move(hd);
+      if (options.exchange) options.exchange->PublishUpperBound(k);
       break;
     }
     if (aborted) break;       // budget ran out: bounds only

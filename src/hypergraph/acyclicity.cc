@@ -30,10 +30,10 @@ namespace {
 // a live f that originally contains it, because dropping needs
 // occurrence count 1 while e still counts). Parent selection (lowest
 // container id) is bit-identical to the old O(m^2) subset scan.
-bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
+bool GyoReduce(const Hypergraph& h, const IncidenceIndex& index,
+               std::vector<int>* parent) {
   int n = h.NumVertices();
   int m = h.NumEdges();
-  IncidenceIndex index(h);
   std::vector<Bitset> rest;  // live part of each edge
   rest.reserve(m);
   for (int e = 0; e < m; ++e) rest.push_back(h.EdgeBits(e));
@@ -41,11 +41,10 @@ bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
   live.SetAll();
   if (parent != nullptr) parent->assign(m, -1);
 
-  // occurrence counts per vertex over live edges
+  // occurrence counts per vertex over live edges (all edges are live and
+  // whole at this point, so each count is one incidence-row popcount)
   std::vector<int> occ(n, 0);
-  for (int e = 0; e < m; ++e) {
-    for (int v = rest[e].First(); v >= 0; v = rest[e].Next(v)) ++occ[v];
-  }
+  for (int v = 0; v < n; ++v) occ[v] = index.VertexEdges(v).Count();
 
   Bitset scratch(m);
   bool changed = true;
@@ -97,13 +96,20 @@ bool GyoReduce(const Hypergraph& h, std::vector<int>* parent) {
 
 bool IsAlphaAcyclic(const Hypergraph& h) {
   if (h.NumEdges() == 0) return true;
-  return GyoReduce(h, nullptr);
+  IncidenceIndex index(h);
+  return GyoReduce(h, index, nullptr);
+}
+
+bool IsAlphaAcyclic(const IncidenceIndex& index) {
+  if (index.NumEdges() == 0) return true;
+  return GyoReduce(index.hypergraph(), index, nullptr);
 }
 
 std::optional<JoinTree> BuildJoinTree(const Hypergraph& h) {
   if (h.NumEdges() == 0) return JoinTree{};
   std::vector<int> parent;
-  if (!GyoReduce(h, &parent)) return std::nullopt;
+  IncidenceIndex index(h);
+  if (!GyoReduce(h, index, &parent)) return std::nullopt;
   // Stitch multiple roots (disconnected components / the final emptied
   // edges) under the first root.
   JoinTree jt;

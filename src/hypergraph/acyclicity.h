@@ -27,8 +27,15 @@ struct JoinTree {
   std::vector<std::vector<int>> Children() const;
 };
 
+class IncidenceIndex;
+
 /// True iff `h` is alpha-acyclic (GYO reduction empties it).
 bool IsAlphaAcyclic(const Hypergraph& h);
+
+/// Same check reusing a caller-built incidence index (the GYO rules run
+/// off incidence rows, so this skips the redundant index build — the
+/// portfolio feature extractor calls it on its already-indexed instance).
+bool IsAlphaAcyclic(const IncidenceIndex& index);
 
 /// Builds a join tree if `h` is alpha-acyclic and connected enough to admit
 /// one; returns std::nullopt for cyclic hypergraphs. Disconnected acyclic

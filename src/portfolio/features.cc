@@ -1,0 +1,58 @@
+#include "portfolio/features.h"
+
+#include <algorithm>
+
+#include "hypergraph/acyclicity.h"
+#include "util/bitset.h"
+
+namespace hypertree {
+
+InstanceFeatures ExtractFeatures(const IncidenceIndex& index) {
+  const Hypergraph& h = index.hypergraph();
+  InstanceFeatures f;
+  f.num_vertices = index.NumVertices();
+  f.num_edges = index.NumEdges();
+
+  long arity_sum = 0;
+  for (int e = 0; e < f.num_edges; ++e) {
+    int arity = h.EdgeBits(e).Count();
+    arity_sum += arity;
+    f.max_arity = std::max(f.max_arity, arity);
+    int bucket = std::min(arity, 8) - 1;
+    if (bucket >= 0) ++f.arity_histogram[bucket];
+    // Pairwise intersections only against higher-indexed overlapping
+    // edges (EdgeNeighbors is reflexive and symmetric).
+    const Bitset& nb = index.EdgeNeighbors(e);
+    for (int g = nb.Next(e); g >= 0; g = nb.Next(g)) {
+      f.max_intersection = std::max(
+          f.max_intersection, h.EdgeBits(e).IntersectCount(h.EdgeBits(g)));
+    }
+  }
+  f.mean_arity =
+      f.num_edges == 0 ? 0.0 : static_cast<double>(arity_sum) / f.num_edges;
+
+  // Primal degree of v = |union of its edges| - 1, accumulated into the
+  // primal edge count (each primal edge counted from both endpoints).
+  long primal_degree_sum = 0;
+  Bitset nb_union(f.num_vertices);
+  for (int v = 0; v < f.num_vertices; ++v) {
+    f.max_degree = std::max(f.max_degree, index.VertexEdges(v).Count());
+    nb_union.Clear();
+    const Bitset& edges = index.VertexEdges(v);
+    for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
+      nb_union |= h.EdgeBits(e);
+    }
+    int deg = nb_union.Count();
+    if (deg > 0) --deg;  // drop v itself
+    primal_degree_sum += deg;
+  }
+  long n = f.num_vertices;
+  f.primal_density =
+      n < 2 ? 0.0
+            : static_cast<double>(primal_degree_sum) / (n * (n - 1));
+
+  f.alpha_acyclic = IsAlphaAcyclic(index);
+  return f;
+}
+
+}  // namespace hypertree

@@ -1,0 +1,45 @@
+// Cheap structural instance features for the portfolio router.
+//
+// Everything here is derivable from the IncidenceIndex in one pass over
+// the edge/vertex incidence bitsets — cheap enough to run before every
+// solve (bench_micro_kernels.cc keeps extraction under 1% of a median
+// table-8 solve). The features mirror the classes the routing literature
+// singles out: bounded intersection and bounded degree (Fischl et al.,
+// "General and Fractional Hypertree Decompositions: Hard and Easy
+// Cases") admit dedicated fast paths, and alpha-acyclicity pins ghw = 1
+// outright.
+
+#ifndef HYPERTREE_PORTFOLIO_FEATURES_H_
+#define HYPERTREE_PORTFOLIO_FEATURES_H_
+
+#include <array>
+
+#include "hypergraph/incidence_index.h"
+
+namespace hypertree {
+
+/// Structural features of one hypergraph instance.
+struct InstanceFeatures {
+  int num_vertices = 0;
+  int num_edges = 0;
+  int max_arity = 0;      // largest |e|
+  double mean_arity = 0;  // average |e|
+  int max_degree = 0;     // most edges incident to one vertex
+  /// Largest |e ∩ f| over distinct overlapping edge pairs; the
+  /// bounded-intersection parameter of the cited hard/easy-case papers.
+  int max_intersection = 0;
+  /// Edge density of the primal graph: primal edges / (n choose 2).
+  double primal_density = 0;
+  /// ghw(H) = 1 if and only if this holds (GYO reduction).
+  bool alpha_acyclic = false;
+  /// arity_histogram[i] counts edges of arity i+1 for i < 7; the last
+  /// bucket counts arity >= 8.
+  std::array<long, 8> arity_histogram{};
+};
+
+/// Extracts the features of `index`'s hypergraph.
+InstanceFeatures ExtractFeatures(const IncidenceIndex& index);
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_PORTFOLIO_FEATURES_H_

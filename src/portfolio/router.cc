@@ -1,0 +1,109 @@
+#include "portfolio/router.h"
+
+#include <algorithm>
+
+namespace hypertree {
+
+namespace {
+
+// Budgets are node/iteration counts, so the split is deterministic. The
+// floor keeps tiny global budgets from starving followers into uselessness.
+constexpr long kMinEngineBudget = 1024;
+
+// Lead prover: half the global budget. Followers: a sixteenth each. With
+// a four-engine lineup the worst case (no engine proves, nothing gets
+// cancelled) costs ~11/16 of one full single-engine run, so the portfolio
+// stays cheaper than the engines it races even on open instances.
+void AssignBudgets(RoutingPlan* plan, long node_budget) {
+  if (node_budget <= 0) return;
+  for (size_t i = 0; i < plan->lineup.size(); ++i) {
+    long share = i == 0 ? node_budget / 2 : node_budget / 16;
+    plan->lineup[i].max_nodes = std::max(kMinEngineBudget, share);
+  }
+}
+
+}  // namespace
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kDetK:
+      return "det_k";
+    case EngineKind::kBbGhw:
+      return "bb_ghw";
+    case EngineKind::kAStarGhw:
+      return "astar_ghw";
+    case EngineKind::kGaGhw:
+      return "ga_ghw";
+    case EngineKind::kSaiga:
+      return "saiga";
+    case EngineKind::kLocalSearch:
+      return "ls";
+  }
+  return "unknown";
+}
+
+RoutingPlan RouteInstance(const InstanceFeatures& f, long node_budget) {
+  RoutingPlan plan;
+
+  // alpha-acyclic: ghw = 1, and det-k at k = 1 is a linear-time GYO-style
+  // check that also produces the witness. Nothing else needs to run.
+  if (f.alpha_acyclic) {
+    plan.rule = "acyclic";
+    plan.lineup = {{EngineKind::kDetK}};
+    AssignBudgets(&plan, node_budget);
+    return plan;
+  }
+
+  // Bounded-intersection fast path (Fischl et al.: bounded intersection
+  // makes the cover-guess space polynomial, which is exactly the regime
+  // where det-k's separator enumeration is cheap). BB still leads: det-k
+  // can only *prove* ghw when the width-k hypertree it finds meets the
+  // static ghw lower bound, so it rides along as a capped follower that
+  // closes hw = ghw = lb instances the lead happens to be slow on.
+  if (f.max_intersection <= 2 && f.max_arity <= 4) {
+    plan.rule = "bounded-intersection";
+    plan.lineup = {{EngineKind::kBbGhw},
+                   {EngineKind::kDetK},
+                   {EngineKind::kGaGhw}};
+    AssignBudgets(&plan, node_budget);
+    return plan;
+  }
+
+  // Dense primal graphs (cliques and near-cliques): elimination orderings
+  // are nearly interchangeable, BB's whole-remainder bound closes the gap
+  // fastest and A* duplicates states; keep the lineup small.
+  if (f.primal_density > 0.5) {
+    plan.rule = "dense";
+    plan.lineup = {{EngineKind::kBbGhw},
+                   {EngineKind::kDetK},
+                   {EngineKind::kGaGhw}};
+    AssignBudgets(&plan, node_budget);
+    return plan;
+  }
+
+  // Large instances: exact searches rarely finish, so lead with the
+  // anytime BB for its warm-started bounds and spend the rest of the
+  // budget on metaheuristic upper bounds.
+  if (f.num_vertices > 64) {
+    plan.rule = "large";
+    plan.lineup = {{EngineKind::kBbGhw},
+                   {EngineKind::kGaGhw},
+                   {EngineKind::kSaiga},
+                   {EngineKind::kLocalSearch}};
+    AssignBudgets(&plan, node_budget);
+    return plan;
+  }
+
+  // Balanced default: the two complementary exact provers, det-k (which
+  // wins when hw = ghw and separators are small), and a GA for
+  // incumbents.
+  plan.rule = "balanced";
+  plan.lineup = {{EngineKind::kBbGhw},
+                 {EngineKind::kAStarGhw},
+                 {EngineKind::kDetK},
+                 {EngineKind::kGaGhw}};
+  AssignBudgets(&plan, node_budget);
+  return plan;
+}
+
+}  // namespace hypertree

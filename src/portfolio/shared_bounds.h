@@ -1,0 +1,133 @@
+// SharedBounds: the atomic bound state racing portfolio engines share.
+//
+// Engines publish proven lower bounds (max-merged) and witnessed upper
+// bounds (min-merged) and may poll the incumbent to prune. An engine that
+// *proves* optimality calls Prove(), which cancels every engine with a
+// LARGER index via its CancellationToken; lower-indexed engines run to
+// completion. That supersede rule is what keeps racing deterministic:
+// whether engine i finishes is then independent of thread scheduling (it
+// can only be cancelled by provers ordered before it, whose own runs are
+// deterministic), so "lowest-indexed prover" — the PR-1 lowest-index-wins
+// idiom — names the same winner for every --threads value.
+
+#ifndef HYPERTREE_PORTFOLIO_SHARED_BOUNDS_H_
+#define HYPERTREE_PORTFOLIO_SHARED_BOUNDS_H_
+
+#include <atomic>
+#include <climits>
+#include <mutex>
+#include <vector>
+
+#include "td/exact.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hypertree {
+
+/// Thread-safe bound state for one race. All bound reads/writes are
+/// lock-free (relaxed atomics: bounds are monotone scalars, so stale
+/// reads only delay pruning, never unsound it); only the first-prove
+/// timestamp takes a mutex, off the hot path.
+class SharedBounds : public BoundExchange {
+ public:
+  /// `num_engines` fixed for the race; optional seed bounds come from the
+  /// deterministic prologue (static lower bound, heuristic incumbent).
+  explicit SharedBounds(int num_engines, int lower_bound = 0,
+                        int upper_bound = INT_MAX)
+      : lb_(lower_bound), ub_(upper_bound), tokens_(num_engines) {}
+
+  // BoundExchange interface (hot path, relaxed atomics).
+  int IncumbentUpperBound() const override {
+    return ub_.load(std::memory_order_relaxed);
+  }
+  void PublishUpperBound(int width) override {
+    int seen = ub_.load(std::memory_order_relaxed);
+    while (width < seen) {
+      if (ub_.compare_exchange_weak(seen, width, std::memory_order_relaxed)) {
+        ub_updates_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  void PublishLowerBound(int bound) override {
+    int seen = lb_.load(std::memory_order_relaxed);
+    while (bound > seen) {
+      if (lb_.compare_exchange_weak(seen, bound, std::memory_order_relaxed)) {
+        lb_updates_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  int LowerBound() const { return lb_.load(std::memory_order_relaxed); }
+
+  /// Engine `engine` proved the optimum is `width`: record it as a
+  /// candidate winner and cancel every engine ordered after it. Safe to
+  /// call from multiple engines; the smallest index wins.
+  void Prove(int engine, int width) {
+    PublishUpperBound(width);
+    PublishLowerBound(width);
+    int seen = best_prover_.load(std::memory_order_relaxed);
+    while (engine < seen &&
+           !best_prover_.compare_exchange_weak(seen, engine,
+                                               std::memory_order_relaxed)) {
+    }
+    for (size_t j = static_cast<size_t>(engine) + 1; j < tokens_.size(); ++j) {
+      tokens_[j].Cancel();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_prove_seconds_ < 0) {
+      first_prove_seconds_ = timer_.ElapsedSeconds();
+    }
+  }
+
+  /// Lowest engine index that proved optimality so far; INT_MAX if none.
+  int BestProver() const {
+    return best_prover_.load(std::memory_order_relaxed);
+  }
+
+  /// True when some engine ordered before `engine` already proved.
+  bool Superseded(int engine) const { return BestProver() < engine; }
+
+  /// The cancellation token engine `engine` must poll.
+  CancellationToken TokenFor(int engine) {
+    return tokens_[static_cast<size_t>(engine)];
+  }
+
+  /// Cancels every engine (race teardown on external abort).
+  void CancelAll() {
+    for (auto& t : tokens_) t.Cancel();
+  }
+
+  long ub_updates() const {
+    return ub_updates_.load(std::memory_order_relaxed);
+  }
+  long lb_updates() const {
+    return lb_updates_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds from construction to the race's first optimality proof
+  /// (negative when nothing proved yet).
+  double FirstProveSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_prove_seconds_;
+  }
+
+  /// Seconds since construction (for cancel-latency accounting).
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  std::atomic<int> lb_;
+  std::atomic<int> ub_;
+  std::atomic<int> best_prover_{INT_MAX};
+  std::atomic<long> ub_updates_{0};
+  std::atomic<long> lb_updates_{0};
+  std::vector<CancellationToken> tokens_;
+  Timer timer_;
+  mutable std::mutex mu_;
+  double first_prove_seconds_ = -1.0;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_PORTFOLIO_SHARED_BOUNDS_H_

@@ -95,7 +95,9 @@ WidthResult AStarTreewidth(const Graph& g, const SearchOptions& options) {
   };
 
   while (!open.empty()) {
-    if ((popped & 63) == 0 && deadline.Expired()) {
+    CancelPollMetric().Increment();
+    if (options.cancel.Cancelled() ||
+        ((popped & 63) == 0 && deadline.Expired())) {
       aborted = true;
       break;
     }
@@ -141,6 +143,11 @@ WidthResult AStarTreewidth(const Graph& g, const SearchOptions& options) {
     Bitset parent_set = s.eliminated;  // copy: arena may reallocate below
     int parent_depth = s.depth;
     for (int v : children) {
+      CancelPollMetric().Increment();
+      if (options.cancel.Cancelled()) {
+        aborted = true;
+        break;
+      }
       int d = eg.Degree(v);
       int child_g = std::max(parent_g, d);
       if (child_g >= ub) continue;

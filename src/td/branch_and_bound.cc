@@ -73,6 +73,8 @@ class BbSearch {
 
   bool BudgetExceeded() {
     if (aborted_) return true;
+    CancelPollMetric().Increment();
+    if (opts_.cancel.Cancelled()) aborted_ = true;
     if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) aborted_ = true;
     if ((nodes_ & 255) == 0 && deadline_.Expired()) aborted_ = true;
     return aborted_;

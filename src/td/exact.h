@@ -1,14 +1,21 @@
-// Shared types for the exact width algorithms (BB and A*).
+// Shared types for the exact (anytime) width algorithms: result/options
+// structs, the unified SearchBudget, and the cross-engine BoundExchange
+// the portfolio racer plugs into.
 
 #ifndef HYPERTREE_TD_EXACT_H_
 #define HYPERTREE_TD_EXACT_H_
 
+#include <atomic>
+#include <climits>
 #include <cstdint>
+#include <memory>
 
 #include "ordering/ordering.h"
 #include "search/decomp_cache.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace hypertree {
 
@@ -23,6 +30,29 @@ struct WidthResult {
   DecompCacheStats cache_stats;  // memo/transposition table effectiveness
 };
 
+/// Optional cross-search bound exchange. The portfolio's SharedBounds
+/// implements this so concurrently racing engines can tighten each
+/// other's cutoffs mid-search: searches poll IncumbentUpperBound() to
+/// shrink their pruning threshold and publish their own improvements.
+/// All methods must be thread-safe; polling happens on search hot paths,
+/// so implementations should be a relaxed atomic load. Note that values
+/// read from another engine arrive at timing-dependent points — searches
+/// driven through an exchange report timing-dependent node counts, so
+/// the deterministic racing mode leaves `exchange` null and shares
+/// bounds only through the deterministic pre-race prologue
+/// (initial_upper_bound) and supersede-cancellation.
+class BoundExchange {
+ public:
+  virtual ~BoundExchange() = default;
+  /// Best upper bound (witnessed width) published by any engine;
+  /// INT_MAX when none.
+  virtual int IncumbentUpperBound() const = 0;
+  /// Publishes an improved witnessed width found by this engine.
+  virtual void PublishUpperBound(int width) = 0;
+  /// Publishes a proven lower bound found by this engine.
+  virtual void PublishLowerBound(int bound) = 0;
+};
+
 /// Budget/feature knobs for the exact searches.
 struct SearchOptions {
   double time_limit_seconds = 0.0;  // <= 0: unlimited
@@ -35,6 +65,11 @@ struct SearchOptions {
   /// hint while `best_ordering` keeps the best internally found ordering,
   /// which may be wider. <= 0: compute via min-fill.
   int initial_upper_bound = -1;
+  /// Iterative-deepening cap for HypertreeWidth's k loop: stop before
+  /// trying k >= max_width (the portfolio caps det-k at the incumbent
+  /// shared width, where proving hw <= k cannot improve the race's upper
+  /// bound). <= 0: uncapped.
+  int max_width = 0;
   uint64_t seed = 1;                     // tie-breaking seed
   /// Worker threads for the parallel phases (det-k-decomp's root
   /// separator search). <= 0: hardware concurrency. Results are
@@ -47,6 +82,79 @@ struct SearchOptions {
   /// Cooperative external cancellation; Cancel() makes the search return
   /// its anytime bounds as if the deadline had expired.
   CancellationToken cancel;
+  /// Live cross-engine bound exchange (nullptr: disabled). Must outlive
+  /// the search. See BoundExchange for the determinism caveat.
+  BoundExchange* exchange = nullptr;
+};
+
+/// Counts cancellation-token polls across all searches, so the portfolio
+/// can verify its cancellation latency is bounded by actual poll traffic
+/// (satisfying "every inner loop polls the token, not just the budget").
+inline metrics::Counter& CancelPollMetric() {
+  static metrics::Counter& c = metrics::GetCounter("cancel.poll");
+  return c;
+}
+
+/// Unified deadline / node-budget / cancellation bookkeeping for the
+/// exact searches. One Tick() per search node; the wall clock is polled
+/// every 64 ticks, the node budget and the cancellation token on every
+/// tick. Copies share the tick counter and the deadline (det-k's parallel
+/// workers draw from one global budget), while the sticky `exceeded` state
+/// is per-copy so each worker stops itself exactly once.
+class SearchBudget {
+ public:
+  explicit SearchBudget(const SearchOptions& opts)
+      : deadline_(opts.time_limit_seconds),
+        max_nodes_(opts.max_nodes),
+        cancel_(opts.cancel),
+        ticks_(std::make_shared<std::atomic<long>>(0)) {}
+
+  /// Counts one unit of work; returns true once the budget is exhausted.
+  bool Tick() {
+    if (exceeded_) return true;
+    long t = ticks_->fetch_add(1, std::memory_order_relaxed) + 1;
+    CancelPollMetric().Increment();
+    if (max_nodes_ > 0 && t >= max_nodes_) {
+      exceeded_ = true;
+    } else if ((t & 63) == 0 && deadline_.Expired()) {
+      exceeded_ = true;
+    } else if (cancel_.Cancelled()) {
+      exceeded_ = true;
+    }
+    return exceeded_;
+  }
+
+  /// Node budget expressed against an externally maintained count (A*
+  /// bounds *stored* states, not expanded ones). Also polls the deadline
+  /// and the cancellation token. Sticky like Tick().
+  bool ExceedsNodeBudget(long count) {
+    if (exceeded_) return true;
+    CancelPollMetric().Increment();
+    if (max_nodes_ > 0 && count > max_nodes_) exceeded_ = true;
+    if (cancel_.Cancelled()) exceeded_ = true;
+    return exceeded_;
+  }
+
+  /// Polls only the wall clock / cancellation (for loops that tick
+  /// elsewhere).
+  bool PollDeadline() {
+    if (exceeded_) return true;
+    CancelPollMetric().Increment();
+    if (deadline_.Expired() || cancel_.Cancelled()) exceeded_ = true;
+    return exceeded_;
+  }
+
+  bool Exceeded() const { return exceeded_; }
+  void MarkExceeded() { exceeded_ = true; }
+  long ticks() const { return ticks_->load(std::memory_order_relaxed); }
+  double ElapsedSeconds() const { return deadline_.ElapsedSeconds(); }
+
+ private:
+  Deadline deadline_;
+  long max_nodes_;
+  CancellationToken cancel_;
+  std::shared_ptr<std::atomic<long>> ticks_;
+  bool exceeded_ = false;
 };
 
 }  // namespace hypertree

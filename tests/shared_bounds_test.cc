@@ -1,0 +1,121 @@
+// SharedBounds unit + concurrency tests. The hammering tests exist for
+// scripts/run_tsan_checks.sh: many publishers racing on the same
+// SharedBounds must stay data-race-free and converge to min(ub)/max(lb).
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <thread>
+#include <vector>
+
+#include "portfolio/shared_bounds.h"
+
+namespace hypertree {
+namespace {
+
+TEST(SharedBoundsTest, SeededAndMonotone) {
+  SharedBounds sb(4, /*lower_bound=*/2, /*upper_bound=*/9);
+  EXPECT_EQ(sb.LowerBound(), 2);
+  EXPECT_EQ(sb.IncumbentUpperBound(), 9);
+
+  sb.PublishUpperBound(7);
+  sb.PublishUpperBound(8);  // worse: ignored
+  EXPECT_EQ(sb.IncumbentUpperBound(), 7);
+  sb.PublishLowerBound(3);
+  sb.PublishLowerBound(1);  // worse: ignored
+  EXPECT_EQ(sb.LowerBound(), 3);
+
+  // Update counters only count successful improvements.
+  EXPECT_EQ(sb.ub_updates(), 1);
+  EXPECT_EQ(sb.lb_updates(), 1);
+}
+
+TEST(SharedBoundsTest, ProveCancelsOnlyHigherIndices) {
+  SharedBounds sb(4, 1, 9);
+  EXPECT_EQ(sb.BestProver(), INT_MAX);
+  EXPECT_LT(sb.FirstProveSeconds(), 0);
+
+  sb.Prove(2, 5);
+  EXPECT_EQ(sb.BestProver(), 2);
+  EXPECT_EQ(sb.IncumbentUpperBound(), 5);
+  EXPECT_EQ(sb.LowerBound(), 5);
+  EXPECT_GE(sb.FirstProveSeconds(), 0);
+  EXPECT_FALSE(sb.TokenFor(0).Cancelled());
+  EXPECT_FALSE(sb.TokenFor(1).Cancelled());
+  EXPECT_FALSE(sb.TokenFor(2).Cancelled());
+  EXPECT_TRUE(sb.TokenFor(3).Cancelled());
+  EXPECT_FALSE(sb.Superseded(2));
+  EXPECT_TRUE(sb.Superseded(3));
+
+  // A later, lower-indexed prover takes over the winner slot; the earlier
+  // prover's token stays uncancelled only for indices at or below 1.
+  sb.Prove(1, 5);
+  EXPECT_EQ(sb.BestProver(), 1);
+  EXPECT_FALSE(sb.TokenFor(0).Cancelled());
+  EXPECT_FALSE(sb.TokenFor(1).Cancelled());
+  EXPECT_TRUE(sb.TokenFor(2).Cancelled());
+}
+
+TEST(SharedBoundsTest, CancelAll) {
+  SharedBounds sb(3);
+  sb.CancelAll();
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(sb.TokenFor(i).Cancelled());
+}
+
+// Many concurrent publishers: bounds converge to the best value published
+// by anyone, update counts stay within the number of actual improvements,
+// and (under TSan) nothing races.
+TEST(SharedBoundsTest, ConcurrentPublishersConverge) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  SharedBounds sb(kThreads, 0, 1 << 20);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sb, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Deterministic per-thread sequences that interleave arbitrarily:
+        // ubs drift downward to 7, lbs upward to 7.
+        sb.PublishUpperBound(7 + ((r * 31 + t * 17) % 1000));
+        sb.PublishLowerBound(7 - ((r * 13 + t * 29) % 7) - 1);
+        (void)sb.IncumbentUpperBound();
+        (void)sb.LowerBound();
+      }
+      sb.PublishUpperBound(7);
+      if (t == kThreads - 1) sb.PublishLowerBound(7);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(sb.IncumbentUpperBound(), 7);
+  EXPECT_EQ(sb.LowerBound(), 7);
+  // Every counted update must correspond to a strict improvement, and the
+  // improvement chains are bounded by the value ranges involved.
+  EXPECT_GE(sb.ub_updates(), 1);
+  EXPECT_LE(sb.ub_updates(), (1 << 20) - 7 + 1);
+  EXPECT_GE(sb.lb_updates(), 1);
+  EXPECT_LE(sb.lb_updates(), 8);
+}
+
+// Concurrent provers: the lowest-indexed prover owns the verdict and only
+// engines above the lowest prover end up cancelled.
+TEST(SharedBoundsTest, ConcurrentProversLowestIndexWins) {
+  constexpr int kEngines = 8;
+  SharedBounds sb(kEngines, 0, 100);
+  std::vector<std::thread> workers;
+  for (int t = 2; t < kEngines; ++t) {
+    workers.emplace_back([&sb, t] { sb.Prove(t, 42); });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(sb.BestProver(), 2);
+  EXPECT_EQ(sb.IncumbentUpperBound(), 42);
+  EXPECT_EQ(sb.LowerBound(), 42);
+  EXPECT_FALSE(sb.TokenFor(0).Cancelled());
+  EXPECT_FALSE(sb.TokenFor(1).Cancelled());
+  EXPECT_FALSE(sb.TokenFor(2).Cancelled());
+  for (int j = 3; j < kEngines; ++j) EXPECT_TRUE(sb.TokenFor(j).Cancelled());
+  EXPECT_GE(sb.FirstProveSeconds(), 0);
+  EXPECT_GE(sb.ElapsedSeconds(), sb.FirstProveSeconds());
+}
+
+}  // namespace
+}  // namespace hypertree

@@ -5,7 +5,8 @@
 //   <instance>          HyperBench hypergraph (.hg), DIMACS coloring
 //                       graph (.col) or PACE graph (.gr); graphs are
 //                       treated as hypergraphs with binary edges.
-//   --method=...        bb | astar | ga | saiga | ls | minfill  (default bb)
+//   --method=...        bb | astar | ga | saiga | ls | minfill | portfolio
+//                       (default bb; --algorithm is an alias)
 //   --measure=...       ghw | tw | hw | fhw                     (default ghw)
 //   --time-limit=SEC    budget for the exact searches             (default 10)
 //   --threads=N         worker threads for the parallel search phases
@@ -17,6 +18,9 @@
 //   --json              print one machine-readable JSON record (the
 //                       BENCH.json schema, see docs/BENCHMARKS.md) plus
 //                       the metrics-registry snapshot instead of text
+//   --portfolio-trace   (portfolio only) per-engine race trace on stderr
+//   --portfolio-live    (portfolio only) live bound sharing: faster wall
+//                       time, timing-dependent node counts
 
 #include <cmath>
 #include <cstdio>
@@ -38,6 +42,7 @@
 #include "io/ghd_format.h"
 #include "ls/local_search.h"
 #include "ordering/evaluator.h"
+#include "portfolio/portfolio.h"
 #include "ordering/heuristics.h"
 #include "td/astar.h"
 #include "td/branch_and_bound.h"
@@ -57,11 +62,15 @@ namespace {
 /// metrics-registry snapshot attached, printed to stdout.
 void PrintJsonRecord(const std::string& instance, const std::string& algorithm,
                      int width, bool exact, int lower_bound, long nodes,
-                     double wall_ms, const DecompCacheStats& cache_stats) {
+                     double wall_ms, const DecompCacheStats& cache_stats,
+                     Json extra_counters = Json::Object()) {
   Json counters = Json::Object();
   counters.Set("cache_hits", cache_stats.hits)
       .Set("cache_misses", cache_stats.misses)
       .Set("cache_inserts", cache_stats.inserts);
+  for (const auto& [key, value] : extra_counters.fields()) {
+    counters.Set(key, value);
+  }
   Json metrics_obj = Json::Object();
   for (const auto& [name, value] : metrics::Registry::Global().Snapshot()) {
     metrics_obj.Set(name, value);
@@ -109,9 +118,11 @@ std::optional<Hypergraph> LoadInstance(const std::string& path,
 int Usage() {
   std::fprintf(stderr,
                "usage: hypertree_decompose [--method=bb|astar|ga|saiga|ls|"
-               "minfill] [--measure=ghw|tw|hw|fhw]\n"
+               "minfill|portfolio] [--measure=ghw|tw|hw|fhw]\n"
                "       [--time-limit=SEC] [--threads=N] [--seed=N] "
-               "[--output=FILE] [--quiet] [--json] <instance>\n");
+               "[--output=FILE] [--quiet] [--json]\n"
+               "       [--portfolio-trace] [--portfolio-live] <instance>\n"
+               "       (--algorithm is an alias for --method)\n");
   return 2;
 }
 
@@ -126,7 +137,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  std::string method = flags.GetString("method", "bb");
+  std::string method = flags.GetString("algorithm");
+  if (method.empty()) method = flags.GetString("method", "bb");
   std::string measure = flags.GetString("measure", "ghw");
   double budget = flags.GetDouble("time-limit", 10.0);
   int threads = static_cast<int>(
@@ -192,7 +204,25 @@ int main(int argc, char** argv) {
   }
 
   bool want_tw = measure == "tw";
-  if (method == "bb") {
+  std::optional<PortfolioResult> portfolio;
+  if (method == "portfolio") {
+    if (want_tw) {
+      std::fprintf(stderr, "error: --method=portfolio supports ghw only\n");
+      return 2;
+    }
+    PortfolioOptions popts;
+    popts.time_limit_seconds = budget;
+    popts.threads = threads;
+    popts.seed = seed;
+    popts.trace = flags.GetBool("portfolio-trace");
+    popts.live_sharing = flags.GetBool("portfolio-live");
+    portfolio = PortfolioGhw(*h, popts);
+    width = portfolio->result.upper_bound;
+    exact = portfolio->result.exact;
+    witness = portfolio->result.best_ordering;
+    nodes = portfolio->result.nodes;
+    cache_stats = portfolio->result.cache_stats;
+  } else if (method == "bb") {
     if (want_tw) {
       SearchOptions opts;
       opts.time_limit_seconds = budget;
@@ -280,8 +310,25 @@ int main(int argc, char** argv) {
   }
   if (json) {
     std::string algorithm = method + (want_tw ? "_tw" : "_ghw");
-    PrintJsonRecord(h->name(), algorithm, width, exact, /*lower_bound=*/-1,
-                    nodes, wall.ElapsedMillis(), cache_stats);
+    Json extra = Json::Object();
+    int lower_bound = -1;
+    if (portfolio.has_value()) {
+      lower_bound = portfolio->result.lower_bound;
+      extra.Set("portfolio_rule", portfolio->plan.rule)
+          .Set("portfolio_winner", portfolio->winner)
+          .Set("portfolio_winner_name", portfolio->winner_name)
+          .Set("portfolio_prologue_ms", portfolio->prologue_seconds * 1000.0)
+          .Set("portfolio_cancel_latency_ms",
+               portfolio->cancel_latency_seconds * 1000.0);
+      for (const auto& e : portfolio->engines) {
+        extra.Set("portfolio_" + e.name + "_nodes", e.nodes)
+            .Set("portfolio_" + e.name + "_wall_ms", e.seconds * 1000.0)
+            .Set("portfolio_" + e.name + "_proved", e.proved)
+            .Set("portfolio_" + e.name + "_cancelled", e.cancelled);
+      }
+    }
+    PrintJsonRecord(h->name(), algorithm, width, exact, lower_bound, nodes,
+                    wall.ElapsedMillis(), cache_stats, std::move(extra));
   } else if (quiet) {
     std::printf("%d\n", width);
   } else {
@@ -292,6 +339,22 @@ int main(int argc, char** argv) {
     if (method == "bb" || method == "astar") {
       std::printf("cache    : %ld hits, %ld misses, %ld inserts\n",
                   cache_stats.hits, cache_stats.misses, cache_stats.inserts);
+    }
+    if (portfolio.has_value()) {
+      std::printf("portfolio: rule %s, winner %s, %zu engines, prologue "
+                  "%.1fms\n",
+                  portfolio->plan.rule.c_str(),
+                  portfolio->winner_name.empty() ? "none"
+                                                 : portfolio->winner_name.c_str(),
+                  portfolio->engines.size(),
+                  portfolio->prologue_seconds * 1000.0);
+      for (const auto& e : portfolio->engines) {
+        std::printf("  %-9s %s  nodes %ld  wall %.1fms\n", e.name.c_str(),
+                    e.proved ? "proved" : (e.cancelled ? "cancelled"
+                                                       : (e.ran ? "done"
+                                                                : "skipped")),
+                    e.nodes, e.seconds * 1000.0);
+      }
     }
   }
 
