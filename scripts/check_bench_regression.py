@@ -82,10 +82,6 @@ def main():
     ap.add_argument("--allow-new", action="store_true",
                     help="do not fail on records the baseline lacks "
                          "(dropped baseline records still fail)")
-    # Deprecated spelling kept for older wrappers; it never excused
-    # dropped baseline records under the new semantics either.
-    ap.add_argument("--allow-missing", dest="allow_new", action="store_true",
-                    help=argparse.SUPPRESS)
     ap.add_argument("--ignore-wall", action="store_true",
                     help="compare only deterministic result fields, not wall_ms")
     args = ap.parse_args()

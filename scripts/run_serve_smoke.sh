@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the hypertree_serve daemon (the CI "serve"
+# job; see docs/SERVING.md).
+#
+#   scripts/run_serve_smoke.sh [options]
+#
+#   --build-dir=DIR   build tree holding tools/hypertree_serve (default:
+#                     build)
+#   --port=N          loopback port to pin (default 7411)
+#   --work-dir=DIR    scratch directory for cache/metrics/witness files
+#                     (default: a fresh serve-smoke/ under the build dir)
+#
+# Phase 1 boots a server with a cold persistent cache and drives it with
+# hypertree_client over three bundled instances: every instance must be
+# a cold miss (source "solved") first and a warm in-memory hit second,
+# an isomorphically renamed copy of the gate instance must hit the SAME
+# cache entry, and all hit witnesses must be byte-identical to the miss
+# witnesses. Phase 2 kills the server, restarts it against the same
+# cache directory, and requires every instance to answer from disk with
+# identical bytes again. Finally the NDJSON access metrics are checked:
+# the warm hit must be at least 100x faster than the cold solve of the
+# gate instance, and a leaked server process fails the run.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+port=7411
+work_dir=""
+
+for arg in "$@"; do
+  case "${arg}" in
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    --port=*) port="${arg#--port=}" ;;
+    --work-dir=*) work_dir="${arg#--work-dir=}" ;;
+    *)
+      echo "unknown option: ${arg}" >&2
+      echo "usage: scripts/run_serve_smoke.sh [--build-dir=DIR] [--port=N] [--work-dir=DIR]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+serve_bin="${build_dir}/tools/hypertree_serve"
+client_bin="${build_dir}/tools/hypertree_client"
+for bin in "${serve_bin}" "${client_bin}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "serve-smoke: missing binary ${bin} (build the tools target first)" >&2
+    exit 1
+  fi
+done
+
+if [[ -z "${work_dir}" ]]; then
+  work_dir="${build_dir}/serve-smoke"
+fi
+rm -rf "${work_dir}"
+mkdir -p "${work_dir}"
+cache_dir="${work_dir}/cache"
+
+# gate instance first: its cold solve is slow enough (~100 ms) to make
+# the 100x hit-latency assertion meaningful.
+gate_instance="random_25_30"
+instances=("${gate_instance}" "adder_8" "cycle_10_3")
+
+server_pid=0
+stop_server() {
+  if [[ "${server_pid}" -ne 0 ]] && kill -0 "${server_pid}" 2>/dev/null; then
+    kill "${server_pid}" 2>/dev/null || true
+    wait "${server_pid}" 2>/dev/null || true
+  fi
+  server_pid=0
+}
+trap stop_server EXIT
+
+start_server() {
+  local metrics_file="$1" log_file="$2"
+  "${serve_bin}" --port="${port}" --cache-dir="${cache_dir}" \
+    --metrics="${metrics_file}" > "${log_file}" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 50); do
+    if grep -q "listening on" "${log_file}" 2>/dev/null; then
+      return 0
+    fi
+    if ! kill -0 "${server_pid}" 2>/dev/null; then
+      echo "serve-smoke: server died on startup:" >&2
+      cat "${log_file}" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "serve-smoke: server never reported listening" >&2
+  exit 1
+}
+
+shutdown_server() {
+  "${client_bin}" --port="${port}" shutdown --quiet
+  for _ in $(seq 1 50); do
+    if ! kill -0 "${server_pid}" 2>/dev/null; then
+      wait "${server_pid}" 2>/dev/null || true
+      server_pid=0
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "serve-smoke: server process ${server_pid} leaked past shutdown" >&2
+  exit 1
+}
+
+# An isomorphic rename of the gate instance: fresh vertex/edge names,
+# shuffled edge order and member order, fixed seed so runs are
+# reproducible. Structurally the same hypergraph, so the server must
+# answer it from the gate instance's cache entry.
+python3 - "${repo_root}/data/${gate_instance}.hg" \
+  "${work_dir}/renamed.hg" <<'EOF'
+import random
+import re
+import sys
+
+text = open(sys.argv[1]).read()
+edges = [[v.strip() for v in m.group(2).split(",")]
+         for m in re.finditer(r"(\w+)\s*\(([^)]*)\)", text)]
+vertices = sorted({v for e in edges for v in e})
+rng = random.Random(20260808)
+new_names = ["q" + str(i) for i in range(len(vertices))]
+rng.shuffle(new_names)
+rename = dict(zip(vertices, new_names))
+rng.shuffle(edges)
+lines = []
+for i, members in enumerate(edges):
+    rng.shuffle(members)
+    lines.append("atom%d(%s)" % (i, ",".join(rename[v] for v in members)))
+open(sys.argv[2], "w").write(",\n".join(lines) + ".\n")
+EOF
+
+echo "serve-smoke: phase 1 (cold misses, warm hits, rename hit) on port ${port}"
+start_server "${work_dir}/metrics_phase1.ndjson" "${work_dir}/server_phase1.log"
+
+for name in "${instances[@]}"; do
+  "${client_bin}" --port="${port}" decompose "${repo_root}/data/${name}.hg" \
+    --expect-source=solved --witness-out="${work_dir}/${name}.cold.ghd" --quiet
+  "${client_bin}" --port="${port}" decompose "${repo_root}/data/${name}.hg" \
+    --expect-source=memory --witness-out="${work_dir}/${name}.warm.ghd" --quiet
+  cmp "${work_dir}/${name}.cold.ghd" "${work_dir}/${name}.warm.ghd" || {
+    echo "serve-smoke: warm hit witness differs from cold solve for ${name}" >&2
+    exit 1
+  }
+done
+
+"${client_bin}" --port="${port}" decompose "${work_dir}/renamed.hg" \
+  --expect-source=memory --witness-out="${work_dir}/renamed.ghd" --quiet
+cmp "${work_dir}/${gate_instance}.cold.ghd" "${work_dir}/renamed.ghd" || {
+  echo "serve-smoke: renamed-instance witness differs from the original" >&2
+  exit 1
+}
+
+"${client_bin}" --port="${port}" stats --quiet
+shutdown_server
+
+echo "serve-smoke: phase 2 (restart; every instance must hit the disk cache)"
+start_server "${work_dir}/metrics_phase2.ndjson" "${work_dir}/server_phase2.log"
+
+for name in "${instances[@]}"; do
+  "${client_bin}" --port="${port}" decompose "${repo_root}/data/${name}.hg" \
+    --expect-source=disk --witness-out="${work_dir}/${name}.disk.ghd" --quiet
+  cmp "${work_dir}/${name}.cold.ghd" "${work_dir}/${name}.disk.ghd" || {
+    echo "serve-smoke: disk hit witness differs from cold solve for ${name}" >&2
+    exit 1
+  }
+done
+
+shutdown_server
+
+cat "${work_dir}/metrics_phase1.ndjson" "${work_dir}/metrics_phase2.ndjson" \
+  > "${work_dir}/metrics.ndjson"
+
+# Gate: in the phase-1 metrics, the gate instance's warm memory hit must
+# be at least 100x faster than its cold solve.
+python3 - "${work_dir}/metrics_phase1.ndjson" <<'EOF'
+import json
+import sys
+
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+solves = {}
+for r in records:
+    if r.get("op") != "decompose":
+        continue
+    if r.get("source") == "solved":
+        solves[r["key"]] = r["wall_ms"]
+    elif r.get("source") == "memory" and r["key"] in solves:
+        cold, hit = solves[r["key"]], r["wall_ms"]
+        ratio = cold / hit if hit > 0 else float("inf")
+        print("serve-smoke: key %s cold %.2f ms, hit %.4f ms (%.0fx)"
+              % (r["key"][:12], cold, hit, ratio))
+        if cold >= 50 and ratio < 100:
+            sys.exit("serve-smoke: hit only %.0fx faster than cold solve "
+                     "(needed 100x)" % ratio)
+        solves.pop(r["key"])
+EOF
+
+echo "serve-smoke: OK (witnesses byte-identical across memory, disk and solve)"

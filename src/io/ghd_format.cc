@@ -31,8 +31,10 @@ void WriteGhd(const GeneralizedHypertreeDecomposition& ghd,
   }
 }
 
-std::optional<GeneralizedHypertreeDecomposition> ReadGhd(std::istream& in,
-                                                         std::string* error) {
+namespace {
+std::optional<GeneralizedHypertreeDecomposition> ReadGhdImpl(
+    std::istream& in, std::string* error, int* nodes_declared,
+    int* nodes_seen) {
   std::string line;
   int nodes = 0, n = 0, m = 0;
   int line_no = 0;
@@ -127,6 +129,41 @@ std::optional<GeneralizedHypertreeDecomposition> ReadGhd(std::istream& in,
   for (auto [a, b] : tree_edges) td->AddTreeEdge(a, b);
   GeneralizedHypertreeDecomposition ghd(std::move(*td));
   for (int p = 0; p < nodes; ++p) ghd.SetLambda(p, std::move(lambdas[p]));
+  if (nodes_declared != nullptr) *nodes_declared = nodes;
+  if (nodes_seen != nullptr) {
+    *nodes_seen = 0;
+    for (bool s : seen) {
+      if (s) ++*nodes_seen;
+    }
+  }
+  return ghd;
+}
+}  // namespace
+
+std::optional<GeneralizedHypertreeDecomposition> ReadGhd(std::istream& in,
+                                                         std::string* error) {
+  return ReadGhdImpl(in, error, nullptr, nullptr);
+}
+
+std::string WriteGhdToString(const GeneralizedHypertreeDecomposition& ghd,
+                             const Hypergraph& h) {
+  std::ostringstream out;
+  WriteGhd(ghd, h, out);
+  return out.str();
+}
+
+std::optional<GeneralizedHypertreeDecomposition> ReadGhdFromString(
+    const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  int declared = 0;
+  int seen = 0;
+  auto ghd = ReadGhdImpl(in, error, &declared, &seen);
+  if (!ghd.has_value()) return std::nullopt;
+  if (seen != declared) {
+    SetError(error, "incomplete witness: " + std::to_string(seen) + " of " +
+                        std::to_string(declared) + " nodes defined");
+    return std::nullopt;
+  }
   return ghd;
 }
 

@@ -29,6 +29,18 @@ void WriteGhd(const GeneralizedHypertreeDecomposition& ghd,
 std::optional<GeneralizedHypertreeDecomposition> ReadGhd(
     std::istream& in, std::string* error = nullptr);
 
+/// WriteGhd into a string (the serve cache stores witnesses as text and
+/// answers byte-identical hits from it).
+std::string WriteGhdToString(const GeneralizedHypertreeDecomposition& ghd,
+                             const Hypergraph& h);
+
+/// ReadGhd from a string, additionally requiring that every declared node
+/// carried an 'n' line (ReadGhd tolerates omitted nodes as empty-bag
+/// nodes; a persisted witness must be complete to round-trip
+/// byte-identically).
+std::optional<GeneralizedHypertreeDecomposition> ReadGhdFromString(
+    const std::string& text, std::string* error = nullptr);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_IO_GHD_FORMAT_H_

@@ -287,7 +287,12 @@ PortfolioResult PortfolioGhw(const Hypergraph& h,
       pool.Submit([&, i] {
         EngineOutcome& out = outcomes[i];
         out.stats = pr.engines[i];
-        CancellationToken token = shared.TokenFor(static_cast<int>(i));
+        // Supersede cancellation from lower-indexed provers, merged with
+        // the caller's external token (request deadline / shutdown). The
+        // exact engines poll the combined token in their inner loops; the
+        // heuristic engines bound their run by time_limit_seconds.
+        CancellationToken token = CancellationToken::AnyOf(
+            shared.TokenFor(static_cast<int>(i)), options.cancel);
         if (token.Cancelled()) {
           out.stats.cancelled = true;
           return;

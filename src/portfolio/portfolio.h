@@ -61,6 +61,12 @@ struct PortfolioOptions {
   bool live_sharing = false;
   /// Print one per-engine trace line to stderr as the race settles.
   bool trace = false;
+  /// External cooperative cancellation (e.g. a serve request deadline or
+  /// server shutdown): every engine polls it alongside its supersede
+  /// token and the race returns its anytime bounds once it fires. When
+  /// it fires mid-race, results are timing-dependent, exactly like the
+  /// wall-clock backstop.
+  CancellationToken cancel;
 };
 
 /// Per-engine outcome, for traces and `portfolio.*` counters.

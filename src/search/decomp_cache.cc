@@ -135,6 +135,59 @@ bool DecompCache::DominatedStrict(const Bitset& state, int value) {
   return dominated;
 }
 
+DecompCache::Outcome DecompCache::LookupInstance(
+    const Bitset& key, int* meta,
+    std::shared_ptr<const CachedSubtree>* subtree) {
+  Key k = InstanceKey(key);
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(k);
+  if (it == shard.map.end() || it->second.outcome != Outcome::kPositive) {
+    CountMiss();
+    return Outcome::kUnknown;
+  }
+  CountHit();
+  if (meta != nullptr) *meta = it->second.value;
+  if (subtree != nullptr) *subtree = it->second.subtree;
+  return Outcome::kPositive;
+}
+
+void DecompCache::InsertInstance(const Bitset& key, int meta,
+                                 std::shared_ptr<const CachedSubtree> subtree) {
+  HT_CHECK(subtree != nullptr)
+      << "instance entries must carry their witness subtree";
+  HT_CHECK_EQ(subtree->chi.size(), subtree->parent.size())
+      << "cached subtree chi/parent arrays out of step";
+  HT_CHECK_EQ(subtree->lambda.size(), subtree->parent.size())
+      << "cached subtree lambda/parent arrays out of step";
+  Key k = InstanceKey(key);
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[std::move(k)];
+  if (e.outcome != Outcome::kPositive) {
+    e.outcome = Outcome::kPositive;
+    e.value = meta;
+    e.subtree = std::move(subtree);
+    CountInsert();
+  }
+}
+
+std::vector<size_t> DecompCache::ShardEntryCounts() const {
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    counts.push_back(shard->map.size());
+  }
+  return counts;
+}
+
+size_t DecompCache::NumEntries() const {
+  size_t total = 0;
+  for (size_t c : ShardEntryCounts()) total += c;
+  return total;
+}
+
 DecompCacheStats DecompCache::stats() const {
   DecompCacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);

@@ -15,6 +15,13 @@
 //     value the smallest g (max bag cover so far) the set was reached
 //     with. A revisit with g' >= g is dominated and pruned.
 //
+//  3. Whole-instance witness entries for the decomposition service
+//     (src/serve): key is the 128-bit content hash of the normalized
+//     instance (as a Bitset), the value a caller-packed meta word plus
+//     the full decomposition as a CachedSubtree. This is the in-memory
+//     level of the serve cache; the on-disk level serializes the same
+//     witnesses through src/io/ghd_format.
+//
 // The table is sharded by key hash; every shard has its own mutex, so
 // concurrent workers rarely contend. Hit/miss/insert counters are
 // maintained with relaxed atomics and reported via stats().
@@ -86,8 +93,31 @@ class DecompCache {
   /// Never inserts (A* uses this to drop stale queue entries).
   bool DominatedStrict(const Bitset& state, int value);
 
+  /// Whole-instance witness lookup (serve keyspace, see file comment).
+  /// On kPositive, `*meta` / `*subtree` (when non-null) receive the
+  /// stored meta word and decomposition.
+  Outcome LookupInstance(const Bitset& key, int* meta = nullptr,
+                         std::shared_ptr<const CachedSubtree>* subtree =
+                             nullptr);
+
+  /// Records a whole-instance witness under `key`. First write wins (the
+  /// witness for a content hash never changes).
+  void InsertInstance(const Bitset& key, int meta,
+                      std::shared_ptr<const CachedSubtree> subtree);
+
   /// Snapshot of the counters.
   DecompCacheStats stats() const;
+
+  /// Number of lock shards.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Entries currently stored, per shard (index-aligned with the shard
+  /// ids). Takes each shard lock in turn; values from different shards
+  /// are not a consistent cut under concurrent writers.
+  std::vector<size_t> ShardEntryCounts() const;
+
+  /// Total entries currently stored (sum of ShardEntryCounts()).
+  size_t NumEntries() const;
 
   /// Drops all entries (counters are kept).
   void Clear();
@@ -136,6 +166,11 @@ class DecompCache {
     // Transposition entries live in the same store under k = -1 (det-k
     // keys always have k >= 1, so the spaces cannot collide).
     return Key{state, Bitset(), -1};
+  }
+  static Key InstanceKey(const Bitset& key) {
+    // Whole-instance witness entries live under k = -2 (disjoint from
+    // both the det-k space, k >= 1, and the transposition space, k = -1).
+    return Key{key, Bitset(), -2};
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

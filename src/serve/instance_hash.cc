@@ -1,0 +1,168 @@
+#include "serve/instance_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hypertree::serve {
+
+namespace {
+
+// splitmix64 finalizer: the repo's standard strong integer mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) { return Mix64(h ^ Mix64(v)); }
+
+// Order-independent combine for multisets: sort first, then chain.
+uint64_t CombineSorted(uint64_t h, std::vector<uint64_t>* values) {
+  std::sort(values->begin(), values->end());
+  for (uint64_t v : *values) h = Combine(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::string HashText128(const std::string& text) {
+  // Two independent FNV-1a streams with distinct offset bases, each
+  // strengthened by a splitmix64 finalizer. Not cryptographic; the disk
+  // layer verifies canonical text on hits, so a collision can at worst
+  // cost an in-memory mis-hit with probability ~2^-64 per pair.
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t a = 0xcbf29ce484222325ULL;
+  uint64_t b = 0x6c62272e07bb0142ULL;
+  for (unsigned char c : text) {
+    a = (a ^ c) * kPrime;
+    b = (b ^ (c + 0x9eU)) * kPrime;
+  }
+  a = Mix64(a ^ Mix64(text.size()));
+  b = Mix64(b ^ Mix64(~uint64_t{0} - text.size()));
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return std::string(buf, 32);
+}
+
+Bitset KeyToBits(const std::string& key) {
+  HT_CHECK_EQ(key.size(), size_t{32}) << "malformed instance key";
+  Bitset bits(128);
+  for (int half = 0; half < 2; ++half) {
+    uint64_t word = 0;
+    for (int i = 0; i < 16; ++i) {
+      char c = key[static_cast<size_t>(half * 16 + i)];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else {
+        HT_CHECK(c >= 'a' && c <= 'f') << "malformed instance key";
+        digit = static_cast<uint64_t>(c - 'a' + 10);
+      }
+      word = (word << 4) | digit;
+    }
+    for (int i = 0; i < 64; ++i) {
+      if ((word >> i) & 1) bits.Set(half * 64 + i);
+    }
+  }
+  return bits;
+}
+
+NormalizedInstance NormalizeInstance(const Hypergraph& h) {
+  const int n = h.NumVertices();
+  const int m = h.NumEdges();
+
+  // -- 1. WL color refinement on the incidence structure. --
+  std::vector<uint64_t> color(n);
+  for (int v = 0; v < n; ++v) {
+    std::vector<uint64_t> sizes;
+    sizes.reserve(h.IncidentEdges(v).size());
+    for (int e : h.IncidentEdges(v)) {
+      sizes.push_back(static_cast<uint64_t>(h.EdgeSize(e)));
+    }
+    color[v] = CombineSorted(Mix64(static_cast<uint64_t>(h.VertexDegree(v))),
+                             &sizes);
+  }
+  std::vector<uint64_t> edge_sig(m);
+  for (int round = 0; round < 4; ++round) {
+    for (int e = 0; e < m; ++e) {
+      std::vector<uint64_t> members;
+      members.reserve(static_cast<size_t>(h.EdgeSize(e)));
+      for (int v : h.EdgeVertices(e)) members.push_back(color[v]);
+      edge_sig[e] = CombineSorted(Mix64(static_cast<uint64_t>(h.EdgeSize(e))),
+                                  &members);
+    }
+    std::vector<uint64_t> next(n);
+    for (int v = 0; v < n; ++v) {
+      std::vector<uint64_t> sigs;
+      sigs.reserve(h.IncidentEdges(v).size());
+      for (int e : h.IncidentEdges(v)) sigs.push_back(edge_sig[e]);
+      next[v] = CombineSorted(color[v], &sigs);
+    }
+    color.swap(next);
+  }
+
+  // -- 2. Canonical relabeling. --
+  std::vector<int> by_rank(n);
+  for (int v = 0; v < n; ++v) by_rank[v] = v;
+  std::sort(by_rank.begin(), by_rank.end(), [&](int a, int b) {
+    if (color[a] != color[b]) return color[a] < color[b];
+    return a < b;  // tie-break: see header (best-effort completeness)
+  });
+  std::vector<int> label(n);
+  for (int rank = 0; rank < n; ++rank) label[by_rank[rank]] = rank;
+
+  std::vector<std::vector<int>> edges(m);
+  for (int e = 0; e < m; ++e) {
+    for (int v : h.EdgeVertices(e)) edges[e].push_back(label[v]);
+    std::sort(edges[e].begin(), edges[e].end());
+  }
+  std::sort(edges.begin(), edges.end(), [](const std::vector<int>& a,
+                                           const std::vector<int>& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+
+  // -- 3. Canonical hypergraph, text and key. --
+  NormalizedInstance out;
+  out.hypergraph = Hypergraph(n);
+  for (int v = 0; v < n; ++v) {
+    std::string vname = "v";
+    vname += std::to_string(v + 1);
+    out.hypergraph.SetVertexName(v, std::move(vname));
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    std::string ename = "e";
+    ename += std::to_string(e + 1);
+    out.hypergraph.AddEdge(edges[e], std::move(ename));
+  }
+  std::string text = "% n=";
+  text += std::to_string(n);
+  text += " m=";
+  text += std::to_string(m);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    text += "\ne";
+    text += std::to_string(e + 1);
+    text += "(";
+    for (size_t i = 0; i < edges[e].size(); ++i) {
+      if (i > 0) text += ",";
+      text += "v";
+      text += std::to_string(edges[e][i] + 1);
+    }
+    text += ")";
+    text += (e + 1 == edges.size()) ? "." : ",";
+  }
+  text += "\n";
+  out.canonical_text = std::move(text);
+  out.key = HashText128(out.canonical_text);
+  out.key_bits = KeyToBits(out.key);
+  out.hypergraph.set_name(out.key);
+  return out;
+}
+
+}  // namespace hypertree::serve

@@ -1,0 +1,66 @@
+// Canonical instance normalization and content hashing for the
+// decomposition service.
+//
+// Two requests must share a cache key whenever they describe the same
+// hypergraph up to renaming: vertex names, edge names, the order edges
+// are listed in and the order vertices are listed inside an edge carry
+// no structural information, yet the HyperBench parser interns all of
+// them in order of appearance. NormalizeInstance therefore relabels the
+// instance canonically:
+//
+//   1. Weisfeiler-Leman-style color refinement on the incidence
+//      structure (vertex color <- multiset of incident edge signatures,
+//      edge signature <- multiset of member colors) separates vertices
+//      by structural role.
+//   2. Vertices are ranked by (final color, original id) and renamed
+//      v1..vn in rank order; edges are rewritten over the new labels,
+//      member-sorted, and lexicographically sorted (duplicates kept),
+//      then renamed e1..em.
+//   3. The canonical text is the HyperBench serialization of the result
+//      plus an "% n=... m=..." header; the key is a 128-bit hash of it.
+//
+// Completeness is best-effort: vertices the refinement cannot separate
+// fall back to original-id tie-breaking, so two presentations of a
+// highly symmetric instance MAY land on different keys (a missed cache
+// hit, never a wrong answer; vertices with identical incidence — the
+// common symmetric case — canonicalize identically regardless of the
+// tie-break). Soundness is by content hash: equal keys mean equal
+// canonical text up to a 2^-128-scale hash collision, and the disk
+// layer stores the canonical text and verifies it on every hit.
+
+#ifndef HYPERTREE_SERVE_INSTANCE_HASH_H_
+#define HYPERTREE_SERVE_INSTANCE_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+
+namespace hypertree::serve {
+
+/// A canonically relabeled instance plus its content-addressed key.
+struct NormalizedInstance {
+  Hypergraph hypergraph;        // canonical labels; name() == key
+  std::string canonical_text;   // deterministic serialization (hashed)
+  std::string key;              // 32 lowercase hex digits (128-bit hash)
+  Bitset key_bits;              // the same key as a Bitset(128)
+};
+
+/// Canonicalizes `h` (see file comment). Deterministic: the same input
+/// structure yields byte-identical canonical_text on every run and
+/// platform.
+NormalizedInstance NormalizeInstance(const Hypergraph& h);
+
+/// 128-bit content hash of `text` as 32 lowercase hex digits. Stable
+/// across runs, platforms and builds (pure integer arithmetic, no
+/// pointers or std::hash).
+std::string HashText128(const std::string& text);
+
+/// Packs the hex key into a Bitset(128) (bit i of word w = bit i of the
+/// w-th 64-bit half). Aborts on malformed keys.
+Bitset KeyToBits(const std::string& key);
+
+}  // namespace hypertree::serve
+
+#endif  // HYPERTREE_SERVE_INSTANCE_HASH_H_

@@ -28,14 +28,49 @@ class CancellationToken {
  public:
   CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
+  /// A token that additionally reports cancelled once any of the input
+  /// tokens is. Cancel() on the combined token trips only its own flag;
+  /// the inputs are unaffected. Used to merge independent cancellation
+  /// sources (e.g. a portfolio supersede token with a server shutdown
+  /// token) without polling two tokens on the hot path.
+  static CancellationToken AnyOf(const CancellationToken& a,
+                                 const CancellationToken& b) {
+    CancellationToken t;
+    auto watched = std::make_shared<std::vector<Flag>>();
+    auto absorb = [&watched](const CancellationToken& src) {
+      watched->push_back(src.flag_);
+      if (src.watched_ != nullptr) {
+        watched->insert(watched->end(), src.watched_->begin(),
+                        src.watched_->end());
+      }
+    };
+    absorb(a);
+    absorb(b);
+    t.watched_ = std::move(watched);
+    return t;
+  }
+
   /// Requests cancellation; idempotent and thread-safe.
   void Cancel() { flag_->store(true, std::memory_order_relaxed); }
 
-  /// True once any copy of this token was cancelled.
-  bool Cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  /// True once any copy of this token — or, for AnyOf tokens, any watched
+  /// input — was cancelled.
+  bool Cancelled() const {
+    if (flag_->load(std::memory_order_relaxed)) return true;
+    if (watched_ != nullptr) {
+      for (const Flag& f : *watched_) {
+        if (f->load(std::memory_order_relaxed)) return true;
+      }
+    }
+    return false;
+  }
 
  private:
-  std::shared_ptr<std::atomic<bool>> flag_;
+  using Flag = std::shared_ptr<std::atomic<bool>>;
+
+  Flag flag_;
+  // Immutable after construction; shared by all copies of an AnyOf token.
+  std::shared_ptr<const std::vector<Flag>> watched_;
 };
 
 /// Fixed-size thread pool. Tasks run in FIFO submission order (subject to

@@ -1,0 +1,150 @@
+#include "serve/instance_hash.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/parser.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+using serve::HashText128;
+using serve::KeyToBits;
+using serve::NormalizeInstance;
+using serve::NormalizedInstance;
+
+std::string DataPath(const std::string& name) {
+  return std::string(HYPERTREE_SOURCE_DIR) + "/data/" + name;
+}
+
+/// Rebuilds `h` with permuted vertex ids, permuted edge order, and fresh
+/// names: the same structure in a different presentation.
+Hypergraph RenamedCopy(const Hypergraph& h, uint64_t seed) {
+  Rng rng(seed);
+  const int n = h.NumVertices();
+  std::vector<int> perm(n);
+  for (int v = 0; v < n; ++v) perm[v] = v;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.UniformInt(i + 1)]);
+  }
+  std::vector<int> edge_order(h.NumEdges());
+  for (int e = 0; e < h.NumEdges(); ++e) edge_order[e] = e;
+  for (int i = h.NumEdges() - 1; i > 0; --i) {
+    std::swap(edge_order[i], edge_order[rng.UniformInt(i + 1)]);
+  }
+  Hypergraph out(n);
+  for (int v = 0; v < n; ++v) {
+    out.SetVertexName(v, "renamed_" + std::to_string(v));
+  }
+  for (int e : edge_order) {
+    std::vector<int> members;
+    for (int v : h.EdgeVertices(e)) members.push_back(perm[v]);
+    // EdgeVertices is sorted in old ids; shuffle so the member order
+    // carries no information either.
+    for (int i = static_cast<int>(members.size()) - 1; i > 0; --i) {
+      std::swap(members[i], members[static_cast<size_t>(rng.UniformInt(i + 1))]);
+    }
+    out.AddEdge(members, "atom_" + std::to_string(e));
+  }
+  return out;
+}
+
+TEST(InstanceHashTest, RenameInvariance) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Hypergraph h = RandomHypergraph(20, 24, 2, 4, seed);
+    NormalizedInstance base = NormalizeInstance(h);
+    for (uint64_t rename_seed = 100; rename_seed < 103; ++rename_seed) {
+      NormalizedInstance renamed =
+          NormalizeInstance(RenamedCopy(h, seed * 1000 + rename_seed));
+      EXPECT_EQ(renamed.canonical_text, base.canonical_text)
+          << "seed " << seed << " rename " << rename_seed;
+      EXPECT_EQ(renamed.key, base.key);
+    }
+  }
+}
+
+TEST(InstanceHashTest, DistinctStructuresGetDistinctKeys) {
+  // Pairwise-distinct keys across random instances and all bundled .hg
+  // benchmark files.
+  std::set<std::string> keys;
+  int count = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Hypergraph h = RandomHypergraph(15, 18, 2, 4, seed);
+    keys.insert(NormalizeInstance(h).key);
+    ++count;
+  }
+  for (const char* name :
+       {"acyclic_18.hg", "adder_8.hg", "bridge_8.hg", "circuit_40.hg",
+        "clique_8.hg", "cycle_10_3.hg", "grid2d_4.hg", "grid3d_3.hg",
+        "random_25_30.hg"}) {
+    auto h = ReadHypergraphFile(DataPath(name));
+    ASSERT_TRUE(h.has_value()) << name;
+    keys.insert(NormalizeInstance(*h).key);
+    ++count;
+  }
+  EXPECT_EQ(static_cast<int>(keys.size()), count);
+}
+
+TEST(InstanceHashTest, CanonicalTextParsesBackToSameKey) {
+  // The canonical text is itself valid HyperBench input and a fixed
+  // point of normalization.
+  Hypergraph h = RandomHypergraph(18, 20, 2, 4, 7);
+  NormalizedInstance norm = NormalizeInstance(h);
+  std::string error;
+  auto reparsed = ReadHypergraphFromString(norm.canonical_text, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(NormalizeInstance(*reparsed).key, norm.key);
+}
+
+TEST(InstanceHashTest, HashStableAcrossRunsAndPlatforms) {
+  // Golden values: pure integer arithmetic, so these must never change
+  // (a silent change would orphan every persisted cache entry).
+  EXPECT_EQ(HashText128(""), "5b21f68ffa77f14c2e804a18d342bf3f");
+  EXPECT_EQ(HashText128("e1(v1,v2)."), "36eaa930cb4dd18c26f7d174c2863b03");
+  Hypergraph triangle(3);
+  triangle.AddEdge({0, 1});
+  triangle.AddEdge({1, 2});
+  triangle.AddEdge({0, 2});
+  EXPECT_EQ(NormalizeInstance(triangle).key,
+            "f10e584c12b0ecb4c8504ff369813fe9");
+}
+
+TEST(InstanceHashTest, KeyToBitsRoundTrip) {
+  const std::string key = HashText128("some instance");
+  Bitset bits = KeyToBits(key);
+  EXPECT_EQ(bits.size(), 128);
+  // Distinct keys give distinct bitsets; equal keys equal bitsets.
+  EXPECT_EQ(bits, KeyToBits(key));
+  EXPECT_FALSE(bits == KeyToBits(HashText128("another instance")));
+  // Spot-check nibble placement: key "0...01" sets exactly bit 64 (low
+  // bit of the second 64-bit half).
+  std::string low_one(32, '0');
+  low_one[31] = '1';
+  Bitset spot = KeyToBits(low_one);
+  EXPECT_EQ(spot.Count(), 1);
+  EXPECT_TRUE(spot.Test(64));
+}
+
+TEST(InstanceHashTest, NormalizedHypergraphMatchesOriginalStructure) {
+  Hypergraph h = RandomHypergraph(16, 18, 2, 4, 11);
+  NormalizedInstance norm = NormalizeInstance(h);
+  EXPECT_EQ(norm.hypergraph.NumVertices(), h.NumVertices());
+  EXPECT_EQ(norm.hypergraph.NumEdges(), h.NumEdges());
+  EXPECT_EQ(norm.hypergraph.name(), norm.key);
+  // Edge size multiset is preserved.
+  std::multiset<int> before, after;
+  for (int e = 0; e < h.NumEdges(); ++e) before.insert(h.EdgeSize(e));
+  for (int e = 0; e < norm.hypergraph.NumEdges(); ++e) {
+    after.insert(norm.hypergraph.EdgeSize(e));
+  }
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace hypertree

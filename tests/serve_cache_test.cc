@@ -1,0 +1,203 @@
+#include "serve/cache_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ghd/ghw_from_ordering.h"
+#include "hypergraph/generators.h"
+#include "io/ghd_format.h"
+#include "ordering/heuristics.h"
+#include "search/decomp_cache.h"
+#include "serve/instance_hash.h"
+#include "util/rng.h"
+
+namespace hypertree {
+namespace {
+
+using serve::CanonicalWitnessText;
+using serve::GhdFromSubtree;
+using serve::NormalizeInstance;
+using serve::PackMeta;
+using serve::PersistentCacheStore;
+using serve::StoredWitness;
+using serve::SubtreeFromGhd;
+using serve::UnpackMeta;
+using serve::WitnessMeta;
+
+GeneralizedHypertreeDecomposition MakeGhd(const Hypergraph& h,
+                                          uint64_t seed) {
+  GhwEvaluator eval(h);
+  Rng rng(seed);
+  return eval.BuildGhd(MinFillOrdering(eval.primal(), &rng),
+                       CoverMode::kExact);
+}
+
+TEST(ServeCacheTest, MetaPackRoundTrip) {
+  for (int width : {0, 1, 7, 1000}) {
+    for (int lower : {0, 1, width}) {
+      for (bool exact : {false, true}) {
+        WitnessMeta meta{width, lower, exact};
+        WitnessMeta back = UnpackMeta(PackMeta(meta));
+        EXPECT_EQ(back.width, width);
+        EXPECT_EQ(back.lower_bound, lower);
+        EXPECT_EQ(back.exact, exact);
+      }
+    }
+  }
+}
+
+TEST(ServeCacheTest, SubtreeRoundTripIsByteIdentical) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Hypergraph h = RandomHypergraph(16, 18, 2, 4, seed);
+    auto norm = NormalizeInstance(h);
+    GeneralizedHypertreeDecomposition ghd = MakeGhd(norm.hypergraph, seed);
+    CachedSubtree subtree = SubtreeFromGhd(ghd);
+    std::string text = CanonicalWitnessText(subtree, norm.hypergraph);
+
+    // Reconstructed GHD is valid and equally wide.
+    GeneralizedHypertreeDecomposition back = GhdFromSubtree(subtree);
+    std::string why;
+    EXPECT_TRUE(back.IsValidFor(norm.hypergraph, &why)) << why;
+    EXPECT_EQ(back.Width(), ghd.Width());
+
+    // text -> ReadGhd -> SubtreeFromGhd -> text is a fixed point: this
+    // is the property that makes memory hits, disk hits and cold solves
+    // answer byte-identical witnesses.
+    auto parsed = ReadGhdFromString(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(CanonicalWitnessText(SubtreeFromGhd(*parsed), norm.hypergraph),
+              text);
+  }
+}
+
+TEST(ServeCacheTest, DecompCacheInstanceEntries) {
+  DecompCache cache(4);
+  Hypergraph h = RandomHypergraph(12, 14, 2, 4, 3);
+  auto norm = NormalizeInstance(h);
+  auto subtree = std::make_shared<CachedSubtree>(
+      SubtreeFromGhd(MakeGhd(norm.hypergraph, 3)));
+
+  EXPECT_EQ(cache.LookupInstance(norm.key_bits),
+            DecompCache::Outcome::kUnknown);
+  EXPECT_EQ(cache.NumEntries(), size_t{0});
+
+  WitnessMeta meta{3, 3, true};
+  cache.InsertInstance(norm.key_bits, PackMeta(meta), subtree);
+  int packed = 0;
+  std::shared_ptr<const CachedSubtree> got;
+  EXPECT_EQ(cache.LookupInstance(norm.key_bits, &packed, &got),
+            DecompCache::Outcome::kPositive);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), subtree.get());
+  EXPECT_EQ(UnpackMeta(packed).width, 3);
+
+  // First write wins: a second insert under the same key is ignored.
+  auto other = std::make_shared<CachedSubtree>(*subtree);
+  cache.InsertInstance(norm.key_bits, PackMeta({9, 9, true}), other);
+  cache.LookupInstance(norm.key_bits, &packed, &got);
+  EXPECT_EQ(got.get(), subtree.get());
+  EXPECT_EQ(UnpackMeta(packed).width, 3);
+
+  // Shard accounting: one entry total, spread over 4 shards.
+  EXPECT_EQ(cache.NumEntries(), size_t{1});
+  EXPECT_EQ(cache.num_shards(), 4);
+  size_t total = 0;
+  for (size_t count : cache.ShardEntryCounts()) total += count;
+  EXPECT_EQ(total, size_t{1});
+
+  // The instance keyspace (k = -2) does not collide with det-k or
+  // transposition entries for the same bitset.
+  EXPECT_FALSE(cache.DominatedOrInsert(norm.key_bits, 5));
+  EXPECT_EQ(cache.Lookup(norm.key_bits, Bitset(), 1),
+            DecompCache::Outcome::kUnknown);
+  EXPECT_EQ(cache.NumEntries(), size_t{2});
+}
+
+class PersistentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "serve_cache_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    h_ = RandomHypergraph(14, 16, 2, 4, 5);
+    norm_ = NormalizeInstance(h_);
+    witness_.witness_text = CanonicalWitnessText(
+        SubtreeFromGhd(MakeGhd(norm_.hypergraph, 5)), norm_.hypergraph);
+    witness_.meta = {3, 3, true};
+    witness_.vertices = norm_.hypergraph.NumVertices();
+    witness_.edges = norm_.hypergraph.NumEdges();
+    witness_.solver = "portfolio";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  Hypergraph h_;
+  serve::NormalizedInstance norm_;
+  StoredWitness witness_;
+};
+
+TEST_F(PersistentStoreTest, StoreThenLoadRoundTrips) {
+  PersistentCacheStore store(dir_);
+  ASSERT_TRUE(store.enabled());
+  std::string error;
+  ASSERT_TRUE(store.Store(norm_.key, norm_.canonical_text, witness_, &error))
+      << error;
+  auto loaded = store.Load(norm_.key, norm_.canonical_text, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->witness_text, witness_.witness_text);
+  EXPECT_EQ(loaded->meta.width, 3);
+  EXPECT_EQ(loaded->meta.lower_bound, 3);
+  EXPECT_TRUE(loaded->meta.exact);
+  EXPECT_EQ(loaded->vertices, witness_.vertices);
+  EXPECT_EQ(loaded->edges, witness_.edges);
+  EXPECT_EQ(loaded->solver, "portfolio");
+}
+
+TEST_F(PersistentStoreTest, MissAndDisabledStore) {
+  PersistentCacheStore store(dir_);
+  EXPECT_FALSE(store.Load(norm_.key, norm_.canonical_text).has_value());
+
+  PersistentCacheStore disabled("");
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_TRUE(disabled.Store(norm_.key, norm_.canonical_text, witness_));
+  EXPECT_FALSE(disabled.Load(norm_.key, norm_.canonical_text).has_value());
+}
+
+TEST_F(PersistentStoreTest, InstanceTextMismatchIsAMiss) {
+  PersistentCacheStore store(dir_);
+  ASSERT_TRUE(store.Store(norm_.key, norm_.canonical_text, witness_));
+  // Same key, different canonical text: a (simulated) hash collision
+  // must not answer with the other instance's witness.
+  std::string error;
+  EXPECT_FALSE(
+      store.Load(norm_.key, norm_.canonical_text + "x", &error).has_value());
+  EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+}
+
+TEST_F(PersistentStoreTest, CorruptEntriesAreMisses) {
+  PersistentCacheStore store(dir_);
+  ASSERT_TRUE(store.Store(norm_.key, norm_.canonical_text, witness_));
+  const std::string base = dir_ + "/" + norm_.key.substr(0, 2) + "/" +
+                           norm_.key;
+  {
+    // Truncated witness file: meta verifies but the GHD no longer parses.
+    std::ofstream out(base + ".ghd", std::ios::trunc);
+    out << witness_.witness_text.substr(0, witness_.witness_text.size() / 2);
+  }
+  std::string error;
+  EXPECT_FALSE(store.Load(norm_.key, norm_.canonical_text, &error).has_value());
+  {
+    // Unparsable meta JSON.
+    std::ofstream out(base + ".json", std::ios::trunc);
+    out << "{not json";
+  }
+  EXPECT_FALSE(store.Load(norm_.key, norm_.canonical_text, &error).has_value());
+  EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace hypertree

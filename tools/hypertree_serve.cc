@@ -1,0 +1,47 @@
+// hypertree_serve: long-running decomposition-as-a-service daemon.
+//
+//   hypertree_serve [flags]
+//
+//   --port=N             loopback TCP port (default 7411; 0 = ephemeral,
+//                        printed on startup)
+//   --cache-dir=DIR      persistent content-addressed witness store
+//                        (default: none — memory cache only)
+//   --metrics=FILE       append one NDJSON access record per request
+//   --budget-seconds=S   default per-request solve budget (default 10)
+//   --threads=N          portfolio racing threads (default: hardware)
+//   --mem-shards=N       in-memory cache lock shards (default 16)
+//   --max-requests=N     exit after N requests (default: run until
+//                        shutdown request or SIGTERM/SIGINT)
+//
+// Protocol: 4-byte big-endian length prefix + JSON body per frame; see
+// docs/SERVING.md. Drive it with tools/hypertree_client.
+
+#include <cstdio>
+
+#include "serve/server.h"
+#include "util/flags.h"
+
+using namespace hypertree;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: hypertree_serve [--port=N] [--cache-dir=DIR] "
+        "[--metrics=FILE]\n"
+        "                       [--budget-seconds=S] [--threads=N]\n"
+        "                       [--mem-shards=N] [--max-requests=N]\n");
+    return 0;
+  }
+  serve::ServerOptions options;
+  options.port = static_cast<int>(flags.GetInt("port", options.port));
+  options.cache_dir = flags.GetString("cache-dir");
+  options.metrics_path = flags.GetString("metrics");
+  options.default_budget_seconds =
+      flags.GetDouble("budget-seconds", options.default_budget_seconds);
+  options.threads = static_cast<int>(flags.GetInt("threads", options.threads));
+  options.mem_shards =
+      static_cast<int>(flags.GetInt("mem-shards", options.mem_shards));
+  options.max_requests = flags.GetInt("max-requests", options.max_requests);
+  return serve::RunServer(options);
+}
