@@ -3,10 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "ghd/ghw_from_ordering.h"
 #include "graph/generators.h"
 #include "hypergraph/generators.h"
 #include "hypergraph/incidence_index.h"
+#include "kernels/kernels.h"
 #include "ordering/evaluator.h"
 #include "portfolio/features.h"
 #include "setcover/exact.h"
@@ -180,6 +183,94 @@ void BM_ExtractFeaturesTable8Set(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * instances.size());
 }
 BENCHMARK(BM_ExtractFeaturesTable8Set);
+
+// A deterministic row-major arena for the kernel benchmarks: nrows
+// rows of nbits bits at a PaddedWords stride, random fill, tail bits
+// of the last logical word kept zero (padded-capacity contract).
+struct KernelFixture {
+  KernelFixture(int nrows, int nbits, uint64_t seed)
+      : nrows(nrows),
+        nwords((nbits + 63) / 64),
+        stride(kernels::PaddedWords(nwords)),
+        mask_words((nrows + 63) / 64),
+        rows(static_cast<size_t>(nrows) * stride),
+        mask(kernels::PaddedWords(mask_words)),
+        filter(kernels::PaddedWords(nwords)) {
+    Rng rng(seed);
+    uint64_t tail = (nbits % 64 == 0) ? ~0ULL : ((1ULL << (nbits % 64)) - 1);
+    for (int r = 0; r < nrows; ++r) {
+      uint64_t* row = rows.data() + static_cast<size_t>(r) * stride;
+      for (int w = 0; w < nwords; ++w) row[w] = rng.Next();
+      row[nwords - 1] &= tail;
+    }
+    // Select roughly half the rows; keep the filter dense so filtered
+    // reductions do real work instead of early-exiting.
+    for (int r = 0; r < nrows; ++r) {
+      if (rng.Bernoulli(0.5)) mask.data()[r / 64] |= 1ULL << (r % 64);
+    }
+    for (int w = 0; w < nwords; ++w) filter.data()[w] = rng.Next() | rng.Next();
+    filter.data()[nwords - 1] &= tail;
+  }
+
+  int nrows, nwords;
+  size_t stride;
+  int mask_words;
+  kernels::WordArena rows, mask, filter;
+};
+
+// N-way OR-reduce over a row arena, one call per iteration, per
+// backend. 300 rows x 4096 bits crosses the batched backend's sharding
+// thresholds; the 64-bit shape shows the small-instance dispatch cost
+// the inline call-site fast paths avoid (docs/KERNELS.md).
+void BM_KernelOrReduce(benchmark::State& state, kernels::Backend backend) {
+  const kernels::Ops& ops = kernels::GetOps(backend);
+  KernelFixture fx(300, static_cast<int>(state.range(0)), 21);
+  kernels::WordArena dst(kernels::PaddedWords(fx.nwords));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.OrReduceRows(dst.data(), fx.nwords,
+                                              fx.rows.data(), fx.stride,
+                                              fx.mask.data(), fx.mask_words));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_KernelOrReduce, scalar, kernels::Backend::kScalar)
+    ->Arg(64)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelOrReduce, avx2, kernels::Backend::kAvx2)
+    ->Arg(64)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelOrReduce, batched, kernels::Backend::kBatched)
+    ->Arg(64)->Arg(4096);
+
+// Batched BFS: filtered frontier expansion + commit, the two-primitive
+// round ComponentSplitter runs per component, per backend.
+void BM_KernelBatchedBfs(benchmark::State& state, kernels::Backend backend) {
+  const kernels::Ops& ops = kernels::GetOps(backend);
+  KernelFixture fx(300, static_cast<int>(state.range(0)), 22);
+  kernels::WordArena reach(kernels::PaddedWords(fx.nwords));
+  kernels::WordArena acc(kernels::PaddedWords(fx.nwords));
+  kernels::WordArena pending(kernels::PaddedWords(fx.nwords));
+  for (auto _ : state) {
+    std::memcpy(pending.data(), fx.filter.data(),
+                sizeof(uint64_t) * fx.nwords);
+    std::memset(acc.data(), 0, sizeof(uint64_t) * fx.nwords);
+    bool any = true;
+    for (int round = 0; round < 4 && any; ++round) {
+      ops.OrReduceRowsFiltered(reach.data(), fx.nwords, fx.rows.data(),
+                               fx.stride, fx.mask.data(), fx.mask_words,
+                               pending.data(), &any);
+      ops.FrontierCommit(acc.data(), pending.data(), reach.data(), fx.nwords);
+    }
+    benchmark::DoNotOptimize(acc.data()[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_KernelBatchedBfs, scalar, kernels::Backend::kScalar)
+    ->Arg(64)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelBatchedBfs, avx2, kernels::Backend::kAvx2)
+    ->Arg(64)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelBatchedBfs, batched, kernels::Backend::kBatched)
+    ->Arg(64)->Arg(4096);
 
 // Candidate-separator generation (one OR sweep + decorate-sort).
 void BM_SortedCandidates(benchmark::State& state) {

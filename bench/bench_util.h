@@ -18,11 +18,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "td/exact.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 namespace hypertree::bench {
 
@@ -67,7 +70,11 @@ inline std::string Exactness(int value, bool exact) {
 ///
 ///   {"bench":..., "instance":..., "algorithm":..., "width":W,
 ///    "exact":B, "lower_bound":LB, "nodes":N, "wall_ms":MS,
-///    "deterministic":B, "counters":{...}}
+///    "deterministic":B, "counters":{...}, "kernels":{...}}
+///
+/// `kernels` reports the active kernel backend and the per-record growth
+/// of the kernels.* metrics counters (rows/calls per backend, dispatch
+/// decisions).
 ///
 /// `deterministic` marks records whose width/nodes are reproducible
 /// run-to-run (seeded, iteration-bounded work); interrupted searches
@@ -101,6 +108,7 @@ class JsonReporter {
         .Set("deterministic", deterministic)
         .Set("counters", counters.is_object() ? std::move(counters)
                                               : Json::Object());
+    AttachKernelCounters(&rec);
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot append bench record to %s\n",
@@ -130,8 +138,26 @@ class JsonReporter {
   }
 
  private:
+  // Attaches the active kernel backend and the growth of the kernels.*
+  // registry counters since the previous record, so each row reports the
+  // kernel traffic (rows/calls per backend, dispatch decisions) its own
+  // run generated rather than a process-cumulative total.
+  void AttachKernelCounters(Json* rec) {
+    Json kernels = Json::Object();
+    kernels.Set("backend",
+                std::string(kernels::BackendName(kernels::ActiveBackend())));
+    for (const auto& [name, value] : metrics::Registry::Global().Snapshot()) {
+      if (name.rfind("kernels.", 0) != 0) continue;
+      long& prev = kernel_last_[name];
+      kernels.Set(name.substr(8), value - prev);
+      prev = value;
+    }
+    rec->Set("kernels", std::move(kernels));
+  }
+
   std::string bench_;
   std::string path_;
+  std::map<std::string, long> kernel_last_;
 };
 
 }  // namespace hypertree::bench

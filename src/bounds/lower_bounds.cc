@@ -5,17 +5,21 @@
 #include <vector>
 
 #include "graph/algorithms.h"
+#include "kernels/kernels.h"
 #include "util/bitset.h"
 
 namespace hypertree {
 
 namespace {
 
-// Scratch structure for contraction-based bounds.
+// Scratch structure for contraction-based bounds. The per-row bit work
+// (masked neighbor snapshots, degree recomputes) runs through the active
+// kernel backend; on multi-word graphs — the only ones that reach this
+// generic path — the fused and+popcount ops vectorize under AVX2.
 class ContractionGraph {
  public:
   explicit ContractionGraph(const Graph& g)
-      : n_(g.NumVertices()), alive_(g.NumVertices()) {
+      : n_(g.NumVertices()), alive_(g.NumVertices()), nb_(g.NumVertices()) {
     alive_.SetAll();
     adj_.reserve(n_);
     for (int v = 0; v < n_; ++v) adj_.push_back(g.NeighborBits(v));
@@ -25,7 +29,9 @@ class ContractionGraph {
   /// Starts from the remaining graph of a partial elimination: only the
   /// active vertices are alive and rows are masked to them.
   explicit ContractionGraph(const EliminationGraph& eg)
-      : n_(eg.NumVertices()), alive_(eg.ActiveBits()) {
+      : n_(eg.NumVertices()),
+        alive_(eg.ActiveBits()),
+        nb_(eg.NumVertices()) {
     adj_.reserve(n_);
     for (int v = 0; v < n_; ++v)
       adj_.push_back(eg.IsActive(v) ? eg.NeighborBits(v) : Bitset(n_));
@@ -41,13 +47,16 @@ class ContractionGraph {
 
   /// Contracts v into u (u keeps v's neighbors) and removes v.
   void Contract(int v, int u) {
+    const kernels::Ops& ops = kernels::Active();
+    const int nwords = alive_.NumWords();
     adj_[u] |= adj_[v];
     adj_[u].Reset(u);
     adj_[u].Reset(v);
     // Redirect v's neighbors to u, adjusting degrees incrementally: w
     // loses v and gains u (net zero) unless it was already adjacent to u.
-    Bitset nb = adj_[v] & alive_;
-    for (int w = nb.First(); w >= 0; w = nb.Next(w)) {
+    // The neighbor set is snapshotted into scratch before the row edits.
+    ops.AndCount(nb_.MutableWords(), adj_[v].Words(), alive_.Words(), nwords);
+    for (int w = nb_.First(); w >= 0; w = nb_.Next(w)) {
       adj_[w].Reset(v);
       if (w != u) {
         if (adj_[w].Test(u)) --deg_[w];
@@ -55,7 +64,7 @@ class ContractionGraph {
       }
     }
     alive_.Reset(v);
-    deg_[u] = adj_[u].IntersectCount(alive_);
+    deg_[u] = ops.IntersectCount(adj_[u].Words(), alive_.Words(), nwords);
   }
 
   /// Removes an isolated vertex.
@@ -80,9 +89,10 @@ class ContractionGraph {
 
   /// Minimum-degree active neighbor of v (random tie-break); -1 if none.
   int MinDegreeNeighbor(int v, Rng* rng) const {
-    Bitset nb = adj_[v] & alive_;
+    kernels::Active().AndCount(nb_.MutableWords(), adj_[v].Words(),
+                               alive_.Words(), alive_.NumWords());
     int best = -1, best_deg = 0, ties = 0;
-    for (int u = nb.First(); u >= 0; u = nb.Next(u)) {
+    for (int u = nb_.First(); u >= 0; u = nb_.Next(u)) {
       int d = Degree(u);
       if (best == -1 || d < best_deg) {
         best = u;
@@ -98,13 +108,16 @@ class ContractionGraph {
 
  private:
   void InitDegrees() {
+    const kernels::Ops& ops = kernels::Active();
+    const int nwords = alive_.NumWords();
     deg_.assign(n_, 0);
     for (int v = alive_.First(); v >= 0; v = alive_.Next(v))
-      deg_[v] = adj_[v].IntersectCount(alive_);
+      deg_[v] = ops.IntersectCount(adj_[v].Words(), alive_.Words(), nwords);
   }
 
   int n_;
   Bitset alive_;
+  mutable Bitset nb_;  // masked-neighbor scratch (avoids per-call allocation)
   std::vector<Bitset> adj_;
   std::vector<int> deg_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "bounds/ghw_lower_bounds.h"
@@ -12,6 +11,7 @@
 #include "hypergraph/incidence_index.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
+#include "util/flat_map.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -92,7 +92,7 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
   // computation and the same child set is regenerated from many parents;
   // memoize it per eliminated set (freezing its rng-dependent
   // tie-breaking, which keeps the bound admissible).
-  std::unordered_map<Bitset, int> hb_memo;
+  BitsetFlatMap<int> hb_memo;
   bool use_hb_memo = options.use_decomp_cache;
   long push_order = 0;
 
@@ -190,16 +190,16 @@ WidthResult AStarGhw(const Hypergraph& h, const GhwSearchOptions& options) {
       child_set.Set(v);
       int hb;
       if (use_hb_memo) {
-        auto [it, inserted] = hb_memo.try_emplace(child_set, -1);
+        auto [slot, inserted] = hb_memo.TryEmplace(child_set, -1);
         if (inserted) {
           eg.Eliminate(v);
-          it->second = RemainingGhwLowerBound(eg, h, &rng);
+          *slot = RemainingGhwLowerBound(eg, index, &rng);
           eg.UndoElimination();
         }
-        hb = it->second;
+        hb = *slot;
       } else {
         eg.Eliminate(v);
-        hb = RemainingGhwLowerBound(eg, h, &rng);
+        hb = RemainingGhwLowerBound(eg, index, &rng);
         eg.UndoElimination();
       }
       int f = std::max({child_g, hb, parent_f});

@@ -1,7 +1,6 @@
 #include "ghd/branch_and_bound.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "bounds/ghw_lower_bounds.h"
 #include "ghd/ghw_from_ordering.h"
@@ -10,6 +9,7 @@
 #include "hypergraph/incidence_index.h"
 #include "ordering/heuristics.h"
 #include "search/decomp_cache.h"
+#include "util/flat_map.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -123,18 +123,18 @@ class GhwBbSearch {
     if (!use_memos_)
       return eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_,
                             nullptr);
-    auto [it, inserted] = all_cover_memo_.try_emplace(eg_.ActiveBits(), -1);
+    auto [slot, inserted] = all_cover_memo_.TryEmplace(eg_.ActiveBits(), -1);
     if (inserted)
-      it->second =
+      *slot =
           eval_.CoverBag(eg_.ActiveBits(), CoverMode::kGreedy, &rng_, nullptr);
-    return it->second;
+    return *slot;
   }
 
   int RemainingLowerBound() {
-    if (!use_memos_) return RemainingGhwLowerBound(eg_, h_, &rng_);
-    auto [it, inserted] = hb_memo_.try_emplace(eg_.ActiveBits(), -1);
-    if (inserted) it->second = RemainingGhwLowerBound(eg_, h_, &rng_);
-    return it->second;
+    if (!use_memos_) return RemainingGhwLowerBound(eg_, index_, &rng_);
+    auto [slot, inserted] = hb_memo_.TryEmplace(eg_.ActiveBits(), -1);
+    if (inserted) *slot = RemainingGhwLowerBound(eg_, index_, &rng_);
+    return *slot;
   }
 
   void Dfs(int g_val, int f_parent, int prev_vertex, const Bitset& prev_nb,
@@ -254,8 +254,8 @@ class GhwBbSearch {
   std::vector<Bitset> nb_scratch_;
   Bitset bag_scratch_{0};
   DecompCache cache_;
-  std::unordered_map<Bitset, int> all_cover_memo_;
-  std::unordered_map<Bitset, int> hb_memo_;
+  BitsetFlatMap<int> all_cover_memo_;
+  BitsetFlatMap<int> hb_memo_;
 };
 
 }  // namespace

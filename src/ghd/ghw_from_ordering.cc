@@ -44,26 +44,31 @@ GhwEvaluator::GhwEvaluator(const Hypergraph& h, const IncidenceIndex* index)
 int GhwEvaluator::CoverBag(const Bitset& bag, CoverMode mode, Rng* rng,
                            std::vector<int>* chosen) {
   if (mode == CoverMode::kExact && chosen == nullptr) {
-    auto it = exact_cache_.find(bag);
-    if (it != exact_cache_.end()) return it->second;
+    if (const int* hit = exact_cache_.Find(bag)) return *hit;
   }
   // Restrict the cover scans to the edges the incidence index reports as
   // touching the bag: edges disjoint from the bag can never join a cover
   // (and never influence greedy tie-break draws), so the result — and in
   // greedy mode the rng state — is bit-identical to the full scan.
   //
-  // Greedy covers are the per-child hot path, so the restriction must pay
-  // for its own EdgesTouching OR: with a one-word candidate universe the
-  // unrestricted scan costs one popcount per edge per round and is
-  // strictly cheaper, so only larger universes take the mask.
+  // Greedy covers are the per-child hot path; they run on the index's
+  // flat edge->vertex arena through the batched candidate-evaluation
+  // kernel (GreedySetCoverRows). The restriction must pay for its own
+  // EdgesTouching OR: with a one-word candidate universe the
+  // unrestricted packed scan is strictly cheaper, so only larger
+  // universes take the mask.
   if (mode == CoverMode::kGreedy) {
     if (h_.NumEdges() <= 64) {
-      return GreedySetCover(edge_sets_, bag, rng, chosen);
+      return GreedySetCoverRows(index_->EdgeVarRows(),
+                                index_->EdgeVarStride(), h_.NumEdges(),
+                                nullptr, bag, rng, chosen, &greedy_scratch_);
     }
     index_->EdgesTouching(bag, &touched_scratch_);
     CoverRestrictionsMetric().Increment();
     CoverCandidatesMetric().Add(touched_scratch_.Count());
-    return GreedySetCover(edge_sets_, touched_scratch_, bag, rng, chosen);
+    return GreedySetCoverRows(index_->EdgeVarRows(), index_->EdgeVarStride(),
+                              h_.NumEdges(), &touched_scratch_, bag, rng,
+                              chosen, &greedy_scratch_);
   }
   index_->EdgesTouching(bag, &touched_scratch_);
   CoverRestrictionsMetric().Increment();
@@ -71,7 +76,7 @@ int GhwEvaluator::CoverBag(const Bitset& bag, CoverMode mode, Rng* rng,
   active_scratch_.clear();
   touched_scratch_.AppendTo(&active_scratch_);
   int k = ExactSetCover(edge_sets_, active_scratch_, bag, chosen);
-  if (chosen == nullptr) exact_cache_.emplace(bag, k);
+  if (chosen == nullptr) exact_cache_.TryEmplace(bag, k);
   return k;
 }
 

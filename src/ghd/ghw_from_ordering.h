@@ -10,14 +10,15 @@
 #define HYPERTREE_GHD_GHW_FROM_ORDERING_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "ghd/ghd.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/incidence_index.h"
 #include "ordering/ordering.h"
+#include "setcover/greedy.h"
 #include "util/bitset.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace hypertree {
@@ -68,7 +69,8 @@ class GhwEvaluator {
   // scans to the edges the incidence index reports as touching the bag.
   Bitset touched_scratch_;
   std::vector<int> active_scratch_;
-  std::unordered_map<Bitset, int> exact_cache_;
+  GreedyCoverScratch greedy_scratch_;
+  BitsetFlatMap<int> exact_cache_;
 };
 
 /// Debug-mode search post-condition: rebuilds a GHD from the witness

@@ -11,6 +11,8 @@
 #include "bounds/lower_bounds.h"
 #include "graph/elimination_graph.h"
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/incidence_index.h"
+#include "kernels/kernels.h"
 #include "td/exact.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -26,14 +28,15 @@ namespace hypertree {
 /// bound L on the filled remaining graph forces a remaining bag with
 /// >= L+1 vertices, and covering it needs >= ceil((L+1)/r) hyperedges
 /// where r is the largest |edge ∩ active| (thesis §8.1 adapted to the
-/// search's residual instances).
+/// search's residual instances). The max-intersection scan runs as one
+/// kernel MaxIntersect over the index's flat edge->vertex arena.
 inline int RemainingGhwLowerBound(const EliminationGraph& eg,
-                                  const Hypergraph& h, Rng* rng) {
+                                  const IncidenceIndex& index, Rng* rng) {
   if (eg.NumActive() == 0) return 0;
-  int r = 1;
-  for (int e = 0; e < h.NumEdges(); ++e) {
-    r = std::max(r, h.EdgeBits(e).IntersectCount(eg.ActiveBits()));
-  }
+  const int r = std::max(
+      1, kernels::Active().MaxIntersect(
+             index.EdgeVarRows(), index.EdgeVarStride(), index.NumEdges(),
+             eg.ActiveBits().Words(), eg.ActiveBits().NumWords()));
   int tw_lb = MinorMinWidthLowerBound(eg, rng);
   int lb = (tw_lb + 1 + r - 1) / r;
   return std::max(lb, 1);

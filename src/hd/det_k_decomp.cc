@@ -12,6 +12,7 @@
 #include "bounds/ghw_lower_bounds.h"
 #include "ghd/search_common.h"
 #include "hypergraph/incidence_index.h"
+#include "kernels/kernels.h"
 #include "search/decomp_cache.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -176,10 +177,11 @@ class DetKWorker {
       VarsMemoEvictionsMetric().Add(static_cast<long>(vars_memo_.size()));
       vars_memo_.clear();
     }
+    // One kernel OR-reduce over the index's edge->vertex arena.
     Bitset vars(ctx_.n);
-    for (int e = edges.First(); e >= 0; e = edges.Next(e)) {
-      vars |= ctx_.h.EdgeBits(e);
-    }
+    kernels::Active().OrReduceRows(
+        vars.MutableWords(), ctx_.index.VertWords(), ctx_.index.EdgeVarRows(),
+        ctx_.index.EdgeVarStride(), edges.Words(), edges.NumWords());
     return vars_memo_.emplace(edges, std::move(vars)).first->second;
   }
 

@@ -1,6 +1,7 @@
 #include "hypergraph/incidence_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 #include "util/metrics.h"
@@ -59,8 +60,27 @@ void ConfigureSlot(Bitset* b, int bits) {
 
 }  // namespace
 
+namespace {
+
+// Arena row stride for rows of `words` words: single-word rows pack
+// contiguously (four rows per 256-bit lane in the AVX2 backend),
+// multi-word rows start on a fresh lane.
+size_t RowStride(int words) {
+  return words <= 1 ? 1 : static_cast<size_t>(kernels::PaddedWords(words));
+}
+
+}  // namespace
+
 IncidenceIndex::IncidenceIndex(const Hypergraph& h)
-    : h_(h), n_(h.NumVertices()), m_(h.NumEdges()) {
+    : h_(h),
+      n_(h.NumVertices()),
+      m_(h.NumEdges()),
+      edge_words_((m_ + 63) / 64),
+      vert_words_((n_ + 63) / 64),
+      ve_stride_(RowStride(edge_words_)),
+      ev_stride_(RowStride(vert_words_)),
+      vertex_edge_rows_(static_cast<size_t>(n_) * ve_stride_),
+      edge_var_rows_(static_cast<size_t>(m_) * ev_stride_) {
   vertex_edges_.reserve(n_);
   for (int v = 0; v < n_; ++v) vertex_edges_.emplace_back(m_);
   edge_neighbors_.reserve(m_);
@@ -79,16 +99,30 @@ IncidenceIndex::IncidenceIndex(const Hypergraph& h)
       edge_neighbors_[e] |= row;
     }
   }
+  // Flat copies of the two hot row families for the kernel layer. The
+  // arenas are zero-initialized, so inter-row padding stays zero.
+  for (int v = 0; v < n_; ++v) {
+    std::memcpy(vertex_edge_rows_.data() + static_cast<size_t>(v) * ve_stride_,
+                vertex_edges_[v].Words(),
+                sizeof(uint64_t) * static_cast<size_t>(edge_words_));
+  }
+  for (int e = 0; e < m_; ++e) {
+    std::memcpy(edge_var_rows_.data() + static_cast<size_t>(e) * ev_stride_,
+                h.EdgeBits(e).Words(),
+                sizeof(uint64_t) * static_cast<size_t>(vert_words_));
+  }
   BuildsMetric().Increment();
-  BytesMetric().Add(static_cast<long>(n_ + m_) * ((m_ + 63) / 64) * 8);
+  BytesMetric().Add(static_cast<long>(n_ + m_) * ((m_ + 63) / 64) * 8 +
+                    static_cast<long>(vertex_edge_rows_.size() +
+                                      edge_var_rows_.size()) *
+                        8);
 }
 
 void IncidenceIndex::EdgesTouching(const Bitset& vars, Bitset* out) const {
   HT_DCHECK_EQ(out->size(), m_);
-  out->Clear();
-  for (int v = vars.First(); v >= 0; v = vars.Next(v)) {
-    *out |= vertex_edges_[v];
-  }
+  kernels::Active().OrReduceRows(out->MutableWords(), edge_words_,
+                                 vertex_edge_rows_.data(), ve_stride_,
+                                 vars.Words(), vars.NumWords());
 }
 
 void ComponentSplitter::Attach(const IncidenceIndex* index) {
@@ -104,13 +138,17 @@ int ComponentSplitter::Split(const Bitset& comp, const Bitset& sep_vars,
                              std::vector<Bitset>* out, size_t out_base) {
   HT_DCHECK(index_ != nullptr);
   const Hypergraph& h = index_->hypergraph();
+  const kernels::Ops& ops = kernels::Active();
+  const int edge_words = index_->EdgeWords();
+  const int vert_words = index_->VertWords();
   SplitsMetric().Increment();
   // Edges with at least one vertex outside the separator take part in
   // the split; edges fully inside sep_vars vanish (they are covered).
-  pending_.Clear();
-  for (int e = comp.First(); e >= 0; e = comp.Next(e)) {
-    if (!h.EdgeBits(e).IsSubsetOf(sep_vars)) pending_.Set(e);
-  }
+  // One multi-row ANDNOT-emptiness kernel call over the edge->vertex
+  // arena replaces the per-edge subset loop.
+  ops.FilterRowsNotSubset(pending_.MutableWords(), index_->EdgeVarRows(),
+                          index_->EdgeVarStride(), comp.Words(),
+                          comp.NumWords(), sep_vars.Words(), vert_words);
   int count = 0;
   long expansions = 0;
   for (int seed = pending_.First(); seed >= 0; seed = pending_.First()) {
@@ -124,29 +162,28 @@ int ComponentSplitter::Split(const Bitset& comp, const Bitset& sep_vars,
     ConfigureSlot(&comp_edges, index_->NumEdges());
     comp_edges.Set(seed);
     pending_.Reset(seed);
-    // Word-parallel BFS: frontier expansion is the OR of the incidence
-    // rows of the frontier's non-separator vertices, masked by the
-    // still-unassigned edges. Every vertex is expanded at most once per
-    // split and every edge joins at most one component, so the whole
-    // split is O(sum deg * m/64 + sum |e| * n/64) words instead of the
-    // naive O(|comp|^2) subset rounds.
+    // Word-parallel BFS through the kernel layer: each round is one
+    // fused OR-reduce of the frontier's incidence rows masked by the
+    // still-unassigned edges, a frontier commit (claim reached edges),
+    // and one OR-reduce of the reached edges' vertex rows. Every vertex
+    // is expanded at most once per split and every edge joins at most
+    // one component, so the whole split is O(sum deg * m/64 +
+    // sum |e| * n/64) words instead of the naive O(|comp|^2) subset
+    // rounds.
     frontier_vars_.AssignDiff(h.EdgeBits(seed), sep_vars);
     seen_vars_ = frontier_vars_;
     while (frontier_vars_.Any()) {
-      reach_edges_.Clear();
-      for (int v = frontier_vars_.First(); v >= 0;
-           v = frontier_vars_.Next(v)) {
-        reach_edges_ |= index_->VertexEdges(v);
-        ++expansions;
-      }
-      reach_edges_ &= pending_;
-      if (reach_edges_.None()) break;
-      comp_edges |= reach_edges_;
-      pending_ -= reach_edges_;
-      next_vars_.Clear();
-      for (int e = reach_edges_.First(); e >= 0; e = reach_edges_.Next(e)) {
-        next_vars_ |= h.EdgeBits(e);
-      }
+      bool any = false;
+      expansions += ops.OrReduceRowsFiltered(
+          reach_edges_.MutableWords(), edge_words, index_->VertexEdgeRows(),
+          index_->VertexEdgeStride(), frontier_vars_.Words(),
+          frontier_vars_.NumWords(), pending_.Words(), &any);
+      if (!any) break;
+      ops.FrontierCommit(comp_edges.MutableWords(), pending_.MutableWords(),
+                         reach_edges_.Words(), edge_words);
+      ops.OrReduceRows(next_vars_.MutableWords(), vert_words,
+                       index_->EdgeVarRows(), index_->EdgeVarStride(),
+                       reach_edges_.Words(), reach_edges_.NumWords());
       next_vars_ -= sep_vars;
       next_vars_ -= seen_vars_;
       seen_vars_ |= next_vars_;
@@ -168,12 +205,21 @@ void CandidateGenerator::SortedCandidates(const Bitset& conn,
                                           const Bitset& scope,
                                           std::vector<int>* out) {
   HT_DCHECK(index_ != nullptr);
-  const Hypergraph& h = index_->hypergraph();
   CandidateListsMetric().Increment();
   index_->EdgesTouching(scope, &touched_);
+  // Batched candidate evaluation: materialize the touched edge ids
+  // (ascending) and score them all against the connector set in one
+  // kernel call over the edge->vertex arena.
+  cand_ids_.clear();
+  touched_.AppendTo(&cand_ids_);
+  const int k = static_cast<int>(cand_ids_.size());
+  if (static_cast<int>(counts_.size()) < k) counts_.resize(k);
+  kernels::Active().ScoreRows(counts_.data(), index_->EdgeVarRows(),
+                              index_->EdgeVarStride(), cand_ids_.data(), k,
+                              conn.Words(), index_->VertWords());
   decorated_.clear();
-  for (int e = touched_.First(); e >= 0; e = touched_.Next(e)) {
-    decorated_.emplace_back(h.EdgeBits(e).IntersectCount(conn), e);
+  for (int i = 0; i < k; ++i) {
+    decorated_.emplace_back(counts_[i], cand_ids_[i]);
   }
   // Count descending, edge id ascending: the total order a stable sort
   // by descending count over the ascending edge scan produces.

@@ -30,12 +30,22 @@
 #include <vector>
 
 #include "hypergraph/hypergraph.h"
+#include "kernels/kernels.h"
 #include "util/bitset.h"
 
 namespace hypertree {
 
 /// Immutable per-instance incidence index: vertex -> incident edges and
 /// edge -> intersecting edges, both as edge-universe bitsets.
+///
+/// Besides the per-row Bitset views, the index keeps the two hot row
+/// families in flat row-major word arenas (row r at Rows() + r * Stride())
+/// shaped for the kernel layer (src/kernels/kernels.h): single-word rows
+/// pack at stride 1 so vector backends process four rows per 256-bit
+/// lane, multi-word rows at a whole-lane stride. The arenas are built
+/// once and immutable, so any number of search workers — including the
+/// batched kernel backend's worker pool — share them without
+/// synchronization.
 class IncidenceIndex {
  public:
   explicit IncidenceIndex(const Hypergraph& h);
@@ -54,14 +64,35 @@ class IncidenceIndex {
 
   /// out := union of VertexEdges(v) over the vertices of `vars` — the
   /// edges touching `vars`. `out` must be an m-bit set; overwritten.
+  /// One kernel OR-reduce over the vertex->edges arena.
   void EdgesTouching(const Bitset& vars, Bitset* out) const;
+
+  /// Flat vertex->edges rows: n rows of EdgeWords() words at
+  /// VertexEdgeStride() (row v = VertexEdges(v)).
+  const uint64_t* VertexEdgeRows() const { return vertex_edge_rows_.data(); }
+  size_t VertexEdgeStride() const { return ve_stride_; }
+
+  /// Flat edge->vertices rows: m rows of VertWords() words at
+  /// EdgeVarStride() (row e = hypergraph().EdgeBits(e)).
+  const uint64_t* EdgeVarRows() const { return edge_var_rows_.data(); }
+  size_t EdgeVarStride() const { return ev_stride_; }
+
+  /// Words per edge-universe (m-bit) row / vertex-universe (n-bit) row.
+  int EdgeWords() const { return edge_words_; }
+  int VertWords() const { return vert_words_; }
 
  private:
   const Hypergraph& h_;
   int n_;
   int m_;
+  int edge_words_;
+  int vert_words_;
+  size_t ve_stride_;
+  size_t ev_stride_;
   std::vector<Bitset> vertex_edges_;
   std::vector<Bitset> edge_neighbors_;
+  kernels::WordArena vertex_edge_rows_;
+  kernels::WordArena edge_var_rows_;
 };
 
 /// Word-parallel edge-component splitting: the edges of `comp` not fully
@@ -118,6 +149,8 @@ class CandidateGenerator {
  private:
   const IncidenceIndex* index_ = nullptr;
   Bitset touched_;  // m: edges intersecting scope
+  std::vector<int> cand_ids_;  // touched edge ids, ascending
+  std::vector<int> counts_;    // kernel-scored |edge ∩ conn| per candidate
   std::vector<std::pair<int, int>> decorated_;  // (connector count, edge)
 };
 

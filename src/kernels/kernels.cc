@@ -1,0 +1,598 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "kernels/kernels_internal.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace hypertree::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend: one word at a time, in ascending row / word
+// order. Every other backend is checked byte-for-byte against these.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+inline const uint64_t* Row(const uint64_t* rows, size_t stride, int r) {
+  return rows + static_cast<size_t>(r) * stride;
+}
+
+int OrReduceColumns(uint64_t* dst, int clo, int chi, const uint64_t* rows,
+                    size_t stride, const uint64_t* mask, int mask_words) {
+  for (int i = clo; i < chi; ++i) dst[i] = 0;
+  int nrows = 0;
+  for (int w = 0; w < mask_words; ++w) {
+    uint64_t m = mask[w];
+    while (m != 0) {
+      const int v = w * 64 + __builtin_ctzll(m);
+      m &= m - 1;
+      const uint64_t* row = Row(rows, stride, v);
+      for (int i = clo; i < chi; ++i) dst[i] |= row[i];
+      ++nrows;
+    }
+  }
+  return nrows;
+}
+
+int OrReduceRows(uint64_t* dst, int nwords, const uint64_t* rows,
+                 size_t stride, const uint64_t* mask, int mask_words) {
+  return OrReduceColumns(dst, 0, nwords, rows, stride, mask, mask_words);
+}
+
+int OrReduceRowsFiltered(uint64_t* dst, int nwords, const uint64_t* rows,
+                         size_t stride, const uint64_t* mask, int mask_words,
+                         const uint64_t* filter, bool* out_any) {
+  const int nrows = OrReduceColumns(dst, 0, nwords, rows, stride, mask,
+                                    mask_words);
+  uint64_t any = 0;
+  for (int i = 0; i < nwords; ++i) {
+    dst[i] &= filter[i];
+    any |= dst[i];
+  }
+  *out_any = any != 0;
+  return nrows;
+}
+
+void FrontierCommit(uint64_t* acc, uint64_t* pending, const uint64_t* reach,
+                    int nwords) {
+  for (int i = 0; i < nwords; ++i) {
+    acc[i] |= reach[i];
+    pending[i] &= ~reach[i];
+  }
+}
+
+void FilterRowsNotSubsetRange(uint64_t* out_mask, const uint64_t* rows,
+                              size_t stride, const uint64_t* mask, int wlo,
+                              int whi, const uint64_t* b, int nwords) {
+  for (int w = wlo; w < whi; ++w) {
+    uint64_t out = 0;
+    uint64_t m = mask[w];
+    while (m != 0) {
+      const int bit = __builtin_ctzll(m);
+      m &= m - 1;
+      const uint64_t* row = Row(rows, stride, w * 64 + bit);
+      for (int i = 0; i < nwords; ++i) {
+        if ((row[i] & ~b[i]) != 0) {
+          out |= uint64_t{1} << bit;
+          break;
+        }
+      }
+    }
+    out_mask[w] = out;
+  }
+}
+
+void FilterRowsNotSubset(uint64_t* out_mask, const uint64_t* rows,
+                         size_t stride, const uint64_t* mask, int mask_words,
+                         const uint64_t* b, int nwords) {
+  FilterRowsNotSubsetRange(out_mask, rows, stride, mask, 0, mask_words, b,
+                           nwords);
+}
+
+void ScoreRowsRange(int* counts, const uint64_t* rows, size_t stride,
+                    const int* idx, int lo, int hi, const uint64_t* conn,
+                    int nwords) {
+  for (int i = lo; i < hi; ++i) {
+    const uint64_t* row = Row(rows, stride, idx != nullptr ? idx[i] : i);
+    int c = 0;
+    for (int w = 0; w < nwords; ++w) {
+      c += __builtin_popcountll(row[w] & conn[w]);
+    }
+    counts[i] = c;
+  }
+}
+
+void ScoreRows(int* counts, const uint64_t* rows, size_t stride,
+               const int* idx, int k, const uint64_t* conn, int nwords) {
+  ScoreRowsRange(counts, rows, stride, idx, 0, k, conn, nwords);
+}
+
+int MaxIntersectRange(const uint64_t* rows, size_t stride, int lo, int hi,
+                      const uint64_t* conn, int nwords) {
+  int best = 0;
+  for (int r = lo; r < hi; ++r) {
+    const uint64_t* row = Row(rows, stride, r);
+    int c = 0;
+    for (int w = 0; w < nwords; ++w) {
+      c += __builtin_popcountll(row[w] & conn[w]);
+    }
+    if (c > best) best = c;
+  }
+  return best;
+}
+
+int MaxIntersect(const uint64_t* rows, size_t stride, int nrows,
+                 const uint64_t* conn, int nwords) {
+  return MaxIntersectRange(rows, stride, 0, nrows, conn, nwords);
+}
+
+int AndCount(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+             int nwords) {
+  int c = 0;
+  for (int i = 0; i < nwords; ++i) {
+    dst[i] = a[i] & b[i];
+    c += __builtin_popcountll(dst[i]);
+  }
+  return c;
+}
+
+int AndNotCount(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                int nwords) {
+  int c = 0;
+  for (int i = 0; i < nwords; ++i) {
+    dst[i] = a[i] & ~b[i];
+    c += __builtin_popcountll(dst[i]);
+  }
+  return c;
+}
+
+int IntersectCount(const uint64_t* a, const uint64_t* b, int nwords) {
+  int c = 0;
+  for (int i = 0; i < nwords; ++i) c += __builtin_popcountll(a[i] & b[i]);
+  return c;
+}
+
+bool AndNotIsEmpty(const uint64_t* a, const uint64_t* b, int nwords) {
+  for (int i = 0; i < nwords; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Batched backend: shards large row batches over an internal worker pool
+// and delegates the per-shard arithmetic to the best SIMD table. Shards
+// write disjoint output slots, so results are bit-identical to the
+// scalar oracle regardless of worker count or scheduling.
+//
+// The pool is module-owned and distinct from the search ThreadPools: a
+// batched kernel called from inside a search worker must never Wait()
+// on the pool that worker came from (classic nested-wait deadlock).
+// ---------------------------------------------------------------------------
+
+namespace batched {
+
+// Below these sizes the task-wave overhead dwarfs the work; delegate to
+// the SIMD table in the calling thread. Thresholds are fixed constants
+// (not tuned per machine) so the shard/no-shard decision — and thus the
+// kernels.batched.* counters — is deterministic.
+constexpr int kMinRowsToShard = 256;
+constexpr long kMinWordsToShard = 16384;
+constexpr int kMinColumnsToShard = 4096;
+
+ThreadPool& Pool() {
+  static ThreadPool* pool =
+      new ThreadPool(std::min(8, ThreadPool::HardwareThreads()));
+  return *pool;
+}
+
+// Serializes task waves so Pool().Wait() only ever waits on this wave's
+// shards (concurrent searches can issue batched kernels simultaneously).
+std::mutex& WaveMu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+metrics::Counter& WaveCounter() {
+  static metrics::Counter& c = metrics::GetCounter("kernels.batched.waves");
+  return c;
+}
+
+// Splits [0, n) into roughly equal shards and runs `fn(lo, hi)` for each
+// on the pool, blocking until all shards finish.
+template <typename Fn>
+void RunWave(int n, const Fn& fn) {
+  ThreadPool& pool = Pool();
+  const int nshards = std::min(pool.NumThreads(), n);
+  std::lock_guard<std::mutex> lock(WaveMu());
+  WaveCounter().Increment();
+  for (int s = 0; s < nshards; ++s) {
+    const int lo = static_cast<int>(static_cast<long>(n) * s / nshards);
+    const int hi = static_cast<int>(static_cast<long>(n) * (s + 1) / nshards);
+    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+void ScoreRows(int* counts, const uint64_t* rows, size_t stride,
+               const int* idx, int k, const uint64_t* conn, int nwords) {
+  if (k < kMinRowsToShard ||
+      static_cast<long>(k) * nwords < kMinWordsToShard) {
+    internal::SimdRaw().ScoreRows(counts, rows, stride, idx, k, conn, nwords);
+    return;
+  }
+  RunWave(k, [&](int lo, int hi) {
+    internal::SimdRange().ScoreRowsRange(counts, rows, stride, idx, lo, hi,
+                                         conn, nwords);
+  });
+}
+
+int MaxIntersect(const uint64_t* rows, size_t stride, int nrows,
+                 const uint64_t* conn, int nwords) {
+  if (nrows < kMinRowsToShard ||
+      static_cast<long>(nrows) * nwords < kMinWordsToShard) {
+    return internal::SimdRaw().MaxIntersect(rows, stride, nrows, conn,
+                                            nwords);
+  }
+  int shard_best[64] = {};
+  std::atomic<int> next{0};
+  RunWave(nrows, [&](int lo, int hi) {
+    const int slot = next.fetch_add(1, std::memory_order_relaxed);
+    shard_best[slot] =
+        internal::SimdRange().MaxIntersectRange(rows, stride, lo, hi, conn,
+                                                nwords);
+  });
+  // max() is commutative, so combining in slot order is deterministic
+  // even though shard-to-slot assignment is not.
+  int best = 0;
+  for (int b : shard_best) best = std::max(best, b);
+  return best;
+}
+
+void FilterRowsNotSubset(uint64_t* out_mask, const uint64_t* rows,
+                         size_t stride, const uint64_t* mask, int mask_words,
+                         const uint64_t* b, int nwords) {
+  if (mask_words * 64 < kMinRowsToShard ||
+      static_cast<long>(mask_words) * 64 * nwords < kMinWordsToShard) {
+    internal::SimdRaw().FilterRowsNotSubset(out_mask, rows, stride, mask,
+                                            mask_words, b, nwords);
+    return;
+  }
+  RunWave(mask_words, [&](int wlo, int whi) {
+    internal::SimdRange().FilterRowsNotSubsetRange(out_mask, rows, stride,
+                                                   mask, wlo, whi, b, nwords);
+  });
+}
+
+int OrReduceRows(uint64_t* dst, int nwords, const uint64_t* rows,
+                 size_t stride, const uint64_t* mask, int mask_words) {
+  if (nwords < kMinColumnsToShard) {
+    return internal::SimdRaw().OrReduceRows(dst, nwords, rows, stride, mask,
+                                            mask_words);
+  }
+  // Column sharding: each worker OR-reduces its own word range of every
+  // masked row. Only worthwhile on very wide universes (>= 256k bits).
+  std::atomic<int> nrows{0};
+  RunWave(nwords, [&](int clo, int chi) {
+    const int n = internal::SimdRange().OrReduceColumns(dst, clo, chi, rows,
+                                                        stride, mask,
+                                                        mask_words);
+    nrows.store(n, std::memory_order_relaxed);  // identical in every shard
+  });
+  return nrows.load(std::memory_order_relaxed);
+}
+
+int OrReduceRowsFiltered(uint64_t* dst, int nwords, const uint64_t* rows,
+                         size_t stride, const uint64_t* mask, int mask_words,
+                         const uint64_t* filter, bool* out_any) {
+  if (nwords < kMinColumnsToShard) {
+    return internal::SimdRaw().OrReduceRowsFiltered(
+        dst, nwords, rows, stride, mask, mask_words, filter, out_any);
+  }
+  const int nrows = OrReduceRows(dst, nwords, rows, stride, mask, mask_words);
+  uint64_t any = 0;
+  for (int i = 0; i < nwords; ++i) {
+    dst[i] &= filter[i];
+    any |= dst[i];
+  }
+  *out_any = any != 0;
+  return nrows;
+}
+
+}  // namespace batched
+
+// ---------------------------------------------------------------------------
+// Dispatch: public tables wrap the raw backends with per-backend row
+// counters (only the row-batch ops count; the single-pair ops are too
+// hot for even a relaxed atomic per call).
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+const Ops& RawFor();
+
+template <>
+const Ops& RawFor<Backend::kScalar>() {
+  return internal::ScalarRaw();
+}
+template <>
+const Ops& RawFor<Backend::kAvx2>() {
+  return internal::Avx2Raw();
+}
+template <>
+const Ops& RawFor<Backend::kBatched>() {
+  static const Ops table = [] {
+    Ops t = internal::SimdRaw();
+    t.name = "batched";
+    t.OrReduceRows = batched::OrReduceRows;
+    t.OrReduceRowsFiltered = batched::OrReduceRowsFiltered;
+    t.FilterRowsNotSubset = batched::FilterRowsNotSubset;
+    t.ScoreRows = batched::ScoreRows;
+    t.MaxIntersect = batched::MaxIntersect;
+    return t;
+  }();
+  return table;
+}
+
+template <Backend B>
+metrics::Counter& RowsCounter() {
+  static metrics::Counter& c = metrics::GetCounter(
+      std::string("kernels.rows.") + BackendName(B));
+  return c;
+}
+
+template <Backend B>
+metrics::Counter& CallsCounter() {
+  static metrics::Counter& c = metrics::GetCounter(
+      std::string("kernels.calls.") + BackendName(B));
+  return c;
+}
+
+// Counted façade over a raw backend table. Row-batch ops add the number
+// of rows they touched to kernels.rows.<backend> and one call to
+// kernels.calls.<backend>; pure word-pair ops pass through uncounted.
+template <Backend B>
+struct Counted {
+  static int OrReduceRows(uint64_t* dst, int nwords, const uint64_t* rows,
+                          size_t stride, const uint64_t* mask,
+                          int mask_words) {
+    const int n = RawFor<B>().OrReduceRows(dst, nwords, rows, stride, mask,
+                                           mask_words);
+    RowsCounter<B>().Add(n);
+    CallsCounter<B>().Increment();
+    return n;
+  }
+  static int OrReduceRowsFiltered(uint64_t* dst, int nwords,
+                                  const uint64_t* rows, size_t stride,
+                                  const uint64_t* mask, int mask_words,
+                                  const uint64_t* filter, bool* out_any) {
+    const int n = RawFor<B>().OrReduceRowsFiltered(
+        dst, nwords, rows, stride, mask, mask_words, filter, out_any);
+    RowsCounter<B>().Add(n);
+    CallsCounter<B>().Increment();
+    return n;
+  }
+  static void FilterRowsNotSubset(uint64_t* out_mask, const uint64_t* rows,
+                                  size_t stride, const uint64_t* mask,
+                                  int mask_words, const uint64_t* b,
+                                  int nwords) {
+    RawFor<B>().FilterRowsNotSubset(out_mask, rows, stride, mask, mask_words,
+                                    b, nwords);
+    CallsCounter<B>().Increment();
+  }
+  static void ScoreRows(int* counts, const uint64_t* rows, size_t stride,
+                        const int* idx, int k, const uint64_t* conn,
+                        int nwords) {
+    RawFor<B>().ScoreRows(counts, rows, stride, idx, k, conn, nwords);
+    RowsCounter<B>().Add(k);
+    CallsCounter<B>().Increment();
+  }
+  static int MaxIntersect(const uint64_t* rows, size_t stride, int nrows,
+                          const uint64_t* conn, int nwords) {
+    const int best = RawFor<B>().MaxIntersect(rows, stride, nrows, conn,
+                                              nwords);
+    RowsCounter<B>().Add(nrows);
+    CallsCounter<B>().Increment();
+    return best;
+  }
+
+  static const Ops& Table() {
+    static const Ops table = [] {
+      Ops t = RawFor<B>();
+      t.OrReduceRows = &Counted::OrReduceRows;
+      t.OrReduceRowsFiltered = &Counted::OrReduceRowsFiltered;
+      t.FilterRowsNotSubset = &Counted::FilterRowsNotSubset;
+      t.ScoreRows = &Counted::ScoreRows;
+      t.MaxIntersect = &Counted::MaxIntersect;
+      return t;
+    }();
+    return table;
+  }
+};
+
+// Active backend, as a resolved (never kAuto) enum value; -1 before the
+// first SetBackend()/Active() call. The counted dispatch table of the
+// active backend is published alongside it so Active() is one acquire
+// load (the ops run millions of times per search; re-resolving the
+// fallback chain per call would show up in profiles).
+std::atomic<int> g_active{-1};
+std::atomic<const Ops*> g_active_ops{nullptr};
+std::once_flag g_env_once;
+
+// Resolves auto and unsupported-AVX2 fallbacks, records the dispatch
+// decision, and publishes the result.
+void Publish(Backend requested) {
+  Backend b = requested == Backend::kAuto ? ResolveAuto() : requested;
+  if (b == Backend::kAvx2 && !Avx2Available()) {
+    metrics::GetCounter("kernels.dispatch.avx2_unavailable").Increment();
+    b = Backend::kScalar;
+  }
+  metrics::GetCounter(std::string("kernels.dispatch.") + BackendName(b))
+      .Increment();
+  g_active.store(static_cast<int>(b), std::memory_order_relaxed);
+  g_active_ops.store(&GetOps(b), std::memory_order_release);
+}
+
+// First-use initialization from HYPERTREE_KERNEL_BACKEND; a prior
+// explicit SetBackend() consumes the once-flag instead, so the
+// environment never overrides a tool's --kernel-backend choice.
+void InitFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    Backend b = Backend::kAuto;
+    const char* env = std::getenv("HYPERTREE_KERNEL_BACKEND");
+    if (env != nullptr && env[0] != '\0' && !ParseBackend(env, &b)) {
+      metrics::GetCounter("kernels.dispatch.bad_env").Increment();
+      b = Backend::kAuto;
+    }
+    Publish(b);
+  });
+}
+
+}  // namespace
+
+bool Avx2Available() { return internal::HaveAvx2(); }
+
+Backend ResolveAuto() {
+  return Avx2Available() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+bool ParseBackend(const std::string& s, Backend* out) {
+  if (s == "auto") {
+    *out = Backend::kAuto;
+  } else if (s == "scalar") {
+    *out = Backend::kScalar;
+  } else if (s == "avx2") {
+    *out = Backend::kAvx2;
+  } else if (s == "batched") {
+    *out = Backend::kBatched;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kBatched:
+      return "batched";
+    case Backend::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+void SetBackend(Backend b) {
+  std::call_once(g_env_once, [] {});  // explicit choice beats the env var
+  Publish(b);
+}
+
+Backend ActiveBackend() {
+  InitFromEnvOnce();
+  return static_cast<Backend>(g_active.load(std::memory_order_relaxed));
+}
+
+const Ops& GetOps(Backend b) {
+  if (b == Backend::kAuto) b = ResolveAuto();
+  if (b == Backend::kAvx2 && !Avx2Available()) b = Backend::kScalar;
+  switch (b) {
+    case Backend::kAvx2:
+      return Counted<Backend::kAvx2>::Table();
+    case Backend::kBatched:
+      return Counted<Backend::kBatched>::Table();
+    default:
+      return Counted<Backend::kScalar>::Table();
+  }
+}
+
+const Ops& Active() {
+  InitFromEnvOnce();
+  return *g_active_ops.load(std::memory_order_acquire);
+}
+
+WordArena::WordArena(size_t nwords) {
+  // Arenas always round up to whole 256-bit lanes (even one-word
+  // arenas), so vector backends can load any row's lane in bounds.
+  size_ = std::max<size_t>(nwords, 1);
+  size_ = (size_ + kWordsPerLane - 1) &
+          ~static_cast<size_t>(kWordsPerLane - 1);
+  data_ = static_cast<uint64_t*>(
+      ::operator new(size_ * sizeof(uint64_t), std::align_val_t{32}));
+  std::memset(data_, 0, size_ * sizeof(uint64_t));
+}
+
+WordArena::WordArena(WordArena&& o) noexcept
+    : data_(o.data_), size_(o.size_) {
+  o.data_ = nullptr;
+  o.size_ = 0;
+}
+
+WordArena& WordArena::operator=(WordArena&& o) noexcept {
+  if (this == &o) return *this;
+  if (data_ != nullptr) ::operator delete(data_, std::align_val_t{32});
+  data_ = o.data_;
+  size_ = o.size_;
+  o.data_ = nullptr;
+  o.size_ = 0;
+  return *this;
+}
+
+WordArena::~WordArena() {
+  if (data_ != nullptr) ::operator delete(data_, std::align_val_t{32});
+}
+
+namespace internal {
+
+const Ops& ScalarRaw() {
+  static const Ops table = {
+      "scalar",
+      scalar::OrReduceRows,
+      scalar::OrReduceRowsFiltered,
+      scalar::FrontierCommit,
+      scalar::FilterRowsNotSubset,
+      scalar::ScoreRows,
+      scalar::MaxIntersect,
+      scalar::AndCount,
+      scalar::AndNotCount,
+      scalar::IntersectCount,
+      scalar::AndNotIsEmpty,
+  };
+  return table;
+}
+
+const RangeOps& ScalarRange() {
+  static const RangeOps table = {
+      scalar::ScoreRowsRange,
+      scalar::MaxIntersectRange,
+      scalar::FilterRowsNotSubsetRange,
+      scalar::OrReduceColumns,
+  };
+  return table;
+}
+
+const Ops& SimdRaw() {
+  static const Ops& table = HaveAvx2() ? Avx2Raw() : ScalarRaw();
+  return table;
+}
+
+const RangeOps& SimdRange() {
+  static const RangeOps& table = HaveAvx2() ? Avx2Range() : ScalarRange();
+  return table;
+}
+
+}  // namespace internal
+
+}  // namespace hypertree::kernels

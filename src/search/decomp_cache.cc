@@ -105,14 +105,13 @@ bool DecompCache::DominatedOrInsert(const Bitset& state, int value) {
   Key key = TranspositionKey(state);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end() && it->second.outcome == Outcome::kPositive &&
-      it->second.value <= value) {
+  auto [it, inserted] = shard.map.try_emplace(std::move(key));
+  Entry& e = it->second;
+  if (!inserted && e.outcome == Outcome::kPositive && e.value <= value) {
     CountHit();
     return true;
   }
   CountMiss();
-  Entry& e = it != shard.map.end() ? it->second : shard.map[std::move(key)];
   e.outcome = Outcome::kPositive;
   e.value = value;
   CountInsert();

@@ -6,12 +6,24 @@
 #ifndef HYPERTREE_SETCOVER_GREEDY_H_
 #define HYPERTREE_SETCOVER_GREEDY_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/bitset.h"
 #include "util/rng.h"
 
 namespace hypertree {
+
+/// Caller-owned scratch for GreedySetCoverRows (the kernel layer never
+/// allocates): the live candidate list, the per-round kernel scores, and
+/// the uncovered remainder. One per search worker; reused across calls
+/// with no steady-state allocation.
+struct GreedyCoverScratch {
+  std::vector<int> live;
+  std::vector<int> counts;
+  Bitset uncovered;
+};
 
 /// Covers `target` with sets from `candidates`, greedily. Returns the
 /// number of sets used; stores the chosen candidate indices in `chosen`
@@ -39,6 +51,21 @@ int GreedySetCover(const std::vector<Bitset>& candidates,
 int GreedySetCover(const std::vector<Bitset>& candidates, const Bitset& active,
                    const Bitset& target, Rng* rng = nullptr,
                    std::vector<int>* chosen = nullptr);
+
+/// Kernel-backed greedy cover over a flat row arena (candidate i = row i
+/// at rows + i * stride, NumWords(target) words wide — e.g. the
+/// incidence index's EdgeVarRows()). Each round scores every live
+/// candidate with one batched kernel call (src/kernels), then replays
+/// the same ascending pick / tie-break scan as the vector overloads.
+/// `active` restricts the scan to the set candidate indices (nullptr:
+/// all `nrows`). Candidates whose score hits zero retire permanently —
+/// the uncovered set only shrinks, so they can never be picked and never
+/// draw a tie-break tick. Picks, rng draw sequence and result are
+/// bit-identical to the vector overloads over the same candidate sets.
+int GreedySetCoverRows(const uint64_t* rows, size_t stride, int nrows,
+                       const Bitset* active, const Bitset& target,
+                       Rng* rng, std::vector<int>* chosen,
+                       GreedyCoverScratch* scratch);
 
 }  // namespace hypertree
 

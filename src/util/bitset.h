@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -27,14 +28,29 @@ namespace hypertree {
 /// matters because the exact searches copy bitsets on every node: memo
 /// table keys, neighborhoods, bag covers. Larger universes fall back to a
 /// heap array.
+///
+/// Heap storage follows the kernel layer's padded-capacity contract
+/// (src/kernels/kernels.h): 32-byte aligned, capacity rounded up to a
+/// whole number of 4-word (256-bit) lanes, padding words always zero.
+/// Every mutator preserves the zero-padding invariant, so Words() can be
+/// handed to vector kernels directly.
 class Bitset {
  public:
+  /// Heap alignment in bytes (one AVX2 lane).
+  static constexpr size_t kWordAlignment = 32;
+
+  /// Allocated words for an `nwords`-word set: inline sets stay one
+  /// word, heap sets round up to whole 4-word lanes.
+  static constexpr int PaddedWords(int nwords) {
+    return nwords <= 1 ? nwords : (nwords + 3) & ~3;
+  }
+
   Bitset() : size_(0), nwords_(0), word_(0) {}
 
   /// Creates a bitset holding `size` bits, all zero.
   explicit Bitset(int size) : size_(size), nwords_((size + 63) / 64) {
     if (nwords_ > 1) {
-      heap_ = new uint64_t[nwords_]();
+      heap_ = AllocWords(nwords_);
     } else {
       word_ = 0;
     }
@@ -42,7 +58,7 @@ class Bitset {
 
   Bitset(const Bitset& o) : size_(o.size_), nwords_(o.nwords_) {
     if (nwords_ > 1) {
-      heap_ = new uint64_t[nwords_];
+      heap_ = AllocWords(nwords_);
       std::memcpy(heap_, o.heap_, sizeof(uint64_t) * nwords_);
     } else {
       word_ = o.word_;
@@ -71,11 +87,11 @@ class Bitset {
       }
       return *this;
     }
-    if (nwords_ > 1) delete[] heap_;
+    if (nwords_ > 1) FreeWords(heap_);
     size_ = o.size_;
     nwords_ = o.nwords_;
     if (nwords_ > 1) {
-      heap_ = new uint64_t[nwords_];
+      heap_ = AllocWords(nwords_);
       std::memcpy(heap_, o.heap_, sizeof(uint64_t) * nwords_);
     } else {
       word_ = o.word_;
@@ -85,7 +101,7 @@ class Bitset {
 
   Bitset& operator=(Bitset&& o) noexcept {
     if (this == &o) return *this;
-    if (nwords_ > 1) delete[] heap_;
+    if (nwords_ > 1) FreeWords(heap_);
     size_ = o.size_;
     nwords_ = o.nwords_;
     if (nwords_ > 1) {
@@ -100,7 +116,7 @@ class Bitset {
   }
 
   ~Bitset() {
-    if (nwords_ > 1) delete[] heap_;
+    if (nwords_ > 1) FreeWords(heap_);
   }
 
   /// Number of bits (the universe size, not the population count).
@@ -263,6 +279,33 @@ class Bitset {
   /// sites).
   void AssignDiff(const Bitset& a, const Bitset& b) { AssignAndNot(a, b); }
 
+  /// this = a & b with a fused population count of the result: one pass
+  /// over the words instead of AssignAnd + Count.
+  int AssignAndCount(const Bitset& a, const Bitset& b) {
+    HT_DCHECK(size_ == a.size_ && size_ == b.size_);
+    uint64_t* w = words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    int c = 0;
+    for (int i = 0; i < nwords_; ++i) {
+      w[i] = aw[i] & bw[i];
+      c += __builtin_popcountll(w[i]);
+    }
+    return c;
+  }
+
+  /// True if this \ o is empty (equivalently: this is a subset of o)
+  /// without materializing the difference.
+  bool AndNotIsEmpty(const Bitset& o) const {
+    HT_DCHECK(size_ == o.size_);
+    const uint64_t* w = words();
+    const uint64_t* ow = o.words();
+    for (int i = 0; i < nwords_; ++i) {
+      if ((w[i] & ~ow[i]) != 0) return false;
+    }
+    return true;
+  }
+
   /// True if this ∩ a ∩ ~b is non-empty, i.e. this intersects (a \ b),
   /// without materializing either intermediate.
   bool IntersectsAndNot(const Bitset& a, const Bitset& b) const {
@@ -276,7 +319,10 @@ class Bitset {
   }
 
   /// Appends the set bits (ascending) to `out` without clearing it.
+  /// Reserves the exact final size first, so repeated calls on hot
+  /// paths never reallocate more than once.
   void AppendTo(std::vector<int>* out) const {
+    out->reserve(out->size() + static_cast<size_t>(Count()));
     for (int i = First(); i >= 0; i = Next(i)) out->push_back(i);
   }
 
@@ -325,6 +371,12 @@ class Bitset {
     return words()[i];
   }
 
+  /// Raw backing words for the kernel layer (src/kernels). The buffer
+  /// holds PaddedWords(NumWords()) words with zero padding; callers
+  /// must preserve both the padding and the tail bits past size().
+  const uint64_t* Words() const { return words(); }
+  uint64_t* MutableWords() { return words(); }
+
   /// Stable 64-bit hash of the contents (for visited-state tables).
   uint64_t Hash() const {
     const uint64_t* w = words();
@@ -339,6 +391,20 @@ class Bitset {
   std::string ToString() const;
 
  private:
+  // Heap blocks are 32-byte aligned and zero-initialized through their
+  // padded capacity; writes never touch the padding, so it stays zero
+  // for the set's lifetime.
+  static uint64_t* AllocWords(int nwords) {
+    const size_t cap = static_cast<size_t>(PaddedWords(nwords));
+    auto* p = static_cast<uint64_t*>(
+        ::operator new(cap * sizeof(uint64_t), std::align_val_t{kWordAlignment}));
+    std::memset(p, 0, cap * sizeof(uint64_t));
+    return p;
+  }
+  static void FreeWords(uint64_t* p) noexcept {
+    ::operator delete(p, std::align_val_t{kWordAlignment});
+  }
+
   uint64_t* words() { return nwords_ > 1 ? heap_ : &word_; }
   const uint64_t* words() const { return nwords_ > 1 ? heap_ : &word_; }
 

@@ -1,0 +1,104 @@
+// Open-addressing hash map keyed by Bitset.
+//
+// The exact searches probe their memo tables (cover widths, heuristic
+// bounds, transposition values) once or more per generated child, which
+// makes the lookup itself a measured hot spot. std::unordered_map pays a
+// heap node and a pointer chase per entry; this map stores (key, value)
+// slots in one flat array with linear probing, so a hit is typically one
+// cache line. Drop-in semantics for the find / try_emplace subset the
+// memos use — same keys, same values, same hit/miss pattern, so swapping
+// it in changes no observable search behaviour.
+//
+// Constraints (checked where cheap): keys are non-empty Bitsets (a
+// default-constructed Bitset marks an empty slot), no erase.
+
+#ifndef HYPERTREE_UTIL_FLAT_MAP_H_
+#define HYPERTREE_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace hypertree {
+
+/// Flat linear-probing map from non-empty Bitset keys to values.
+template <typename V>
+class BitsetFlatMap {
+ public:
+  BitsetFlatMap() = default;
+
+  /// Pointer to the value for `key`, or nullptr when absent. Stable only
+  /// until the next TryEmplace.
+  V* Find(const Bitset& key) {
+    if (size_ == 0) return nullptr;
+    size_t i = Probe(key);
+    return slots_[i].key.size() == 0 ? nullptr : &slots_[i].value;
+  }
+
+  /// Inserts (key, value) if absent. Returns the value slot and whether
+  /// the insert happened; the pointer is stable until the next TryEmplace.
+  std::pair<V*, bool> TryEmplace(const Bitset& key, V value) {
+    HT_DCHECK(key.size() > 0);
+    if ((size_ + 1) * 8 >= slots_.size() * 7) Grow();
+    size_t i = Probe(key);
+    if (slots_[i].key.size() != 0) return {&slots_[i].value, false};
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  size_t size() const { return size_; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Bitset key;  // size() == 0 marks an empty slot
+    V value;
+  };
+
+  // Bitset::Hash is a sequential combine with weak low-bit diffusion;
+  // finalize with a 64-bit mix so power-of-two masking probes well.
+  static size_t Mix(uint64_t h) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+
+  // First slot that is empty or holds `key`. Requires capacity > size.
+  size_t Probe(const Bitset& key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Mix(key.Hash()) & mask;
+    while (slots_[i].key.size() != 0 && !(slots_[i].key == key)) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Grow() {
+    const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    for (Slot& s : old) {
+      if (s.key.size() == 0) continue;
+      size_t i = Probe(s.key);
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace hypertree
+
+#endif  // HYPERTREE_UTIL_FLAT_MAP_H_

@@ -96,7 +96,8 @@ TEST_F(JsonReporterTest, WritesSchemaStableRecords) {
   // Field order is part of the contract: byte-comparable documents.
   const std::vector<std::string> expected_order = {
       "bench",   "instance", "algorithm",     "width",    "exact",
-      "lower_bound", "nodes", "wall_ms", "deterministic", "counters"};
+      "lower_bound", "nodes", "wall_ms", "deterministic", "counters",
+      "kernels"};
   for (const Json& rec : records) {
     ASSERT_TRUE(rec.is_object());
     ASSERT_EQ(rec.fields().size(), expected_order.size());
@@ -104,6 +105,9 @@ TEST_F(JsonReporterTest, WritesSchemaStableRecords) {
       EXPECT_EQ(rec.fields()[i].first, expected_order[i]);
     }
     EXPECT_EQ(rec.Find("bench")->AsString(), "unit");
+    // Every record names the active kernel backend (docs/KERNELS.md).
+    ASSERT_TRUE(rec.Find("kernels")->is_object());
+    EXPECT_FALSE(rec.Find("kernels")->Find("backend")->AsString().empty());
   }
   EXPECT_EQ(records[0].Find("instance")->AsString(), "grid2d_3");
   EXPECT_EQ(records[0].Find("algorithm")->AsString(), "bb_tw");

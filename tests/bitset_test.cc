@@ -90,6 +90,57 @@ TEST(BitsetTest, ToString) {
   EXPECT_EQ(Bitset(4).ToString(), "{}");
 }
 
+TEST(BitsetTest, AssignAndCountMatchesAssignAndPlusCount) {
+  Rng rng(11);
+  for (int n : {1, 63, 64, 65, 127, 300}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      Bitset a(n), b(n);
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.4)) a.Set(i);
+        if (rng.Bernoulli(0.4)) b.Set(i);
+      }
+      Bitset expect(n);
+      expect.AssignAnd(a, b);
+      Bitset got(n);
+      EXPECT_EQ(expect.Count(), got.AssignAndCount(a, b));
+      EXPECT_EQ(expect, got);
+    }
+  }
+}
+
+TEST(BitsetTest, AndNotIsEmptyIsSubsetTest) {
+  Rng rng(12);
+  for (int n : {1, 64, 65, 300}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Bitset a(n), b(n);
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.3)) a.Set(i);
+        if (rng.Bernoulli(0.6)) b.Set(i);
+      }
+      EXPECT_EQ(a.IsSubsetOf(b), a.AndNotIsEmpty(b));
+      EXPECT_TRUE(Bitset(n).AndNotIsEmpty(b));
+    }
+  }
+}
+
+TEST(BitsetTest, AppendToCollectsAscendingAndAppends) {
+  Bitset a = Bitset::FromVector(200, {3, 64, 65, 199});
+  std::vector<int> out = {-1};
+  a.AppendTo(&out);
+  EXPECT_EQ(out, (std::vector<int>{-1, 3, 64, 65, 199}));
+  Bitset(50).AppendTo(&out);  // empty set appends nothing
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BitsetTest, HeapWordsAre32ByteAligned) {
+  // Padded-capacity contract (docs/KERNELS.md): multi-word storage is
+  // 32-byte aligned so vector backends can stream whole lanes.
+  for (int n : {65, 128, 300, 4096}) {
+    Bitset b(n);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(b.Words()) % 32) << n;
+  }
+}
+
 TEST(BitsetTest, RandomizedAgainstReference) {
   Rng rng(42);
   for (int trial = 0; trial < 50; ++trial) {

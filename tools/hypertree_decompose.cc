@@ -14,6 +14,10 @@
 //   --seed=N            RNG seed                                  (default 1)
 //   --output=FILE       write the witness decomposition: .td (PACE, tw
 //                       only) or .dot
+//   --kernel-backend=.. auto | scalar | avx2 | batched: bitwise kernel
+//                       backend for the search inner loops (default
+//                       auto; see docs/KERNELS.md). The kernels.*
+//                       metrics in --json report the traffic.
 //   --quiet             print only the width
 //   --json              print one machine-readable JSON record (the
 //                       BENCH.json schema, see docs/BENCHMARKS.md) plus
@@ -40,6 +44,7 @@
 #include "hypergraph/parser.h"
 #include "io/dot.h"
 #include "io/ghd_format.h"
+#include "kernels/kernels.h"
 #include "ls/local_search.h"
 #include "ordering/evaluator.h"
 #include "portfolio/portfolio.h"
@@ -121,6 +126,7 @@ int Usage() {
                "minfill|portfolio] [--measure=ghw|tw|hw|fhw]\n"
                "       [--time-limit=SEC] [--threads=N] [--seed=N] "
                "[--output=FILE] [--quiet] [--json]\n"
+               "       [--kernel-backend=auto|scalar|avx2|batched]\n"
                "       [--portfolio-trace] [--portfolio-live] <instance>\n"
                "       (--algorithm is an alias for --method)\n");
   return 2;
@@ -136,6 +142,18 @@ int main(int argc, char** argv) {
   if (!h.has_value()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  std::string kernel_backend = flags.GetString("kernel-backend");
+  if (!kernel_backend.empty()) {
+    kernels::Backend kb;
+    if (!kernels::ParseBackend(kernel_backend, &kb)) {
+      std::fprintf(stderr,
+                   "error: unknown --kernel-backend \"%s\" (expected auto, "
+                   "scalar, avx2 or batched)\n",
+                   kernel_backend.c_str());
+      return 2;
+    }
+    kernels::SetBackend(kb);
   }
   std::string method = flags.GetString("algorithm");
   if (method.empty()) method = flags.GetString("method", "bb");

@@ -15,6 +15,9 @@
 //                     report its decomposition cache statistics
 //   --count           also count all solutions
 //   --route=...       td | ghd | bt | all (default all)
+//   --kernel-backend=  auto | scalar | avx2 | batched: bitwise kernel
+//                     backend for the decomposition inner loops
+//                     (default auto; see docs/KERNELS.md)
 //   --json            print machine-readable JSON records (the BENCH.json
 //                     schema, see docs/BENCHMARKS.md) instead of text
 
@@ -28,6 +31,7 @@
 #include "ghd/ghw_from_ordering.h"
 #include "hd/det_k_decomp.h"
 #include "hypergraph/parser.h"
+#include "kernels/kernels.h"
 #include "ordering/heuristics.h"
 #include "td/tree_decomposition.h"
 #include "util/flags.h"
@@ -89,8 +93,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hypertree_solve [--domain=D] [--tightness=T] "
                  "[--plant] [--seed=N] [--threads=N] [--hw] [--count] "
-                 "[--route=td|ghd|bt|all] [--json] <instance.hg>\n");
+                 "[--route=td|ghd|bt|all] "
+                 "[--kernel-backend=auto|scalar|avx2|batched] [--json] "
+                 "<instance.hg>\n");
     return 2;
+  }
+  std::string kernel_backend = flags.GetString("kernel-backend");
+  if (!kernel_backend.empty()) {
+    kernels::Backend kb;
+    if (!kernels::ParseBackend(kernel_backend, &kb)) {
+      std::fprintf(stderr,
+                   "error: unknown --kernel-backend \"%s\" (expected auto, "
+                   "scalar, avx2 or batched)\n",
+                   kernel_backend.c_str());
+      return 2;
+    }
+    kernels::SetBackend(kb);
   }
   std::string error;
   auto h = ReadHypergraphFile(flags.positional()[0], &error);
