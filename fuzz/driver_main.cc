@@ -1,0 +1,120 @@
+// Standalone driver for the fuzz harnesses, used when the toolchain has
+// no libFuzzer (gcc builds). Replays every corpus file it is given and
+// optionally runs a bounded, fully deterministic mutation loop over the
+// corpus — enough to smoke-test the harness body under ASan in CI and
+// locally. With clang, the real libFuzzer driver is linked instead and
+// this file is not compiled.
+//
+//   fuzz_x FILE_OR_DIR...                 replay inputs
+//   fuzz_x --mutate=N --seed=S DIR...     + N deterministic mutations
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<std::string> CollectInputs(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::filesystem::path fp(p);
+    if (std::filesystem::is_directory(fp)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(fp)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (std::filesystem::is_regular_file(fp)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "driver: no such input: %s\n", p.c_str());
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());  // replay order is deterministic
+  return files;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+// One random edit: flip a byte, insert, erase, or truncate. Operating on
+// a copy of a corpus input keeps mutants structurally close to valid.
+void Mutate(std::vector<uint8_t>* buf, hypertree::Rng* rng) {
+  if (buf->empty()) {
+    buf->push_back(static_cast<uint8_t>(rng->UniformInt(256)));
+    return;
+  }
+  int n = static_cast<int>(buf->size());
+  switch (rng->UniformInt(4)) {
+    case 0:
+      (*buf)[static_cast<size_t>(rng->UniformInt(n))] =
+          static_cast<uint8_t>(rng->UniformInt(256));
+      break;
+    case 1:
+      buf->insert(buf->begin() + rng->UniformInt(n + 1),
+                  static_cast<uint8_t>(rng->UniformInt(256)));
+      break;
+    case 2:
+      buf->erase(buf->begin() + rng->UniformInt(n));
+      break;
+    default:
+      buf->resize(static_cast<size_t>(rng->UniformInt(n + 1)));
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long mutate = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--mutate=", 9) == 0) {
+      mutate = std::strtol(a + 9, nullptr, 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--", 2) == 0) {
+      std::fprintf(stderr, "driver: unknown flag %s\n", a);
+      return 2;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  std::vector<std::string> files = CollectInputs(paths);
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& f : files) {
+    corpus.push_back(ReadAll(f));
+    LLVMFuzzerTestOneInput(corpus.back().data(), corpus.back().size());
+  }
+  std::fprintf(stderr, "driver: replayed %zu corpus input(s)\n",
+               corpus.size());
+  if (mutate > 0 && !corpus.empty()) {
+    hypertree::Rng rng(seed);
+    for (long round = 0; round < mutate; ++round) {
+      std::vector<uint8_t> buf =
+          corpus[static_cast<size_t>(rng.UniformInt(
+              static_cast<int>(corpus.size())))];
+      int edits = 1 + rng.UniformInt(4);
+      for (int e = 0; e < edits; ++e) Mutate(&buf, &rng);
+      LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    }
+    std::fprintf(stderr, "driver: ran %ld deterministic mutation(s)\n",
+                 mutate);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz harness for the GHD interchange-format reader. Arbitrary bytes
+// must parse or fail cleanly; accepted decompositions are poked through
+// their accessors so malformed-but-accepted structures (out-of-range
+// ids, missing nodes) surface as contract violations or sanitizer
+// findings instead of lurking until a consumer trips on them.
+
+#include <cstdint>
+#include <string>
+
+#include "ghd/ghd.h"
+#include "io/ghd_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 20)) return 0;
+  std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  auto ghd = hypertree::ReadGhdFromString(text, &error);
+  if (!ghd.has_value()) return 0;
+  // Walk everything the parser produced.
+  volatile long sink = 0;
+  const auto& td = ghd->td();
+  for (int p = 0; p < td.NumNodes(); ++p) {
+    sink += td.Bag(p).Count();
+    for (int e : ghd->Lambda(p)) sink += e;
+  }
+  for (auto [a, b] : td.TreeEdges()) sink += a + b;
+  sink += ghd->Width();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz harness for the HyperBench hypergraph parser. Any byte string
+// must either parse or be rejected with an error — never crash, hang,
+// or trip a sanitizer. Accepted inputs must round-trip: writing the
+// parsed hypergraph and re-parsing it has to reproduce the same shape.
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/parser.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 20)) return 0;  // parsing is linear; cap the cost
+  std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  auto h = hypertree::ReadHypergraphFromString(text, &error);
+  if (!h.has_value()) return 0;
+  // Round trip: the writer's output must be re-readable and identical in
+  // shape (names are interned in first-appearance order on both sides).
+  std::ostringstream out;
+  hypertree::WriteHypergraph(*h, out);
+  std::string err2;
+  auto h2 = hypertree::ReadHypergraphFromString(out.str(), &err2);
+  HT_CHECK(h2.has_value()) << "writer output must re-parse: " << err2;
+  HT_CHECK_EQ(h->NumVertices(), h2->NumVertices());
+  HT_CHECK_EQ(h->NumEdges(), h2->NumEdges());
+  for (int e = 0; e < h->NumEdges(); ++e) {
+    HT_CHECK(h->EdgeVertices(e) == h2->EdgeVertices(e));
+  }
+  return 0;
+}

@@ -5,7 +5,8 @@ The repo's central claim is bit-identical output for any --threads N; this
 pass fails CI on the C++ constructs that historically break that promise
 (ambient randomness, wall-clock reads, pointer-keyed ordering, unordered
 container iteration feeding user-visible output) plus a couple of include
-hygiene rules.
+hygiene rules. Suppression grammar, finding format, and the fixture
+engine are shared with scripts/ht_analyze.py via scripts/lint_common.py.
 
 Usage:
     scripts/check_determinism_lint.py             # lint src/ tools/ bench/
@@ -29,7 +30,14 @@ Rules (ids are stable; see docs/STATIC_ANALYSIS.md):
                         iteration order depends on the allocator.
     unordered-output    range-for over an unordered container whose body
                         prints / builds JSON — emission order is
-                        unspecified; sort the keys first.
+                        unspecified; sort the keys first. For the
+                        compiled directories (src/ tools/ bench/) this
+                        textual rule defers to ht_analyze.py's AST-level
+                        unordered-output rule, which sees real loop
+                        bodies instead of a line window; the regex rule
+                        still covers files outside those directories
+                        (fixtures, detached snippets). Force it
+                        everywhere with --unordered-scope=all.
     include-guard       headers must carry a HYPERTREE_*_H_ include guard.
     banned-header       <ctime>/<time.h>/<sys/time.h> (wall clock) and
                         <random> (use util/rng.h) are off limits.
@@ -39,10 +47,16 @@ import os
 import re
 import sys
 
-DEFAULT_DIRS = ("src", "tools", "bench")
-SOURCE_EXTS = (".h", ".cc", ".cpp")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_common import (Finding, allowed, collect_files,
+                         run_fixture_suite, strip_comments_and_strings)
 
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
+TOOL = "lint"
+DEFAULT_DIRS = ("src", "tools", "bench", "fuzz")
+
+# Directories whose TUs are compiled and therefore covered by the
+# AST-level unordered-output rule in ht_analyze.py.
+COMPILED_DIRS = ("src", "tools", "bench", "fuzz")
 
 # Content rules applied line-by-line to comment/string-stripped text.
 PATTERN_RULES = [
@@ -74,93 +88,6 @@ SORT_RE = re.compile(r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(")
 GUARD_RE = re.compile(r"#\s*ifndef\s+(HYPERTREE_\w+_H_)")
 
 
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def key(self):
-        return (self.path, self.line, self.rule)
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text):
-    """Replaces comments and string/char literal *contents* with spaces,
-    preserving line structure so findings keep their line numbers."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | dquote | squote
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "dquote"
-                out.append(c)
-                i += 1
-                continue
-            if c == "'":
-                state = "squote"
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("dquote", "squote"):
-            quote = '"' if state == "dquote" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(c)
-            elif c == "\n":  # unterminated (macro line continuation etc.)
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def allowed(raw_lines, lineno, rule):
-    """True when line `lineno` (1-based) or the line above carries the
-    escape hatch for `rule`."""
-    for candidate in (lineno, lineno - 1):
-        if 1 <= candidate <= len(raw_lines):
-            for m in ALLOW_RE.finditer(raw_lines[candidate - 1]):
-                if m.group(1) == rule:
-                    return True
-    return False
-
-
 def lint_unordered_output(stripped_lines, raw_lines, path, findings):
     """Flags range-for loops over locally declared unordered containers
     whose body emits (print / stream / JSON) before any sort."""
@@ -174,8 +101,30 @@ def lint_unordered_output(stripped_lines, raw_lines, path, findings):
         m = RANGE_FOR_RE.search(line)
         if not m or m.group(1) not in unordered_vars:
             continue
-        # Inspect the loop body: until the braces opened at/after the for
-        # close again (cheap depth scan, capped at 30 lines).
+        lineno = idx + 1
+        if "{" not in line:
+            # Single-statement loop: the body ends at the terminating
+            # ';'. Emissions on later lines belong to code after the
+            # loop, not to the loop (that false-positive class is now
+            # the AST rule's territory).
+            for j in range(idx, min(idx + 5, len(stripped_lines))):
+                body = stripped_lines[j]
+                if j > idx and SORT_RE.search(body):
+                    break
+                if EMIT_SINK_RE.search(body):
+                    if not allowed(raw_lines, lineno, "unordered-output",
+                                   TOOL):
+                        findings.append(Finding(
+                            path, lineno, "unordered-output",
+                            f"iteration over unordered container "
+                            f"'{m.group(1)}' feeds output; sort keys "
+                            f"first"))
+                    break
+                if ";" in body:
+                    break
+            continue
+        # Braced loop: until the braces opened at/after the for close
+        # again (cheap depth scan, capped at 30 lines).
         depth = 0
         opened = False
         body_end = min(idx + 30, len(stripped_lines))
@@ -187,8 +136,7 @@ def lint_unordered_output(stripped_lines, raw_lines, path, findings):
             if j > idx and SORT_RE.search(body):
                 break  # sorted before emission: fine
             if EMIT_SINK_RE.search(body) and (j > idx or opened):
-                lineno = idx + 1
-                if not allowed(raw_lines, lineno, "unordered-output"):
+                if not allowed(raw_lines, lineno, "unordered-output", TOOL):
                     findings.append(Finding(
                         path, lineno, "unordered-output",
                         f"iteration over unordered container "
@@ -200,13 +148,19 @@ def lint_unordered_output(stripped_lines, raw_lines, path, findings):
 
 def lint_include_guard(stripped_text, raw_lines, path, findings):
     if not GUARD_RE.search(stripped_text):
-        if not allowed(raw_lines, 1, "include-guard"):
+        if not allowed(raw_lines, 1, "include-guard", TOOL):
             findings.append(Finding(
                 path, 1, "include-guard",
                 "header lacks a HYPERTREE_*_H_ include guard"))
 
 
-def lint_file(path):
+def _in_compiled_dir(path, repo_root):
+    rel = os.path.relpath(os.path.abspath(path), repo_root)
+    rel = rel.replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in COMPILED_DIRS)
+
+
+def lint_file(path, repo_root=None, unordered_scope="uncompiled"):
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
@@ -222,34 +176,21 @@ def lint_file(path):
         for idx, line in enumerate(stripped_lines):
             if pattern.search(line):
                 lineno = idx + 1
-                if not allowed(raw_lines, lineno, rule):
+                if not allowed(raw_lines, lineno, rule, TOOL):
                     findings.append(Finding(path, lineno, rule, message))
-    lint_unordered_output(stripped_lines, raw_lines, path, findings)
+    run_unordered = unordered_scope == "all" or repo_root is None \
+        or not _in_compiled_dir(path, repo_root)
+    if run_unordered:
+        lint_unordered_output(stripped_lines, raw_lines, path, findings)
     if path.endswith(".h"):
         lint_include_guard(stripped, raw_lines, path, findings)
     return findings
 
 
-def collect_files(paths):
-    files = []
-    for p in paths:
-        if os.path.isfile(p):
-            files.append(p)
-        elif os.path.isdir(p):
-            for root, _, names in os.walk(p):
-                for name in names:
-                    if name.endswith(SOURCE_EXTS):
-                        files.append(os.path.join(root, name))
-        else:
-            print(f"error: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return sorted(set(files))
-
-
-def run_lint(paths):
+def run_lint(paths, repo_root, unordered_scope):
     findings = []
     for f in collect_files(paths):
-        findings.extend(lint_file(f))
+        findings.extend(lint_file(f, repo_root, unordered_scope))
     findings.sort(key=Finding.key)
     for finding in findings:
         print(finding)
@@ -260,47 +201,34 @@ EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z0-9-]+)")
 
 
 def self_test(repo_root):
-    """Runs the linter over the fixture suite: every `// expect-lint:`
-    annotation in tests/lint_fixtures/bad must produce exactly one finding
-    of that rule in that file, and the good fixtures must be clean."""
     fixtures = os.path.join(repo_root, "tests", "lint_fixtures")
-    good = os.path.join(fixtures, "good")
-    bad = os.path.join(fixtures, "bad")
-    ok = True
-
-    good_findings = []
-    for f in collect_files([good]):
-        good_findings.extend(lint_file(f))
-    for finding in good_findings:
-        print(f"SELF-TEST FAIL (false positive): {finding}")
-        ok = False
-
-    for f in collect_files([bad]):
-        with open(f, encoding="utf-8") as fh:
-            expected = sorted(EXPECT_RE.findall(fh.read()))
-        if not expected:
-            print(f"SELF-TEST FAIL: {f} declares no expect-lint annotation")
-            ok = False
-            continue
-        actual = sorted(x.rule for x in lint_file(f))
-        if actual != expected:
-            print(f"SELF-TEST FAIL: {f}: expected rules {expected}, "
-                  f"got {actual}")
-            ok = False
-
-    print("lint self-test:", "PASS" if ok else "FAIL")
-    return ok
+    return run_fixture_suite(
+        os.path.join(fixtures, "good"), os.path.join(fixtures, "bad"),
+        lambda f: lint_file(f, repo_root), EXPECT_RE, "lint")
 
 
 def main(argv):
     script_dir = os.path.dirname(os.path.abspath(__file__))
     repo_root = os.path.dirname(script_dir)
-    if "--self-test" in argv:
-        return 0 if self_test(repo_root) else 1
-    paths = [a for a in argv if not a.startswith("--")]
+    unordered_scope = "uncompiled"
+    paths = []
+    for a in argv:
+        if a == "--self-test":
+            return 0 if self_test(repo_root) else 1
+        if a.startswith("--unordered-scope="):
+            unordered_scope = a.split("=", 1)[1]
+            if unordered_scope not in ("all", "uncompiled"):
+                print(f"error: bad --unordered-scope {unordered_scope}",
+                      file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(f"error: unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
     if not paths:
         paths = [os.path.join(repo_root, d) for d in DEFAULT_DIRS]
-    findings = run_lint(paths)
+    findings = run_lint(paths, repo_root, unordered_scope)
     if findings:
         print(f"\n{len(findings)} determinism lint finding(s). "
               "Suppress a deliberate use with '// lint: allow(<rule>)'.")

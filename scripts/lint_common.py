@@ -1,0 +1,168 @@
+"""Shared plumbing for the repo's source-analysis gates.
+
+Two tools consume this module:
+
+  * scripts/check_determinism_lint.py — regex/line rules (`lint:` prefix)
+  * scripts/ht_analyze.py             — token/micro-AST semantic rules
+                                        (`ht-analyze:` prefix)
+
+Both speak the same suppression grammar so one parser serves both:
+
+    // <tool>: allow(<rule-id>)            e.g.  // lint: allow(no-wall-clock)
+                                                 // ht-analyze: allow(atomic-order)
+
+A suppression names exactly one rule for exactly one tool and silences it
+on the line it sits on plus the line directly below (so it can ride above
+the offending statement). Nothing else is suppressed: two findings of
+different rules on one line need two comments.
+"""
+
+import os
+import re
+import sys
+
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+# One grammar for every tool: the prefix picks the rule namespace.
+_ALLOW_RE = re.compile(r"//\s*(lint|ht-analyze):\s*allow\(([a-z0-9-]+)\)")
+
+
+def parse_allows(line):
+    """All (tool, rule) suppressions carried by one raw source line."""
+    return {(m.group(1), m.group(2)) for m in _ALLOW_RE.finditer(line)}
+
+
+def allowed(raw_lines, lineno, rule, tool):
+    """True when line `lineno` (1-based) or the line directly above carries
+    `// <tool>: allow(<rule>)`."""
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(raw_lines):
+            if (tool, rule) in parse_allows(raw_lines[candidate - 1]):
+                return True
+    return False
+
+
+class Finding:
+    """One rule violation at a source location, sortable and printable in
+    the `path:line: [rule] message` format both tools share."""
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal *contents* with spaces,
+    preserving line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "squote"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def collect_files(paths, exts=SOURCE_EXTS):
+    """Expands files/directories into a sorted, de-duplicated source list;
+    exits with a diagnostic on a missing path."""
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                for name in names:
+                    if name.endswith(exts):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def run_fixture_suite(good_dir, bad_dir, analyze_fn, expect_re, label):
+    """Shared --self-test engine: `analyze_fn(path)` must be clean on every
+    file under `good_dir`, and on each file under `bad_dir` must produce
+    exactly the multiset of rules its `expect_re` annotations declare.
+    Returns True on pass, printing one line per divergence otherwise."""
+    ok = True
+
+    for f in collect_files([good_dir]):
+        for finding in analyze_fn(f):
+            print(f"SELF-TEST FAIL (false positive): {finding}")
+            ok = False
+
+    for f in collect_files([bad_dir]):
+        with open(f, encoding="utf-8") as fh:
+            expected = sorted(expect_re.findall(fh.read()))
+        if not expected:
+            print(f"SELF-TEST FAIL: {f} declares no expectation annotation")
+            ok = False
+            continue
+        actual = sorted(x.rule for x in analyze_fn(f))
+        if actual != expected:
+            print(f"SELF-TEST FAIL: {f}: expected rules {expected}, "
+                  f"got {actual}")
+            ok = False
+
+    print(f"{label} self-test:", "PASS" if ok else "FAIL")
+    return ok

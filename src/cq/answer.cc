@@ -134,7 +134,7 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   // are deterministic under any schedule.
   std::vector<Relation> rel(m);
   std::vector<long> node_tuples(m, 0);
-  RunForAll(m, pool, [&](int p) {
+  RunForAll(m, pool, [&ghd, &bound, &rel, &node_tuples](int p) {
     const std::vector<int>& lambda = ghd.Lambda(p);
     HT_CHECK(!lambda.empty() || ghd.td().Bag(p).None());
     Relation acc;
@@ -156,10 +156,10 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   // Full Yannakakis reduction: in-place semijoins, parallel across
   // independent subtrees (each node only reads already-reduced
   // neighbors; see csp/tree_schedule.h).
-  RunTreeBottomUp(parent, children, pool, [&](int node) {
+  RunTreeBottomUp(parent, children, pool, [&children, &rel](int node) {
     for (int c : children[node]) rel[node].SemijoinInPlace(rel[c]);
   });
-  RunTreeTopDown(parent, children, pool, [&](int node) {
+  RunTreeTopDown(parent, children, pool, [&parent, &rel](int node) {
     if (parent[node] != -1) rel[node].SemijoinInPlace(rel[parent[node]]);
   });
 
@@ -178,7 +178,9 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   // concurrently).
   std::vector<Relation> answers(m);
   std::vector<long> join_tuples(m, 0);
-  RunTreeBottomUp(parent, children, pool, [&](int node) {
+  RunTreeBottomUp(parent, children, pool,
+                  [&parent, &children, &rel, &answers, &join_tuples,
+                   &sub_head, &ghd](int node) {
     Relation acc = rel[node];
     for (int c : children[node]) {
       acc = acc.Join(answers[c]);

@@ -80,7 +80,8 @@ long long CountRelationTree(const RelationTree& tree, ThreadPool* pool) {
   // subtree of p. Children are aggregated before their parent runs, so
   // independent subtrees can be processed in parallel.
   std::vector<std::vector<long long>> weight(m);
-  RunTreeBottomUp(tree.parent, children, pool, [&](int p) {
+  RunTreeBottomUp(tree.parent, children, pool,
+                  [&tree, &children, &weight](int p) {
     const Relation& rel = tree.relations[p];
     weight[p].assign(rel.Size(), 1);
     for (int c : children[p]) {

@@ -161,7 +161,7 @@ RelationTree BuildRelationTreeFromTd(const Csp& csp,
   tree.relations.resize(td.NumNodes());
   // The bags are independent subproblems: solve them in parallel. Each
   // task writes only its own slot, so results are schedule-independent.
-  RunForAll(td.NumNodes(), pool, [&](int p) {
+  RunForAll(td.NumNodes(), pool, [&tree, &csp, &td](int p) {
     tree.relations[p] = SolveBag(csp, td.Bag(p).ToVector());
   });
   RootTree(td.NumNodes(), td.TreeEdges(), &tree.parent, &tree.root);
@@ -192,7 +192,7 @@ RelationTree BuildRelationTreeFromGhd(
   int m = complete.NumNodes();
   tree.relations.resize(m);
   // Per-node bag joins are independent; fan them out over the pool.
-  RunForAll(m, pool, [&](int p) {
+  RunForAll(m, pool, [&complete, &edge_relation, &tree](int p) {
     const std::vector<int>& lambda = complete.Lambda(p);
     HT_CHECK_MSG(!lambda.empty() || complete.td().Bag(p).None(),
                  "GHD node with vertices but empty lambda");

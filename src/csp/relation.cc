@@ -184,7 +184,11 @@ struct JoinKeyTable {
       while (slot_row_[slot] != -1) {
         if (slot_key_[slot] == key) return count_[slot];
         slot = (slot + 1) & mask_;
-        HT_DCHECK_LE(++probes, mask_) << "JoinKeyTable probe loop wrapped";
+        // The increment must stay outside the HT_DCHECK operand: DCHECK
+        // operands are not evaluated under NDEBUG, which would freeze the
+        // wrap counter. The gate keeps Release codegen free of it.
+        if (ht_internal::kDCheckEnabled) ++probes;
+        HT_DCHECK_LE(probes, mask_) << "JoinKeyTable probe loop wrapped";
       }
     } else {
       size_t slot = HashRowKey(row, probe_pos.data(), k) & mask_;
@@ -195,7 +199,11 @@ struct JoinKeyTable {
           return count_[slot];
         }
         slot = (slot + 1) & mask_;
-        HT_DCHECK_LE(++probes, mask_) << "JoinKeyTable probe loop wrapped";
+        // The increment must stay outside the HT_DCHECK operand: DCHECK
+        // operands are not evaluated under NDEBUG, which would freeze the
+        // wrap counter. The gate keeps Release codegen free of it.
+        if (ht_internal::kDCheckEnabled) ++probes;
+        HT_DCHECK_LE(probes, mask_) << "JoinKeyTable probe loop wrapped";
       }
     }
     return 0;

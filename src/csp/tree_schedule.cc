@@ -103,7 +103,8 @@ void RunTreeBottomUp(const std::vector<int>& parent,
     if (children[i].empty()) pool->Submit([&run, i] { run(i); });
   }
   pool->Wait();
-  HT_CHECK_MSG(visited.load() == m,
+  // Relaxed: Wait() orders every worker's fetch_add before this load.
+  HT_CHECK_MSG(visited.load(std::memory_order_relaxed) == m,
                "tree_schedule: parent/children describe no rooted forest");
 }
 
@@ -128,7 +129,8 @@ void RunTreeTopDown(const std::vector<int>& parent,
     if (parent[i] == -1) pool->Submit([&run, i] { run(i); });
   }
   pool->Wait();
-  HT_CHECK_MSG(visited.load() == m,
+  // Relaxed: Wait() orders every worker's fetch_add before this load.
+  HT_CHECK_MSG(visited.load(std::memory_order_relaxed) == m,
                "tree_schedule: parent/children describe no rooted forest");
 }
 

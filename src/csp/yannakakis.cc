@@ -33,7 +33,8 @@ std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree,
   // deterministic, so the relation contents and the kernel's metrics
   // counters stay bit-identical for any thread count, SAT or UNSAT.
   std::atomic<bool> wiped{false};
-  RunTreeBottomUp(tree.parent, children, pool, [&](int node) {
+  RunTreeBottomUp(tree.parent, children, pool,
+                  [&tree, &children, &wiped](int node) {
     for (int c : children[node]) {
       tree.relations[node].SemijoinInPlace(tree.relations[c]);
     }
@@ -41,17 +42,22 @@ std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree,
       wiped.store(true, std::memory_order_relaxed);
     }
   });
-  if (wiped.load() || tree.relations[tree.root].Empty()) return std::nullopt;
+  // Relaxed is sufficient on both ends: the traversal's Wait() already
+  // orders every store before this load.
+  if (wiped.load(std::memory_order_relaxed) ||
+      tree.relations[tree.root].Empty()) {
+    return std::nullopt;
+  }
   // Top-down semijoin pass (full reduction): each node filters itself
   // against its already reduced parent.
-  RunTreeTopDown(tree.parent, children, pool, [&](int node) {
+  RunTreeTopDown(tree.parent, children, pool, [&tree, &wiped](int node) {
     if (tree.parent[node] == -1) return;
     tree.relations[node].SemijoinInPlace(tree.relations[tree.parent[node]]);
     if (tree.relations[node].Empty()) {
       wiped.store(true, std::memory_order_relaxed);
     }
   });
-  if (wiped.load()) return std::nullopt;
+  if (wiped.load(std::memory_order_relaxed)) return std::nullopt;
   // Extraction: pick any root tuple, then for each child a tuple agreeing
   // with the values fixed so far (guaranteed to exist after reduction).
   // Fixed values live in a dense array over variable ids: the scan below

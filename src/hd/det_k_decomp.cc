@@ -424,6 +424,11 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
   for (size_t i = 0; i < candidates.size(); ++i) {
     workers[i] = std::make_unique<DetKWorker>(
         ctx, budget, [&best_index, i] {
+          // Relaxed publish/poll is sound: best_index is a monotone
+          // minimum, and a stale read only delays a worker's early exit —
+          // the witness itself lives in the worker's own slot and is read
+          // after pool.Wait(), which supplies the happens-before edge.
+          // ht-analyze: allow(relaxed-publish)
           return best_index.load(std::memory_order_relaxed) <
                  static_cast<int>(i);
         });
@@ -431,13 +436,19 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
   {
     ThreadPool pool(threads);
     for (size_t i = 0; i < candidates.size(); ++i) {
-      pool.Submit([&, i] {
+      pool.Submit([&best_index, &workers, &all_edges, &root_conn, &scope,
+                   &candidates, i] {
+        // ht-analyze: allow(relaxed-publish) — stale poll only delays exit
         if (best_index.load(std::memory_order_relaxed) < static_cast<int>(i))
           return;  // already superseded before starting
         if (workers[i]->RootTask(all_edges, root_conn, scope, candidates,
                                  i)) {
+          // Monotone-min CAS; winner data is in workers[i], synchronized
+          // by Wait().
+          // ht-analyze: allow(relaxed-publish)
           int seen = best_index.load(std::memory_order_relaxed);
           while (static_cast<int>(i) < seen &&
+                 // ht-analyze: allow(relaxed-publish)
                  !best_index.compare_exchange_weak(
                      seen, static_cast<int>(i), std::memory_order_relaxed)) {
           }
@@ -447,6 +458,8 @@ std::optional<HypertreeDecomposition> RunDetK(const DetKContext& ctx,
     pool.Wait();
   }
 
+  // Wait() above orders every CAS before this read.
+  // ht-analyze: allow(relaxed-publish)
   int winner = best_index.load(std::memory_order_relaxed);
   if (winner != INT_MAX) {
     if (aborted != nullptr) *aborted = false;

@@ -284,7 +284,8 @@ PortfolioResult PortfolioGhw(const Hypergraph& h,
     ThreadPool pool(std::min<int>(
         threads, static_cast<int>(pr.plan.lineup.size())));
     for (size_t i = 0; i < pr.plan.lineup.size(); ++i) {
-      pool.Submit([&, i] {
+      pool.Submit([&outcomes, &pr, &shared, &options, &h, &exchange,
+                   static_lb, u0, i] {
         EngineOutcome& out = outcomes[i];
         out.stats = pr.engines[i];
         // Supersede cancellation from lower-indexed provers, merged with

@@ -67,8 +67,16 @@ class SharedBounds : public BoundExchange {
   void Prove(int engine, int width) {
     PublishUpperBound(width);
     PublishLowerBound(width);
+    // Relaxed is deliberate on the winner index: best_prover_ is a
+    // monotone minimum (CAS only ever lowers it), every engine's witness
+    // lives in its own caller-owned slot, and the verdict is read after
+    // ThreadPool::Wait(), which provides the publication happens-before.
+    // A stale read here only delays supersede-cancellation; it cannot
+    // unpublish or tear the result.
+    // ht-analyze: allow(relaxed-publish)
     int seen = best_prover_.load(std::memory_order_relaxed);
     while (engine < seen &&
+           // ht-analyze: allow(relaxed-publish)
            !best_prover_.compare_exchange_weak(seen, engine,
                                                std::memory_order_relaxed)) {
     }
@@ -82,7 +90,10 @@ class SharedBounds : public BoundExchange {
   }
 
   /// Lowest engine index that proved optimality so far; INT_MAX if none.
+  /// Stale reads only delay pruning; the authoritative read happens after
+  /// the race's Wait().
   int BestProver() const {
+    // ht-analyze: allow(relaxed-publish)
     return best_prover_.load(std::memory_order_relaxed);
   }
 

@@ -1,0 +1,29 @@
+// Fixture: atomic accesses that hide their memory order (implicit
+// seq_cst), including the operator forms, and an atomic-only member
+// call (fetch_add) on a receiver whose declaration is out of scan
+// reach.
+//
+// expect-analyze: atomic-order
+// expect-analyze: atomic-order
+// expect-analyze: atomic-order
+// expect-analyze: atomic-order
+// expect-analyze: atomic-order
+// expect-analyze: atomic-order
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+std::atomic<bool> done{false};
+
+void Implicit() {
+  int v = counter.load();
+  (void)v;
+  done.store(true);
+  counter++;
+  ++counter;
+  done = true;
+}
+
+void ImplicitViaPointer(std::atomic<int>* x) {
+  x->fetch_add(1);
+}

@@ -1,0 +1,18 @@
+// Fixture: HT_DCHECK operands with side effects — they compile to
+// nothing under NDEBUG, so the mutation silently vanishes in Release.
+//
+// expect-analyze: dcheck-purity
+// expect-analyze: dcheck-purity
+// expect-analyze: dcheck-purity
+
+struct Buffer {
+  void clear();
+  bool empty() const;
+};
+
+void SideEffects(Buffer& buf, int n) {
+  int i = 0;
+  HT_DCHECK_LE(++i, n);
+  HT_DCHECK(i = n);
+  HT_DCHECK((buf.clear(), buf.empty()));
+}

@@ -1,0 +1,15 @@
+// Fixture: exception constructs — the library is contract-checked
+// (HT_CHECK aborts), not exception-safe.
+//
+// expect-analyze: no-exceptions
+// expect-analyze: no-exceptions
+// expect-analyze: no-exceptions
+
+int Catches(int n) {
+  try {
+    if (n < 0) throw n;
+  } catch (int e) {
+    return e;
+  }
+  return 0;
+}

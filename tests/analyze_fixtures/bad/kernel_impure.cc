@@ -1,0 +1,25 @@
+// Fixture: impure constructs inside a compute-backend namespace.
+//
+// expect-analyze: kernel-purity
+// expect-analyze: kernel-purity
+// expect-analyze: kernel-purity
+// expect-analyze: kernel-purity
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace scalar {
+
+inline void Impure(std::vector<int>* out, int n) {
+  out->push_back(n);
+  std::mutex mu;
+  static int calls = 0;
+  printf("%d %d\n", n, calls);
+  (void)mu;
+}
+
+}  // namespace scalar
+
+// Outside the backend namespace the same constructs are legal:
+inline void HostSide(std::vector<int>* out) { out->push_back(1); }

@@ -1,0 +1,29 @@
+// Fixture: capture-defaults and `this` crossing the thread boundary.
+//
+// expect-analyze: pool-capture
+// expect-analyze: pool-capture
+// expect-analyze: pool-capture
+// expect-analyze: pool-capture
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+template <typename F>
+void RunForAll(int count, ThreadPool* pool, F f);
+
+void Defaults(ThreadPool& pool, int n) {
+  int total = 0;
+  pool.Submit([&] { total += n; });
+  pool.Submit([=] { (void)n; });
+  RunForAll(n, &pool, [&](int i) { total += i; });
+}
+
+struct Holder {
+  ThreadPool* pool_;
+  int member_ = 0;
+  void Kick() {
+    pool_->Submit([this] { ++member_; });
+  }
+};

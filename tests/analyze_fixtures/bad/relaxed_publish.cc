@@ -1,0 +1,22 @@
+// Fixture: memory_order_relaxed on atomics whose names say they publish
+// a result. Needs a written justification via the allow hatch — absent
+// here, so both sites must be reported.
+//
+// expect-analyze: relaxed-publish
+// expect-analyze: relaxed-publish
+
+#include <atomic>
+
+std::atomic<int> best_prover{99};
+
+int ReadWinner() {
+  return best_prover.load(std::memory_order_relaxed);
+}
+
+void Publish(int engine) {
+  int seen = best_prover.load(std::memory_order_acquire);
+  while (engine < seen &&
+         !best_prover.compare_exchange_weak(seen, engine,
+                                            std::memory_order_relaxed)) {
+  }
+}

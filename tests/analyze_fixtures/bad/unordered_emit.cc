@@ -1,0 +1,15 @@
+// Fixture: range-for over an unordered container whose body emits.
+// Iteration order is unspecified, so the output is nondeterministic.
+//
+// expect-analyze: unordered-output
+
+#include <ostream>
+#include <unordered_map>
+
+void Dump(
+    const std::unordered_map<int, int>& table,
+    std::ostream& os) {
+  for (const auto& kv : table) {
+    os << kv.first << "=" << kv.second << "\n";
+  }
+}

@@ -1,0 +1,25 @@
+// Fixture: atomic accesses that name their memory order, plus the
+// shadowed-name case (a name declared atomic in one scope and plain in
+// another must not trip the operator-form heuristics).
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+std::atomic<bool> done{false};
+
+void ExplicitOrders() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  int v = counter.load(std::memory_order_acquire);
+  (void)v;
+}
+
+// `total` is atomic at file scope elsewhere in some TUs but a plain local
+// here; the declaration scan marks the name shadowed and stays silent.
+std::atomic<long> total{0};
+
+int ShadowedLocal(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) ++total;
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture: HT_DCHECK operands that are side-effect free. The
+// dcheck-purity rule must stay silent.
+
+struct Stats {
+  bool empty() const;
+  int size() const;
+};
+
+void PureOperands(const Stats& s, int n) {
+  int i = 0;
+  HT_DCHECK_LT(i, n);
+  HT_DCHECK_LE(i + 1, n);
+  HT_DCHECK(s.empty() || s.size() > 0);
+  HT_DCHECK_EQ(s.size(), n) << "size mismatch";
+}

@@ -1,0 +1,25 @@
+// Fixture: a pure compute backend. Inside `namespace scalar` the
+// kernel-purity rule enforces no allocation/locks/I/O/global state, and
+// everything here conforms; outside the backend namespace, coordinator
+// code may allocate freely.
+
+#include <vector>
+
+namespace scalar {
+
+// Init-once immutable tables are fine (the dispatch-table idiom).
+static const int kShifts[4] = {1, 2, 4, 8};
+
+inline long DotCount(const int* a, const int* b, int n) {
+  long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += static_cast<long>(a[i]) * b[i] + kShifts[i & 3];
+  }
+  return acc;
+}
+
+}  // namespace scalar
+
+// Coordinator-side code outside the backend namespace: allocation is
+// allowed here.
+inline void Coordinator(std::vector<int>* out) { out->push_back(1); }

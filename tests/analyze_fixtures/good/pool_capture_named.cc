@@ -1,0 +1,31 @@
+// Fixture: lambdas handed to the thread pool with every capture named.
+// The pool-capture rule must stay silent on all of these.
+
+#include <functional>
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+template <typename F>
+void RunForAll(int count, ThreadPool* pool, F f);
+
+void NamedCaptures(ThreadPool& pool, int n) {
+  int total = 0;
+  pool.Submit([&total, n] { total += n; });
+  pool.Submit([n] { (void)n; });
+  RunForAll(n, &pool, [&total](int i) { total += i; });
+}
+
+struct Holder {
+  ThreadPool* pool_;
+  int member_ = 0;
+  void Kick() {
+    // Init-capture of the needed pointer is explicit, unlike `[this]`.
+    pool_->Submit([self = this] { ++self->member_; });
+  }
+};
+
+// A declaration of a pool entry point is not a call site.
+void Submit(std::function<void()> task);

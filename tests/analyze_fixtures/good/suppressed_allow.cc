@@ -1,0 +1,45 @@
+// Fixture: one justified suppression per rule. Every construct below
+// violates a rule, and every one carries the matching
+// `// ht-analyze: allow(<rule>)` escape hatch, so the analyzer must
+// report nothing for this file.
+
+#include <atomic>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+std::atomic<int> stop_flag{0};
+std::atomic<int> best_width{0};
+
+void Suppressed(ThreadPool& pool, int n) {
+  // ht-analyze: allow(pool-capture)
+  pool.Submit([&] { (void)n; });
+  int i = 0;
+  // ht-analyze: allow(dcheck-purity)
+  HT_DCHECK_LT(++i, n);
+  // ht-analyze: allow(atomic-order)
+  stop_flag.store(1);
+  // ht-analyze: allow(relaxed-publish)
+  best_width.store(n, std::memory_order_relaxed);
+  // ht-analyze: allow(no-exceptions)
+  throw n;
+}
+
+namespace scalar {
+inline void Justified(std::vector<int>* out) {
+  // ht-analyze: allow(kernel-purity)
+  out->push_back(1);
+}
+}  // namespace scalar
+
+void DumpAnyway(
+    const std::unordered_map<int, int>& table,
+    std::ostream& os) {
+  // ht-analyze: allow(unordered-output)
+  for (const auto& kv : table) os << kv.first;
+}

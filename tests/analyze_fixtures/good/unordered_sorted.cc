@@ -1,0 +1,19 @@
+// Fixture: unordered-container iteration that only feeds output after
+// sorting. The unordered-output rule must stay silent.
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+void DumpSorted(
+    const std::unordered_map<int, int>& table,
+    std::ostream& os) {
+  // Collecting keys from the unordered map is fine: nothing is emitted
+  // inside the unordered loop.
+  std::vector<int> keys;
+  for (const auto& kv : table) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  // Emitting from the sorted vector is deterministic.
+  for (int k : keys) os << k << "\n";
+}

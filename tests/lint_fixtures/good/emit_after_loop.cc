@@ -1,0 +1,16 @@
+// Fixture: the retired false-positive class. A single-statement loop
+// over an unordered container that only accumulates, followed by an
+// emission AFTER the loop, is order-independent — the old line-window
+// scan attributed the later emission to the loop; the body-aware scan
+// (and the AST rule in ht_analyze.py, which owns the compiled
+// directories) must not.
+#include <ostream>
+#include <unordered_map>
+
+long EmitTotal(const std::unordered_map<int, long>& input, std::ostream& os) {
+  std::unordered_map<int, long> counts = input;
+  long total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  os << "total=" << total << "\n";
+  return total;
+}
