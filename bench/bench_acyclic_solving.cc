@@ -53,11 +53,18 @@ int main() {
                   Json::Object()
                       .Set("solutions", static_cast<long>(count))
                       .Set("rows_joined", joined)
-                      .Set("rows_semijoin_dropped", dropped));
+                      .Set("rows_semijoin_dropped", dropped),
+                  Json::Object()
+                      .Set("rows_per_s",
+                           bench::RowsPerSecond(joined + dropped, yann_ms))
+                      .Set("queries_per_s",
+                           bench::QueriesPerSecond(1, yann_ms)));
     report.Record(h.name(), "backtracking_count", /*width=*/-1,
                   /*exact=*/false, stats.nodes, bt_ms,
                   /*deterministic=*/!stats.aborted, /*lower_bound=*/-1,
-                  Json::Object().Set("aborted", stats.aborted));
+                  Json::Object().Set("aborted", stats.aborted),
+                  Json::Object().Set("queries_per_s",
+                                     bench::QueriesPerSecond(1, bt_ms)));
     if (!stats.aborted && bt_count != count) {
       std::printf("COUNTING DISAGREEMENT at %d edges (%lld vs %ld)!\n", edges,
                   count, bt_count);

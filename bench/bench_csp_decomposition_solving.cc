@@ -69,16 +69,27 @@ int main() {
                   Json::Object()
                       .Set("bag_tuples", td_stats.bag_tuples)
                       .Set("rows_joined", td_joined)
-                      .Set("rows_semijoin_dropped", td_dropped));
+                      .Set("rows_semijoin_dropped", td_dropped),
+                  Json::Object()
+                      .Set("rows_per_s", bench::RowsPerSecond(
+                                             td_joined + td_dropped, td_ms))
+                      .Set("queries_per_s", bench::QueriesPerSecond(1, td_ms)));
     report.Record(h.name(), "csp_ghd", ghd.Width(), /*exact=*/true,
                   /*nodes=*/0, ghd_ms, /*deterministic=*/true,
                   /*lower_bound=*/-1,
                   Json::Object()
                       .Set("rows_joined", ghd_joined)
-                      .Set("rows_semijoin_dropped", ghd_dropped));
+                      .Set("rows_semijoin_dropped", ghd_dropped),
+                  Json::Object()
+                      .Set("rows_per_s", bench::RowsPerSecond(
+                                             ghd_joined + ghd_dropped, ghd_ms))
+                      .Set("queries_per_s",
+                           bench::QueriesPerSecond(1, ghd_ms)));
     report.Record(h.name(), "csp_bt", /*width=*/-1, /*exact=*/false, bt.nodes,
                   bt_ms, /*deterministic=*/!bt.aborted, /*lower_bound=*/-1,
-                  Json::Object().Set("aborted", bt.aborted));
+                  Json::Object().Set("aborted", bt.aborted),
+                  Json::Object().Set("queries_per_s",
+                                     bench::QueriesPerSecond(1, bt_ms)));
     if (!via_td.has_value() || !via_ghd.has_value() ||
         (!bt.aborted && !direct.has_value())) {
       std::printf("UNEXPECTED UNSAT on planted instance, grid %d\n", n);

@@ -234,12 +234,39 @@ void BM_KernelOrReduce(benchmark::State& state, kernels::Backend backend) {
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(ops.name);
 }
+// The two wide arguments (256k / 1M bits = 4096 / 16384 words) bracket
+// kMinColumnsToShard so the column-sharding crossover is visible.
 BENCHMARK_CAPTURE(BM_KernelOrReduce, scalar, kernels::Backend::kScalar)
-    ->Arg(64)->Arg(4096);
+    ->Arg(64)->Arg(4096)->Arg(262144)->Arg(1048576);
 BENCHMARK_CAPTURE(BM_KernelOrReduce, avx2, kernels::Backend::kAvx2)
-    ->Arg(64)->Arg(4096);
+    ->Arg(64)->Arg(4096)->Arg(262144)->Arg(1048576);
 BENCHMARK_CAPTURE(BM_KernelOrReduce, batched, kernels::Backend::kBatched)
-    ->Arg(64)->Arg(4096);
+    ->Arg(64)->Arg(4096)->Arg(262144)->Arg(1048576);
+
+// Row-sharded scoring: the nrows sweep at a fixed 4096-bit universe (64
+// words) brackets kMinRowsToShard * kMinWordsToShard, the product guard
+// shared by ScoreRows / MaxIntersect / FilterRowsNotSubset.
+void BM_KernelScoreRows(benchmark::State& state, kernels::Backend backend) {
+  const kernels::Ops& ops = kernels::GetOps(backend);
+  const int nrows = static_cast<int>(state.range(0));
+  KernelFixture fx(nrows, 4096, 25);
+  std::vector<int> idx(nrows);
+  for (int i = 0; i < nrows; ++i) idx[i] = i;
+  std::vector<int> counts(nrows);
+  for (auto _ : state) {
+    ops.ScoreRows(counts.data(), fx.rows.data(), fx.stride, idx.data(), nrows,
+                  fx.filter.data(), fx.nwords);
+    benchmark::DoNotOptimize(counts.data()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * nrows);
+  state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_KernelScoreRows, scalar, kernels::Backend::kScalar)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelScoreRows, avx2, kernels::Backend::kAvx2)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelScoreRows, batched, kernels::Backend::kBatched)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 // Batched BFS: filtered frontier expansion + commit, the two-primitive
 // round ComponentSplitter runs per component, per backend.
@@ -271,6 +298,78 @@ BENCHMARK_CAPTURE(BM_KernelBatchedBfs, avx2, kernels::Backend::kAvx2)
     ->Arg(64)->Arg(4096);
 BENCHMARK_CAPTURE(BM_KernelBatchedBfs, batched, kernels::Backend::kBatched)
     ->Arg(64)->Arg(4096);
+
+// Key-pipeline kernels (morsel join engine): big-endian key packing and
+// hash-table probing per backend. The size sweep brackets the batched
+// shard threshold so the scalar/avx2-vs-batched crossover — the basis
+// for kMinKeysToShard in kernels.cc — can be read off one run (see
+// docs/KERNELS.md, "Calibrating the batched shard thresholds").
+void BM_KernelPackKeys(benchmark::State& state, kernels::Backend backend) {
+  const kernels::Ops& ops = kernels::GetOps(backend);
+  const int nrows = static_cast<int>(state.range(0));
+  const int arity = 4;
+  const int k = 3;
+  const int bits = 16;
+  Rng rng(23);
+  std::vector<int> rows(static_cast<size_t>(nrows) * arity);
+  for (int& v : rows) v = static_cast<int>(rng.UniformInt(1 << bits));
+  const int pos[] = {0, 2, 3};
+  std::vector<uint64_t> keys(nrows);
+  for (auto _ : state) {
+    uint64_t mn = 0;
+    uint64_t mx = 0;
+    ops.PackKeys(keys.data(), rows.data(), arity, pos, k, bits, nrows, &mn,
+                 &mx);
+    benchmark::DoNotOptimize(mn);
+  }
+  state.SetItemsProcessed(state.iterations() * nrows);
+  state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_KernelPackKeys, scalar, kernels::Backend::kScalar)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+BENCHMARK_CAPTURE(BM_KernelPackKeys, avx2, kernels::Backend::kAvx2)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+BENCHMARK_CAPTURE(BM_KernelPackKeys, batched, kernels::Backend::kBatched)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+
+void BM_KernelProbeKeys(benchmark::State& state, kernels::Backend backend) {
+  const kernels::Ops& ops = kernels::GetOps(backend);
+  const int nrows = static_cast<int>(state.range(0));
+  Rng rng(24);
+  std::vector<uint64_t> keys(nrows);
+  for (uint64_t& key : keys) key = rng.UniformInt(1 << 20);
+  // Open-addressed table over every third key, ~50% load factor: probes
+  // mix hits and misses the way a semijoin against a filtered build
+  // side does.
+  size_t cap = 2;
+  while (cap < static_cast<size_t>(2) * nrows) cap <<= 1;
+  std::vector<uint64_t> slot_keys(cap);
+  std::vector<int32_t> slot_vals(cap, -1);
+  const uint64_t mask = cap - 1;
+  int32_t ordinal = 0;
+  for (int i = 0; i < nrows; i += 3) {
+    uint64_t s = kernels::SplitMix64(keys[i]) & mask;
+    while (slot_vals[s] != -1 && slot_keys[s] != keys[i]) s = (s + 1) & mask;
+    if (slot_vals[s] == -1) {
+      slot_keys[s] = keys[i];
+      slot_vals[s] = ordinal++;
+    }
+  }
+  std::vector<int32_t> out(nrows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.ProbeKeys(out.data(), keys.data(), nrows,
+                                           slot_keys.data(), slot_vals.data(),
+                                           mask));
+  }
+  state.SetItemsProcessed(state.iterations() * nrows);
+  state.SetLabel(ops.name);
+}
+BENCHMARK_CAPTURE(BM_KernelProbeKeys, scalar, kernels::Backend::kScalar)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+BENCHMARK_CAPTURE(BM_KernelProbeKeys, avx2, kernels::Backend::kAvx2)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+BENCHMARK_CAPTURE(BM_KernelProbeKeys, batched, kernels::Backend::kBatched)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
 
 // Candidate-separator generation (one OR sweep + decorate-sort).
 void BM_SortedCandidates(benchmark::State& state) {

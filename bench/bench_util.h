@@ -90,11 +90,14 @@ class JsonReporter {
   bool enabled() const { return !path_.empty(); }
 
   /// Appends one record. `counters` carries bench-specific extras (cache
-  /// stats, solver node counts, materialized tuples, ...).
+  /// stats, solver node counts, materialized tuples, ...). `throughput`
+  /// optionally carries derived rates (rows_per_s, queries_per_s) — the
+  /// regression checker reports their drift as informational only, never
+  /// as a failure (wall_ms stays the gating time field).
   void Record(const std::string& instance, const std::string& algorithm,
               int width, bool exact, long nodes, double wall_ms,
               bool deterministic = true, int lower_bound = -1,
-              Json counters = Json::Object()) {
+              Json counters = Json::Object(), Json throughput = Json()) {
     if (!enabled()) return;
     Json rec = Json::Object();
     rec.Set("bench", bench_)
@@ -108,6 +111,7 @@ class JsonReporter {
         .Set("deterministic", deterministic)
         .Set("counters", counters.is_object() ? std::move(counters)
                                               : Json::Object());
+    if (throughput.is_object()) rec.Set("throughput", std::move(throughput));
     AttachKernelCounters(&rec);
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
@@ -159,6 +163,17 @@ class JsonReporter {
   std::string path_;
   std::map<std::string, long> kernel_last_;
 };
+
+/// rows / (wall_ms milliseconds) as rows-per-second, 0 when the
+/// interval is too small to divide meaningfully.
+inline double RowsPerSecond(long rows, double wall_ms) {
+  return wall_ms > 0 ? static_cast<double>(rows) * 1000.0 / wall_ms : 0.0;
+}
+
+/// queries / (wall_ms milliseconds) as queries-per-second.
+inline double QueriesPerSecond(long queries, double wall_ms) {
+  return wall_ms > 0 ? static_cast<double>(queries) * 1000.0 / wall_ms : 0.0;
+}
 
 }  // namespace hypertree::bench
 

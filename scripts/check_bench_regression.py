@@ -20,6 +20,11 @@ Records are matched on (bench, instance, algorithm). The check fails when
     --allow-new is given (use it when a change intentionally adds rows,
     e.g. a new algorithm column).
 
+Records may carry a `throughput` object with derived rates (rows_per_s,
+queries_per_s). These are informational only: drift beyond --wall-ratio
+in either direction is printed as a warning so dashboards can see it,
+but never fails the check — wall_ms is the one gating time field.
+
 --ignore-wall skips the wall_ms comparison and checks only the
 bit-identical result fields. Use it (typically with --allow-new) to
 validate an intentional performance change: the new report must keep every
@@ -118,6 +123,21 @@ def main():
             # points; widths and node counts are allowed to drift.
             warnings.append(f"non-deterministic, widths not compared: {fmt(key)}")
             continue
+
+        # Throughput rates (rows_per_s / queries_per_s) are informational
+        # only: their drift is reported as a warning so dashboards can
+        # see it, but never fails the check — wall_ms above is the one
+        # gating time field.
+        bt, ct = b.get("throughput"), c.get("throughput")
+        if isinstance(bt, dict) and isinstance(ct, dict):
+            for rate in sorted(set(bt) & set(ct)):
+                bv, cv = bt.get(rate), ct.get(rate)
+                if not isinstance(bv, (int, float)) or not isinstance(cv, (int, float)):
+                    continue
+                if bv > 0 and (cv < bv / args.wall_ratio or cv > bv * args.wall_ratio):
+                    warnings.append(
+                        f"informational: {fmt(key)}: {rate} "
+                        f"{bv:.0f} -> {cv:.0f} ({cv / bv:.2f}x)")
 
         if args.ignore_wall:
             continue

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "csp/morsel_engine.h"
 #include "csp/tree_schedule.h"
 #include "ghd/ghw_from_ordering.h"
 #include "ordering/heuristics.h"
@@ -134,13 +135,17 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   // are deterministic under any schedule.
   std::vector<Relation> rel(m);
   std::vector<long> node_tuples(m, 0);
-  RunForAll(m, pool, [&ghd, &bound, &rel, &node_tuples](int p) {
+  RunForAll(m, pool, [&ghd, &bound, &rel, &node_tuples, pool](int p) {
     const std::vector<int>& lambda = ghd.Lambda(p);
     HT_CHECK(!lambda.empty() || ghd.td().Bag(p).None());
-    Relation acc;
+    // Chunked join chain: atom-join intermediates beyond the memory
+    // budget spill to disk; the projection streams them back morsel by
+    // morsel, so only the projected bag is ever fully resident.
+    ChunkedRelation acc;
     bool first = true;
     for (int e : lambda) {
-      acc = first ? bound[e] : acc.Join(bound[e]);
+      acc = first ? ChunkedRelation(bound[e])
+                  : EngineJoinChunked(acc, bound[e], pool);
       first = false;
     }
     std::vector<int> chi = ghd.td().Bag(p).ToVector();
@@ -148,7 +153,7 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
       rel[p] = Relation(chi);
       rel[p].AddTuple({});
     } else {
-      rel[p] = acc.Project(chi);
+      rel[p] = EngineProjectChunked(acc, chi, pool);
     }
     node_tuples[p] = rel[p].Size();
   });
@@ -156,11 +161,15 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   // Full Yannakakis reduction: in-place semijoins, parallel across
   // independent subtrees (each node only reads already-reduced
   // neighbors; see csp/tree_schedule.h).
-  RunTreeBottomUp(parent, children, pool, [&children, &rel](int node) {
-    for (int c : children[node]) rel[node].SemijoinInPlace(rel[c]);
+  RunTreeBottomUp(parent, children, pool, [&children, &rel, pool](int node) {
+    for (int c : children[node]) {
+      EngineSemijoinInPlace(&rel[node], rel[c], pool);
+    }
   });
-  RunTreeTopDown(parent, children, pool, [&parent, &rel](int node) {
-    if (parent[node] != -1) rel[node].SemijoinInPlace(rel[parent[node]]);
+  RunTreeTopDown(parent, children, pool, [&parent, &rel, pool](int node) {
+    if (parent[node] != -1) {
+      EngineSemijoinInPlace(&rel[node], rel[parent[node]], pool);
+    }
   });
 
   // Head variables contained in each subtree.
@@ -180,10 +189,10 @@ std::optional<Relation> AnswerQuery(const ConjunctiveQuery& q,
   std::vector<long> join_tuples(m, 0);
   RunTreeBottomUp(parent, children, pool,
                   [&parent, &children, &rel, &answers, &join_tuples,
-                   &sub_head, &ghd](int node) {
+                   &sub_head, &ghd, pool](int node) {
     Relation acc = rel[node];
     for (int c : children[node]) {
-      acc = acc.Join(answers[c]);
+      acc = EngineJoin(acc, answers[c], pool);
       join_tuples[node] += acc.Size();
     }
     Bitset keep = sub_head[node];

@@ -1,8 +1,10 @@
 #include "csp/counting.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "csp/decomposition_solving.h"
+#include "csp/morsel.h"
 #include "csp/tree_schedule.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -81,7 +83,7 @@ long long CountRelationTree(const RelationTree& tree, ThreadPool* pool) {
   // independent subtrees can be processed in parallel.
   std::vector<std::vector<long long>> weight(m);
   RunTreeBottomUp(tree.parent, children, pool,
-                  [&tree, &children, &weight](int p) {
+                  [&tree, &children, &weight, pool](int p) {
     const Relation& rel = tree.relations[p];
     weight[p].assign(rel.Size(), 1);
     for (int c : children[p]) {
@@ -97,9 +99,18 @@ long long CountRelationTree(const RelationTree& tree, ThreadPool* pool) {
       }
       KeyWeightTable agg(crel, pc);
       for (int t = 0; t < crel.Size(); ++t) agg.Add(t, weight[c][t]);
-      for (int t = 0; t < rel.Size(); ++t) {
-        weight[p][t] *= agg.Lookup(rel.Row(t), pp);
-      }
+      // The per-row multiplies are independent and the table is only
+      // read, so the parent's rows fan out by morsel; each index is
+      // written exactly once, keeping the products schedule-independent.
+      const int rows = rel.Size();
+      const int nm = (rows + kMorselRows - 1) / kMorselRows;
+      ParallelFor(nm, pool, [&rel, &weight, &agg, &pp, p, rows](int mi) {
+        const int lo = mi * kMorselRows;
+        const int hi = std::min(lo + kMorselRows, rows);
+        for (int t = lo; t < hi; ++t) {
+          weight[p][t] *= agg.Lookup(rel.Row(t), pp);
+        }
+      });
     }
   });
   long long total = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "csp/morsel_engine.h"
 #include "csp/tree_schedule.h"
 #include "csp/yannakakis.h"
 #include "util/check.h"
@@ -191,16 +192,20 @@ RelationTree BuildRelationTreeFromGhd(
   RelationTree tree;
   int m = complete.NumNodes();
   tree.relations.resize(m);
-  // Per-node bag joins are independent; fan them out over the pool.
-  RunForAll(m, pool, [&complete, &edge_relation, &tree](int p) {
+  // Per-node bag joins are independent; fan them out over the pool. The
+  // join chain runs chunked: intermediates larger than the memory budget
+  // spill to disk and the final projection streams them back one morsel
+  // at a time, so peak residency is bounded by the budget plus one bag.
+  RunForAll(m, pool, [&complete, &edge_relation, &tree, pool](int p) {
     const std::vector<int>& lambda = complete.Lambda(p);
     HT_CHECK_MSG(!lambda.empty() || complete.td().Bag(p).None(),
                  "GHD node with vertices but empty lambda");
-    Relation acc;
+    ChunkedRelation acc;
     bool first = true;
     for (int e : lambda) {
       Relation r = edge_relation(e);
-      acc = first ? std::move(r) : acc.Join(r);
+      acc = first ? ChunkedRelation(std::move(r))
+                  : EngineJoinChunked(acc, r, pool);
       first = false;
     }
     std::vector<int> chi = complete.td().Bag(p).ToVector();
@@ -211,7 +216,7 @@ RelationTree BuildRelationTreeFromGhd(
       identity.AddTuple({});
       tree.relations[p] = std::move(identity);
     } else {
-      tree.relations[p] = acc.Project(chi);
+      tree.relations[p] = EngineProjectChunked(acc, chi, pool);
     }
   });
   RootTree(m, complete.td().TreeEdges(), &tree.parent, &tree.root);

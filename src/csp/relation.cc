@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "csp/morsel_engine.h"
 #include "util/check.h"
 #include "util/metrics.h"
 
@@ -356,6 +357,12 @@ int Relation::IndexOf(int var) const {
 }
 
 Relation Relation::Join(const Relation& other) const {
+  // Single code path for serial and pooled execution: the engine with a
+  // null pool runs every morsel on the calling thread.
+  return EngineJoin(*this, other, /*pool=*/nullptr);
+}
+
+Relation Relation::JoinGeneric(const Relation& other) const {
   DCheckRep();
   other.DCheckRep();
   std::vector<int> pa, pb;
@@ -404,6 +411,10 @@ Relation Relation::Semijoin(const Relation& other) const {
 }
 
 void Relation::SemijoinInPlace(const Relation& other) {
+  EngineSemijoinInPlace(this, other, /*pool=*/nullptr);
+}
+
+void Relation::SemijoinInPlaceGeneric(const Relation& other) {
   HT_CHECK(this != &other) << "SemijoinInPlace must not alias its argument";
   DCheckRep();
   other.DCheckRep();
@@ -448,6 +459,10 @@ void Relation::SemijoinInPlace(const Relation& other) {
 }
 
 Relation Relation::Project(const std::vector<int>& vars) const {
+  return EngineProject(*this, vars, /*pool=*/nullptr);
+}
+
+Relation Relation::ProjectGeneric(const std::vector<int>& vars) const {
   std::vector<int> positions;
   positions.reserve(vars.size());
   for (int v : vars) {

@@ -23,19 +23,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace hypertree {
 
 /// splitmix64 finalizer: a cheap, statistically strong 64-bit mixer
 /// (Steele et al.). Used per key element so small dense CSP domains do
-/// not collide the way additive FNV-style mixing does.
-inline uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// not collide the way additive FNV-style mixing does. The canonical
+/// definition lives in kernels/kernels.h so the SIMD probe kernels and
+/// the spill partitioner mix bit-identically.
+inline uint64_t SplitMix64(uint64_t x) { return kernels::SplitMix64(x); }
 
 /// Hash of `row[pos[0..k)]` without materializing the key: each element is
 /// folded into the running state through a full splitmix64 round.
@@ -143,6 +141,17 @@ class Relation {
 
  private:
   struct RowIndex;
+  // Raw-buffer seam for the morsel engine (relation_internal.h): the
+  // engine writes join/project output straight into data_ and compacts
+  // semijoin survivors in place.
+  friend struct RelationInternal;
+
+  // The pre-engine generic operator bodies (row-hash JoinKeyTable path).
+  // The public operators delegate to the morsel engine, which falls back
+  // here when keys do not pack into single 64-bit words.
+  Relation JoinGeneric(const Relation& other) const;
+  void SemijoinInPlaceGeneric(const Relation& other);
+  Relation ProjectGeneric(const std::vector<int>& vars) const;
 
   // Below this row count, ContainsRow scans the flat buffer instead of
   // building an index (a contiguous scan beats hashing for the tiny

@@ -1,7 +1,10 @@
 #include "csp/tree_schedule.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -145,6 +148,53 @@ void RunForAll(int count, ThreadPool* pool,
     pool->Submit([&visit, i] { visit(i); });
   }
   pool->Wait();
+}
+
+void ParallelFor(int count, ThreadPool* pool,
+                 const std::function<void(int)>& visit) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->NumThreads() <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) visit(i);
+    return;
+  }
+  // Shared by the caller and the helper tasks; shared_ptr ownership so a
+  // helper that wakes after the caller returned still finds live state
+  // (it sees the exhausted cursor and exits without calling visit).
+  struct State {
+    std::function<void(int)> fn;
+    int count = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = visit;
+  state->count = count;
+  auto worker = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const int i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->count) return;
+      s->fn(i);
+      // acq_rel: the caller's predicate load must observe every fn(i)'s
+      // writes once done reaches count.
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->count) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const int helpers = std::min(pool->NumThreads(), count - 1);
+  for (int h = 0; h < helpers; ++h) {
+    pool->Submit([state, worker] { worker(state); });
+  }
+  // The caller claims indices too: progress never depends on a pool
+  // worker being free (the loop may itself be running inside one).
+  worker(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->count;
+  });
 }
 
 }  // namespace hypertree

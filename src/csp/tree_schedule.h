@@ -36,6 +36,18 @@ void RunTreeTopDown(const std::vector<int>& parent,
 void RunForAll(int count, ThreadPool* pool,
                const std::function<void(int)>& visit);
 
+/// Nestable data-parallel loop: calls visit(i) for i in [0, count) with
+/// no ordering constraint, safe to call from *inside* a pool task
+/// (unlike RunForAll, which drains the run with pool->Wait() and would
+/// deadlock when the calling task itself counts as pending work). The
+/// caller participates: it claims indices from a shared cursor alongside
+/// helper tasks, so the loop always progresses even when every other
+/// pool worker is busy. Helpers that wake after the cursor is exhausted
+/// exit without touching visit. The morsel-engine within-bag
+/// parallelism primitive.
+void ParallelFor(int count, ThreadPool* pool,
+                 const std::function<void(int)>& visit);
+
 }  // namespace hypertree
 
 #endif  // HYPERTREE_CSP_TREE_SCHEDULE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "csp/morsel_engine.h"
 #include "csp/tree_schedule.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -33,10 +34,15 @@ std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree,
   // deterministic, so the relation contents and the kernel's metrics
   // counters stay bit-identical for any thread count, SAT or UNSAT.
   std::atomic<bool> wiped{false};
+  // Within-bag morsel parallelism composes with the across-bag tree
+  // schedule: EngineSemijoinInPlace cuts the probe side into morsels and
+  // ParallelFor lets idle pool threads steal them, so one huge bag no
+  // longer serializes the whole pass. Counter totals and survivors are
+  // schedule-independent (see morsel.h), keeping the pass deterministic.
   RunTreeBottomUp(tree.parent, children, pool,
-                  [&tree, &children, &wiped](int node) {
+                  [&tree, &children, &wiped, pool](int node) {
     for (int c : children[node]) {
-      tree.relations[node].SemijoinInPlace(tree.relations[c]);
+      EngineSemijoinInPlace(&tree.relations[node], tree.relations[c], pool);
     }
     if (tree.relations[node].Empty()) {
       wiped.store(true, std::memory_order_relaxed);
@@ -50,9 +56,10 @@ std::optional<std::unordered_map<int, int>> AcyclicSolve(RelationTree tree,
   }
   // Top-down semijoin pass (full reduction): each node filters itself
   // against its already reduced parent.
-  RunTreeTopDown(tree.parent, children, pool, [&tree, &wiped](int node) {
+  RunTreeTopDown(tree.parent, children, pool, [&tree, &wiped, pool](int node) {
     if (tree.parent[node] == -1) return;
-    tree.relations[node].SemijoinInPlace(tree.relations[tree.parent[node]]);
+    EngineSemijoinInPlace(&tree.relations[node],
+                          tree.relations[tree.parent[node]], pool);
     if (tree.relations[node].Empty()) {
       wiped.store(true, std::memory_order_relaxed);
     }

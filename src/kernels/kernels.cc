@@ -168,6 +168,59 @@ bool AndNotIsEmpty(const uint64_t* a, const uint64_t* b, int nwords) {
   return true;
 }
 
+void PackKeysRange(uint64_t* keys, const int* rows, size_t stride,
+                   const int* pos, int k, int bits, int lo, int hi,
+                   uint64_t* out_min, uint64_t* out_max) {
+  uint64_t mn = ~uint64_t{0};
+  uint64_t mx = 0;
+  for (int r = lo; r < hi; ++r) {
+    const int* row = rows + static_cast<size_t>(r) * stride;
+    uint64_t key = 0;
+    for (int i = 0; i < k; ++i) {
+      key = (key << bits) |
+            static_cast<uint64_t>(static_cast<uint32_t>(row[pos[i]]));
+    }
+    keys[r] = key;
+    mn = std::min(mn, key);
+    mx = std::max(mx, key);
+  }
+  *out_min = mn;
+  *out_max = mx;
+}
+
+void PackKeys(uint64_t* keys, const int* rows, size_t stride, const int* pos,
+              int k, int bits, int nrows, uint64_t* out_min,
+              uint64_t* out_max) {
+  PackKeysRange(keys, rows, stride, pos, k, bits, 0, nrows, out_min, out_max);
+}
+
+long ProbeKeysRange(int32_t* out_val, const uint64_t* keys, int lo, int hi,
+                    const uint64_t* slot_keys, const int32_t* slot_vals,
+                    uint64_t mask) {
+  long collisions = 0;
+  for (int r = lo; r < hi; ++r) {
+    const uint64_t key = keys[r];
+    size_t slot = SplitMix64(key) & mask;
+    int32_t val = -1;
+    while (slot_vals[slot] != -1) {
+      if (slot_keys[slot] == key) {
+        val = slot_vals[slot];
+        break;
+      }
+      ++collisions;
+      slot = (slot + 1) & mask;
+    }
+    out_val[r] = val;
+  }
+  return collisions;
+}
+
+long ProbeKeys(int32_t* out_val, const uint64_t* keys, int nrows,
+               const uint64_t* slot_keys, const int32_t* slot_vals,
+               uint64_t mask) {
+  return ProbeKeysRange(out_val, keys, 0, nrows, slot_keys, slot_vals, mask);
+}
+
 }  // namespace scalar
 
 // ---------------------------------------------------------------------------
@@ -184,12 +237,19 @@ bool AndNotIsEmpty(const uint64_t* a, const uint64_t* b, int nwords) {
 namespace batched {
 
 // Below these sizes the task-wave overhead dwarfs the work; delegate to
-// the SIMD table in the calling thread. Thresholds are fixed constants
-// (not tuned per machine) so the shard/no-shard decision — and thus the
-// kernels.batched.* counters — is deterministic.
-constexpr int kMinRowsToShard = 256;
-constexpr long kMinWordsToShard = 16384;
-constexpr int kMinColumnsToShard = 4096;
+// the SIMD table in the calling thread. Calibrated from the
+// bench_micro_kernels backend sweeps (BM_KernelScoreRows /
+// BM_KernelOrReduce / BM_KernelPackKeys / BM_KernelProbeKeys; see
+// docs/KERNELS.md, "Calibrating the batched shard thresholds"): one
+// wave costs ~5us of submit+wake+wait, and a shape only shards when its
+// single-thread SIMD time is at least 4x that, so a second worker
+// already wins with a 2x margin. Thresholds stay fixed constants (not
+// tuned per machine at runtime) so the shard/no-shard decision — and
+// thus the kernels.batched.* counters — is deterministic.
+constexpr int kMinRowsToShard = 256;      // floor: a wave needs rows to split
+constexpr long kMinWordsToShard = 65536;  // ~0.35ns/word-op -> ~23us of work
+constexpr int kMinColumnsToShard = 4096;  // ~50ns/word at bench row counts
+constexpr int kMinKeysToShard = 16384;    // ~1.65ns/key packed -> ~27us
 
 ThreadPool& Pool() {
   static ThreadPool* pool =
@@ -310,6 +370,57 @@ int OrReduceRowsFiltered(uint64_t* dst, int nwords, const uint64_t* rows,
   return nrows;
 }
 
+void PackKeys(uint64_t* keys, const int* rows, size_t stride, const int* pos,
+              int k, int bits, int nrows, uint64_t* out_min,
+              uint64_t* out_max) {
+  if (nrows < kMinKeysToShard) {
+    internal::SimdRaw().PackKeys(keys, rows, stride, pos, k, bits, nrows,
+                                 out_min, out_max);
+    return;
+  }
+  uint64_t shard_min[64];
+  uint64_t shard_max[64];
+  for (int i = 0; i < 64; ++i) {
+    shard_min[i] = ~uint64_t{0};
+    shard_max[i] = 0;
+  }
+  std::atomic<int> next{0};
+  RunWave(nrows, [&](int lo, int hi) {
+    const int slot = next.fetch_add(1, std::memory_order_relaxed);
+    internal::SimdRange().PackKeysRange(keys, rows, stride, pos, k, bits, lo,
+                                        hi, &shard_min[slot],
+                                        &shard_max[slot]);
+  });
+  // min/max are commutative, so combining in slot order is deterministic
+  // even though shard-to-slot assignment is not.
+  uint64_t mn = ~uint64_t{0};
+  uint64_t mx = 0;
+  for (int i = 0; i < 64; ++i) {
+    mn = std::min(mn, shard_min[i]);
+    mx = std::max(mx, shard_max[i]);
+  }
+  *out_min = mn;
+  *out_max = mx;
+}
+
+long ProbeKeys(int32_t* out_val, const uint64_t* keys, int nrows,
+               const uint64_t* slot_keys, const int32_t* slot_vals,
+               uint64_t mask) {
+  if (nrows < kMinKeysToShard) {
+    return internal::SimdRaw().ProbeKeys(out_val, keys, nrows, slot_keys,
+                                         slot_vals, mask);
+  }
+  // Collision counts sum commutatively across shards, so the total is
+  // schedule-independent.
+  std::atomic<long> collisions{0};
+  RunWave(nrows, [&](int lo, int hi) {
+    const long c = internal::SimdRange().ProbeKeysRange(
+        out_val, keys, lo, hi, slot_keys, slot_vals, mask);
+    collisions.fetch_add(c, std::memory_order_relaxed);
+  });
+  return collisions.load(std::memory_order_relaxed);
+}
+
 }  // namespace batched
 
 // ---------------------------------------------------------------------------
@@ -339,6 +450,8 @@ const Ops& RawFor<Backend::kBatched>() {
     t.FilterRowsNotSubset = batched::FilterRowsNotSubset;
     t.ScoreRows = batched::ScoreRows;
     t.MaxIntersect = batched::MaxIntersect;
+    t.PackKeys = batched::PackKeys;
+    t.ProbeKeys = batched::ProbeKeys;
     return t;
   }();
   return table;
@@ -405,6 +518,23 @@ struct Counted {
     CallsCounter<B>().Increment();
     return best;
   }
+  static void PackKeys(uint64_t* keys, const int* rows, size_t stride,
+                       const int* pos, int k, int bits, int nrows,
+                       uint64_t* out_min, uint64_t* out_max) {
+    RawFor<B>().PackKeys(keys, rows, stride, pos, k, bits, nrows, out_min,
+                         out_max);
+    RowsCounter<B>().Add(nrows);
+    CallsCounter<B>().Increment();
+  }
+  static long ProbeKeys(int32_t* out_val, const uint64_t* keys, int nrows,
+                        const uint64_t* slot_keys, const int32_t* slot_vals,
+                        uint64_t mask) {
+    const long c = RawFor<B>().ProbeKeys(out_val, keys, nrows, slot_keys,
+                                         slot_vals, mask);
+    RowsCounter<B>().Add(nrows);
+    CallsCounter<B>().Increment();
+    return c;
+  }
 
   static const Ops& Table() {
     static const Ops table = [] {
@@ -414,6 +544,8 @@ struct Counted {
       t.FilterRowsNotSubset = &Counted::FilterRowsNotSubset;
       t.ScoreRows = &Counted::ScoreRows;
       t.MaxIntersect = &Counted::MaxIntersect;
+      t.PackKeys = &Counted::PackKeys;
+      t.ProbeKeys = &Counted::ProbeKeys;
       return t;
     }();
     return table;
@@ -569,6 +701,8 @@ const Ops& ScalarRaw() {
       scalar::AndNotCount,
       scalar::IntersectCount,
       scalar::AndNotIsEmpty,
+      scalar::PackKeys,
+      scalar::ProbeKeys,
   };
   return table;
 }
@@ -579,6 +713,8 @@ const RangeOps& ScalarRange() {
       scalar::MaxIntersectRange,
       scalar::FilterRowsNotSubsetRange,
       scalar::OrReduceColumns,
+      scalar::PackKeysRange,
+      scalar::ProbeKeysRange,
   };
   return table;
 }

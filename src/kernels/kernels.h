@@ -1,7 +1,9 @@
-// Backend-dispatch kernel layer for the bulk bitwise primitives the
-// decomposition searches run: multi-row AND/OR/ANDNOT with fused
-// popcount, N-way OR-reduce over incidence rows, batched BFS frontier
-// expansion, and batched candidate scoring.
+// Backend-dispatch kernel layer for the bulk data-parallel primitives
+// the decomposition searches and the relational engine run: multi-row
+// AND/OR/ANDNOT with fused popcount, N-way OR-reduce over incidence
+// rows, batched BFS frontier expansion, batched candidate scoring, and
+// the join-engine key primitives (pack row keys into words, probe an
+// open-addressed key table).
 //
 // The API is deliberately GPU-shaped (docs/KERNELS.md):
 //
@@ -41,6 +43,18 @@
 #include <string>
 
 namespace hypertree::kernels {
+
+/// splitmix64 finalizer (Steele et al.): the canonical 64-bit mixer for
+/// every hash table in the repo. hypertree::SplitMix64 (csp/relation.h)
+/// aliases this definition, and the ProbeKeys kernels reproduce it
+/// vector-wide — the three must stay bit-identical or packed-key tables
+/// built by one layer become unprobable by another.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// Kernel backend identifiers. kAuto resolves at dispatch time to the
 /// best backend the CPU supports (avx2 when available, else scalar).
@@ -115,6 +129,27 @@ struct Ops {
 
   /// (a & ~b) == 0, i.e. a is a subset of b.
   bool (*AndNotIsEmpty)(const uint64_t* a, const uint64_t* b, int nwords);
+
+  /// Join-engine key materialization: keys[r] = the k values
+  /// rows[r * stride + pos[i]] packed big-endian (pos[0] in the top
+  /// bits), `bits` bits per value, for r in [0, nrows). The caller
+  /// guarantees every key value lies in [0, 2^bits) and k * bits <= 64.
+  /// *out_min / *out_max receive the min / max packed key (the morsel
+  /// zone-map metadata); an empty range yields min = ~0, max = 0.
+  void (*PackKeys)(uint64_t* keys, const int* rows, size_t stride,
+                   const int* pos, int k, int bits, int nrows,
+                   uint64_t* out_min, uint64_t* out_max);
+
+  /// Join-engine hash probe: for each packed key keys[r], linear-probes
+  /// the open-addressed table (capacity mask + 1 slots, hash =
+  /// SplitMix64(key) & mask, slot_vals[s] == -1 marks an empty slot) and
+  /// writes the matching slot's value to out_val[r], or -1 when the key
+  /// is absent. Returns the total number of occupied non-matching slots
+  /// stepped past (the relation.probe_collisions contribution) —
+  /// identical for every backend and schedule.
+  long (*ProbeKeys)(int32_t* out_val, const uint64_t* keys, int nrows,
+                    const uint64_t* slot_keys, const int32_t* slot_vals,
+                    uint64_t mask);
 };
 
 /// True when the running CPU supports the AVX2 backend.

@@ -311,6 +311,151 @@ HT_AVX2 bool AndNotIsEmpty(const uint64_t* a, const uint64_t* b, int nwords) {
   return !RowNotSubset(a, b, nwords);
 }
 
+// ---------------------------------------------------------------------------
+// Join-engine key primitives. PackKeys gathers four rows' key columns
+// per iteration and folds them into packed words with variable-count
+// shifts; min/max run in the sign-flipped domain (cmpgt_epi64 is
+// signed; XOR with the sign bit makes it an unsigned compare).
+// ProbeKeys vectorizes the splitmix64 finalizer four keys at a time
+// (64x64 multiply composed from 32x32 partial products) and walks the
+// open-addressed slots scalar-wise with the precomputed hashes.
+// ---------------------------------------------------------------------------
+
+HT_AVX2 void PackKeysRange(uint64_t* keys, const int* rows, size_t stride,
+                           const int* pos, int k, int bits, int lo, int hi,
+                           uint64_t* out_min, uint64_t* out_max) {
+  uint64_t mn = ~uint64_t{0};
+  uint64_t mx = 0;
+  int r = lo;
+  // Gather indices are signed 32-bit element offsets; delegate the whole
+  // range to the scalar tail if the buffer could overflow them.
+  const bool fits =
+      hi <= 0 || static_cast<size_t>(hi) * stride + stride <
+                     (size_t{1} << 31);
+  if (k > 0 && fits && hi - lo >= 4) {
+    const __m256i vflip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    __m256i vmn = _mm256_set1_epi64x(0x7fffffffffffffffLL);  // flipped ~0
+    __m256i vmx = vflip;                                     // flipped 0
+    const __m128i vshift = _mm_cvtsi32_si128(bits);
+    const int s = static_cast<int>(stride);
+    const __m128i row_step = _mm_setr_epi32(0, s, 2 * s, 3 * s);
+    for (; r + 4 <= hi; r += 4) {
+      __m256i key = _mm256_setzero_si256();
+      const int base = r * s;
+      for (int i = 0; i < k; ++i) {
+        const __m128i idx =
+            _mm_add_epi32(_mm_set1_epi32(base + pos[i]), row_step);
+        const __m128i g = _mm_i32gather_epi32(rows, idx, 4);
+        key = _mm256_or_si256(_mm256_sll_epi64(key, vshift),
+                              _mm256_cvtepu32_epi64(g));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + r), key);
+      const __m256i kf = _mm256_xor_si256(key, vflip);
+      vmn = _mm256_blendv_epi8(vmn, kf, _mm256_cmpgt_epi64(vmn, kf));
+      vmx = _mm256_blendv_epi8(vmx, kf, _mm256_cmpgt_epi64(kf, vmx));
+    }
+    alignas(32) uint64_t lane[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), vmn);
+    for (uint64_t v : lane) {
+      mn = std::min(mn, v ^ uint64_t{0x8000000000000000ULL});
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), vmx);
+    for (uint64_t v : lane) {
+      mx = std::max(mx, v ^ uint64_t{0x8000000000000000ULL});
+    }
+    // The vector loop saw at least one key, so the flipped-domain
+    // sentinels can no longer win the reduction; mn/mx are real keys.
+  }
+  for (; r < hi; ++r) {
+    const int* row = rows + static_cast<size_t>(r) * stride;
+    uint64_t key = 0;
+    for (int i = 0; i < k; ++i) {
+      key = (key << bits) |
+            static_cast<uint64_t>(static_cast<uint32_t>(row[pos[i]]));
+    }
+    keys[r] = key;
+    mn = std::min(mn, key);
+    mx = std::max(mx, key);
+  }
+  *out_min = mn;
+  *out_max = mx;
+}
+
+HT_AVX2 void PackKeys(uint64_t* keys, const int* rows, size_t stride,
+                      const int* pos, int k, int bits, int nrows,
+                      uint64_t* out_min, uint64_t* out_max) {
+  PackKeysRange(keys, rows, stride, pos, k, bits, 0, nrows, out_min, out_max);
+}
+
+/// Per-lane 64x64 -> low-64 multiply from 32x32 partial products
+/// (AVX2 has no epi64 multiply).
+HT_AVX2 inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+HT_AVX2 long ProbeKeysRange(int32_t* out_val, const uint64_t* keys, int lo,
+                            int hi, const uint64_t* slot_keys,
+                            const int32_t* slot_vals, uint64_t mask) {
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m256i c2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c3 =
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL));
+  long collisions = 0;
+  int r = lo;
+  alignas(32) uint64_t h[4];
+  for (; r + 4 <= hi; r += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + r));
+    x = _mm256_add_epi64(x, c1);
+    x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), c2);
+    x = Mul64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), c3);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(h), x);
+    for (int t = 0; t < 4; ++t) {
+      const uint64_t key = keys[r + t];
+      size_t slot = h[t] & mask;
+      int32_t val = -1;
+      while (slot_vals[slot] != -1) {
+        if (slot_keys[slot] == key) {
+          val = slot_vals[slot];
+          break;
+        }
+        ++collisions;
+        slot = (slot + 1) & mask;
+      }
+      out_val[r + t] = val;
+    }
+  }
+  for (; r < hi; ++r) {
+    const uint64_t key = keys[r];
+    size_t slot = SplitMix64(key) & mask;
+    int32_t val = -1;
+    while (slot_vals[slot] != -1) {
+      if (slot_keys[slot] == key) {
+        val = slot_vals[slot];
+        break;
+      }
+      ++collisions;
+      slot = (slot + 1) & mask;
+    }
+    out_val[r] = val;
+  }
+  return collisions;
+}
+
+HT_AVX2 long ProbeKeys(int32_t* out_val, const uint64_t* keys, int nrows,
+                       const uint64_t* slot_keys, const int32_t* slot_vals,
+                       uint64_t mask) {
+  return ProbeKeysRange(out_val, keys, 0, nrows, slot_keys, slot_vals, mask);
+}
+
 }  // namespace
 
 bool HaveAvx2() {
@@ -331,6 +476,8 @@ const Ops& Avx2Raw() {
       AndNotCount,
       IntersectCount,
       AndNotIsEmpty,
+      PackKeys,
+      ProbeKeys,
   };
   return table;
 }
@@ -341,6 +488,8 @@ const RangeOps& Avx2Range() {
       MaxIntersectRange,
       FilterRowsNotSubsetRange,
       OrReduceColumns,
+      PackKeysRange,
+      ProbeKeysRange,
   };
   return table;
 }

@@ -36,6 +36,16 @@ struct RangeOps {
   int (*OrReduceColumns)(uint64_t* dst, int clo, int chi,
                          const uint64_t* rows, size_t stride,
                          const uint64_t* mask, int mask_words);
+  /// PackKeys restricted to rows [lo, hi); writes keys[lo, hi) and the
+  /// min / max packed key of that row range (empty: min = ~0, max = 0).
+  void (*PackKeysRange)(uint64_t* keys, const int* rows, size_t stride,
+                        const int* pos, int k, int bits, int lo, int hi,
+                        uint64_t* out_min, uint64_t* out_max);
+  /// ProbeKeys restricted to rows [lo, hi); writes out_val[lo, hi) and
+  /// returns that range's probe-collision count.
+  long (*ProbeKeysRange)(int32_t* out_val, const uint64_t* keys, int lo,
+                         int hi, const uint64_t* slot_keys,
+                         const int32_t* slot_vals, uint64_t mask);
 };
 
 /// Uncounted scalar reference ops (the bit-identity oracle).

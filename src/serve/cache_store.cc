@@ -1,5 +1,6 @@
 #include "serve/cache_store.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,10 +11,47 @@
 #include "td/tree_decomposition.h"
 #include "util/check.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 namespace hypertree::serve {
 
 namespace {
+
+// One on-disk entry as seen by the eviction scan: its key, the summed
+// size of its files, and the meta file's mtime (the LRU recency stamp).
+struct DiskEntry {
+  std::string key;
+  long long bytes = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+// Enumerates committed entries (those with a .json meta file) under the
+// two-hex-digit fanout directories. Unreadable files are skipped — a
+// concurrent eviction or an in-flight .tmp rename is not an error.
+std::vector<DiskEntry> ScanEntries(const std::string& dir) {
+  std::vector<DiskEntry> entries;
+  std::error_code ec;
+  for (const auto& shard : std::filesystem::directory_iterator(dir, ec)) {
+    if (!shard.is_directory(ec)) continue;
+    for (const auto& file :
+         std::filesystem::directory_iterator(shard.path(), ec)) {
+      const std::filesystem::path& p = file.path();
+      if (p.extension() != ".json") continue;
+      DiskEntry entry;
+      entry.key = p.stem().string();
+      entry.mtime = std::filesystem::last_write_time(p, ec);
+      if (ec) continue;
+      entry.bytes = static_cast<long long>(std::filesystem::file_size(p, ec));
+      if (ec) continue;
+      std::filesystem::path ghd = p;
+      ghd.replace_extension(".ghd");
+      const auto ghd_bytes = std::filesystem::file_size(ghd, ec);
+      if (!ec) entry.bytes += static_cast<long long>(ghd_bytes);
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
 
 constexpr int kFieldBits = 15;
 constexpr int kFieldMask = (1 << kFieldBits) - 1;
@@ -136,8 +174,43 @@ std::string CanonicalWitnessText(const CachedSubtree& subtree,
   return WriteGhdToString(GhdFromSubtree(subtree), h);
 }
 
-PersistentCacheStore::PersistentCacheStore(std::string dir)
-    : dir_(std::move(dir)) {}
+PersistentCacheStore::PersistentCacheStore(std::string dir,
+                                           long long max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {}
+
+long long PersistentCacheStore::DiskUsageBytes() const {
+  if (!enabled()) return 0;
+  long long total = 0;
+  for (const DiskEntry& entry : ScanEntries(dir_)) total += entry.bytes;
+  return total;
+}
+
+void PersistentCacheStore::EvictToCap(const std::string& protect_key) const {
+  std::vector<DiskEntry> entries = ScanEntries(dir_);
+  long long total = 0;
+  for (const DiskEntry& entry : entries) total += entry.bytes;
+  if (total <= max_bytes_) return;
+  // Oldest recency stamp first; key order breaks mtime ties so the
+  // eviction order is deterministic on coarse-mtime filesystems.
+  std::sort(entries.begin(), entries.end(),
+            [](const DiskEntry& a, const DiskEntry& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.key < b.key;
+            });
+  for (const DiskEntry& entry : entries) {
+    if (total <= max_bytes_) break;
+    if (entry.key == protect_key) continue;
+    // Meta first: Load treats it as the commit marker, so a crash
+    // mid-eviction leaves an orphan .ghd (invisible, re-storable), never
+    // a meta that points at a deleted witness.
+    std::error_code ec;
+    std::filesystem::remove(EntryPath(entry.key, ".json"), ec);
+    std::filesystem::remove(EntryPath(entry.key, ".ghd"), ec);
+    total -= entry.bytes;
+    metrics::GetCounter("serve.store.evictions").Increment();
+    metrics::GetCounter("serve.store.evicted_bytes").Add(entry.bytes);
+  }
+}
 
 std::string PersistentCacheStore::EntryPath(const std::string& key,
                                             const char* ext) const {
@@ -197,6 +270,12 @@ std::optional<StoredWitness> PersistentCacheStore::Load(
     SetError(error, "corrupt witness for key " + key + ": " + ghd_error);
     return std::nullopt;
   }
+  // Bump the LRU recency stamp. The stamp lives in the filesystem, so
+  // the eviction order survives server restarts. Best-effort: a
+  // read-only cache dir still answers hits, it just stops aging.
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      meta_path, std::filesystem::file_time_type::clock::now(), ec);
   return witness;
 }
 
@@ -225,7 +304,11 @@ bool PersistentCacheStore::Store(const std::string& key,
   meta.Set("edges", witness.edges);
   meta.Set("solver", witness.solver);
   meta.Set("instance", canonical_text);
-  return WriteFileAtomic(EntryPath(key, ".json"), meta.Dump() + "\n", error);
+  if (!WriteFileAtomic(EntryPath(key, ".json"), meta.Dump() + "\n", error)) {
+    return false;
+  }
+  if (max_bytes_ > 0) EvictToCap(key);
+  return true;
 }
 
 }  // namespace hypertree::serve

@@ -38,7 +38,7 @@ Json ErrorResponse(const std::string& message) {
 DecompositionService::DecompositionService(const ServerOptions& options)
     : options_(options),
       cache_(options.mem_shards),
-      store_(options.cache_dir) {}
+      store_(options.cache_dir, options.cache_max_bytes) {}
 
 Json DecompositionService::Handle(const Json& request,
                                   const CancellationToken& cancel) {
@@ -196,6 +196,10 @@ Json DecompositionService::HandleStats() const {
   resp.Set("cache_misses", stats.misses);
   resp.Set("cache_inserts", stats.inserts);
   resp.Set("disk_enabled", store_.enabled());
+  if (store_.enabled()) {
+    resp.Set("disk_bytes", store_.DiskUsageBytes());
+    resp.Set("disk_max_bytes", store_.max_bytes());
+  }
   return resp;
 }
 

@@ -32,6 +32,7 @@ namespace hypertree::serve {
 struct ServerOptions {
   int port = 7411;               // 0: ephemeral (reported by ServeLoop)
   std::string cache_dir;         // empty: no disk level
+  long long cache_max_bytes = 0;  // disk-store size cap; 0: uncapped
   std::string metrics_path;      // empty: no NDJSON metrics file
   double default_budget_seconds = 10.0;  // per-request solve budget
   int threads = 0;               // portfolio racing threads; 0: hardware

@@ -80,10 +80,10 @@ struct Shape {
 };
 
 // The word-boundary shapes plus one multi-lane shape that crosses the
-// batched backend's row and word sharding thresholds (300 rows x 64
+// batched backend's row and word sharding thresholds (1200 rows x 64
 // words > kMinRowsToShard / kMinWordsToShard).
-const Shape kShapes[] = {{0, 0},  {1, 1},    {63, 7},   {64, 64},
-                         {65, 9}, {127, 33}, {4096, 12}, {4096, 300}};
+const Shape kShapes[] = {{0, 0},  {1, 1},    {63, 7},    {64, 64},
+                         {65, 9}, {127, 33}, {4096, 12}, {4096, 1200}};
 
 std::string Label(const Shape& s, Backend b) {
   return std::string(kernels::BackendName(b)) + " bits=" +
@@ -202,6 +202,82 @@ TEST(KernelsEquivalence, AllOpsMatchScalarOnRaggedShapes) {
         EXPECT_EQ(ref_empty,
                   ops.AndNotIsEmpty(conn.data(), filt.data(), nwords));
       }
+    }
+  }
+}
+
+TEST(KernelsEquivalence, PackAndProbeKeysMatchScalar) {
+  // Join-engine key primitives: packed keys, their min/max, the probe
+  // ordinals AND the collision count must be backend-identical (the
+  // engine's relation.probe_collisions totals are part of the
+  // determinism contract, see tests/parallel_yannakakis_test.cc).
+  Rng rng(20250808);
+  // (arity, k, bits, nrows): nrows > kMinKeysToShard in the last shape
+  // exercises the batched backend's wave path; bits=16 with k=4 fills
+  // all 64 key bits.
+  const int configs[][4] = {
+      {1, 1, 1, 0},  {3, 2, 5, 1},    {4, 3, 7, 63},     {5, 4, 16, 1000},
+      {2, 1, 20, 64}, {6, 5, 12, 257}, {3, 3, 10, 40000},
+  };
+  for (const auto& cfg : configs) {
+    const int arity = cfg[0], k = cfg[1], bits = cfg[2], nrows = cfg[3];
+    std::vector<int> pos;
+    for (int i = 0; i < k; ++i) pos.push_back((i * 2) % arity);
+    std::vector<int> rows(static_cast<size_t>(nrows) * arity);
+    const uint64_t vmax = (uint64_t{1} << bits) - 1;
+    for (int& v : rows) {
+      v = static_cast<int>(rng.Next() & vmax & 0x7fffffffULL);
+    }
+
+    const Ops& ref = GetOps(Backend::kScalar);
+    std::vector<uint64_t> ref_keys(std::max(1, nrows), ~uint64_t{0});
+    uint64_t ref_mn = 0, ref_mx = 0;
+    ref.PackKeys(ref_keys.data(), rows.data(), static_cast<size_t>(arity),
+                 pos.data(), k, bits, nrows, &ref_mn, &ref_mx);
+
+    // A hash table over a subset of the keys (every third row), built
+    // once: probes hit and miss both.
+    size_t cap = 16;
+    while (cap < static_cast<size_t>(nrows) * 2) cap <<= 1;
+    const uint64_t mask = cap - 1;
+    std::vector<uint64_t> slot_keys(cap, 0);
+    std::vector<int32_t> slot_vals(cap, -1);
+    int32_t next_ord = 0;
+    for (int r = 0; r < nrows; r += 3) {
+      const uint64_t key = ref_keys[r];
+      size_t slot = kernels::SplitMix64(key) & mask;
+      while (slot_vals[slot] != -1 && slot_keys[slot] != key) {
+        slot = (slot + 1) & mask;
+      }
+      if (slot_vals[slot] == -1) {
+        slot_vals[slot] = next_ord++;
+        slot_keys[slot] = key;
+      }
+    }
+    std::vector<int32_t> ref_vals(std::max(1, nrows), -2);
+    const long ref_coll =
+        ref.ProbeKeys(ref_vals.data(), ref_keys.data(), nrows,
+                      slot_keys.data(), slot_vals.data(), mask);
+
+    for (Backend b : kBackends) {
+      const Ops& ops = GetOps(b);
+      SCOPED_TRACE(std::string(kernels::BackendName(b)) +
+                   " arity=" + std::to_string(arity) + " k=" +
+                   std::to_string(k) + " bits=" + std::to_string(bits) +
+                   " nrows=" + std::to_string(nrows));
+      std::vector<uint64_t> keys(std::max(1, nrows), ~uint64_t{0});
+      uint64_t mn = 123, mx = 456;
+      ops.PackKeys(keys.data(), rows.data(), static_cast<size_t>(arity),
+                   pos.data(), k, bits, nrows, &mn, &mx);
+      EXPECT_EQ(ref_keys, keys);
+      EXPECT_EQ(ref_mn, mn);
+      EXPECT_EQ(ref_mx, mx);
+
+      std::vector<int32_t> vals(std::max(1, nrows), -2);
+      EXPECT_EQ(ref_coll,
+                ops.ProbeKeys(vals.data(), keys.data(), nrows,
+                              slot_keys.data(), slot_vals.data(), mask));
+      EXPECT_EQ(ref_vals, vals);
     }
   }
 }

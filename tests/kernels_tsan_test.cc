@@ -26,11 +26,12 @@ using kernels::GetOps;
 using kernels::Ops;
 using kernels::PaddedWords;
 
-// Large enough that OrReduceRows / ScoreRows cross the batched backend's
-// sharding thresholds (rows x words > kMinWordsToShard), so the worker
-// pool actually runs waves instead of delegating to the SIMD table.
+// Large enough that ScoreRows / MaxIntersect cross the batched backend's
+// sharding thresholds (1200 rows x 64 words > kMinWordsToShard), so the
+// worker pool actually runs waves instead of delegating to the SIMD
+// table.
 constexpr int kVertices = 4096;
-constexpr int kEdges = 300;
+constexpr int kEdges = 1200;
 constexpr int kThreads = 4;
 constexpr int kRoundsPerThread = 8;
 
@@ -90,6 +91,67 @@ TEST(KernelsTsan, BatchedWorkersShareOneIndex) {
                                 kEdges, conn.data(), vert_words)) {
           ++failures[t];
         }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(0, failures[t]) << "thread " << t;
+  }
+  workers.clear();
+  failures.assign(kThreads, 0);
+
+  // Join-engine key kernels under the same contention: a shared
+  // read-only row buffer, per-thread outputs, batched waves crossing
+  // kMinKeysToShard. Collision counts must match scalar exactly — they
+  // feed the deterministic relation.probe_collisions totals.
+  constexpr int kKeyRows = 50000;
+  constexpr int kArity = 4;
+  constexpr int kKeyK = 3;
+  constexpr int kKeyBits = 9;
+  std::vector<int> rows(static_cast<size_t>(kKeyRows) * kArity);
+  {
+    Rng rng(4242);
+    for (int& v : rows) v = static_cast<int>(rng.Next() & 0x1ff);
+  }
+  const int pos[kKeyK] = {0, 2, 3};
+  std::vector<uint64_t> ref_keys(kKeyRows);
+  uint64_t ref_mn = 0, ref_mx = 0;
+  scalar.PackKeys(ref_keys.data(), rows.data(), kArity, pos, kKeyK, kKeyBits,
+                  kKeyRows, &ref_mn, &ref_mx);
+  size_t cap = 16;
+  while (cap < static_cast<size_t>(kKeyRows)) cap <<= 1;
+  const uint64_t mask = cap - 1;
+  std::vector<uint64_t> slot_keys(cap, 0);
+  std::vector<int32_t> slot_vals(cap, -1);
+  int32_t ord = 0;
+  for (int r = 0; r < kKeyRows; r += 2) {
+    size_t slot = kernels::SplitMix64(ref_keys[r]) & mask;
+    while (slot_vals[slot] != -1 && slot_keys[slot] != ref_keys[r]) {
+      slot = (slot + 1) & mask;
+    }
+    if (slot_vals[slot] == -1) {
+      slot_vals[slot] = ord++;
+      slot_keys[slot] = ref_keys[r];
+    }
+  }
+  std::vector<int32_t> ref_vals(kKeyRows);
+  const long ref_coll =
+      scalar.ProbeKeys(ref_vals.data(), ref_keys.data(), kKeyRows,
+                       slot_keys.data(), slot_vals.data(), mask);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<uint64_t> keys(kKeyRows);
+      std::vector<int32_t> vals(kKeyRows);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        uint64_t mn = 0, mx = 0;
+        batched.PackKeys(keys.data(), rows.data(), kArity, pos, kKeyK,
+                         kKeyBits, kKeyRows, &mn, &mx);
+        if (keys != ref_keys || mn != ref_mn || mx != ref_mx) ++failures[t];
+        const long coll =
+            batched.ProbeKeys(vals.data(), keys.data(), kKeyRows,
+                              slot_keys.data(), slot_vals.data(), mask);
+        if (vals != ref_vals || coll != ref_coll) ++failures[t];
       }
     });
   }

@@ -1,9 +1,11 @@
 #include "serve/cache_store.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -176,6 +178,65 @@ TEST_F(PersistentStoreTest, InstanceTextMismatchIsAMiss) {
   EXPECT_FALSE(
       store.Load(norm_.key, norm_.canonical_text + "x", &error).has_value());
   EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+}
+
+TEST_F(PersistentStoreTest, CapEvictsLeastRecentlyUsedAcrossRestarts) {
+  // Three instances; C is much smaller than A and B so that {A, C} fits
+  // a cap sized to hold {A, B}.
+  auto make_entry = [](const Hypergraph& h, uint64_t seed) {
+    serve::NormalizedInstance norm = NormalizeInstance(h);
+    StoredWitness w;
+    w.witness_text = CanonicalWitnessText(
+        SubtreeFromGhd(MakeGhd(norm.hypergraph, seed)), norm.hypergraph);
+    w.meta = {2, 1, true};
+    w.vertices = norm.hypergraph.NumVertices();
+    w.edges = norm.hypergraph.NumEdges();
+    w.solver = "portfolio";
+    return std::make_pair(norm, w);
+  };
+  auto [a, wa] = make_entry(RandomHypergraph(14, 16, 2, 4, 7), 7);
+  auto [b, wb] = make_entry(RandomHypergraph(14, 16, 2, 4, 8), 8);
+  auto [c, wc] = make_entry(RandomHypergraph(6, 6, 2, 3, 9), 9);
+
+  // First server life: uncapped writes of A then B.
+  {
+    PersistentCacheStore store(dir_);
+    ASSERT_TRUE(store.Store(a.key, a.canonical_text, wa));
+    ASSERT_TRUE(store.Store(b.key, b.canonical_text, wb));
+  }
+  // Make the on-disk LRU order unambiguous even on coarse-mtime
+  // filesystems: A's recency stamp is hours older than B's.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  auto meta_path = [&](const serve::NormalizedInstance& n) {
+    return dir_ + "/" + n.key.substr(0, 2) + "/" + n.key + ".json";
+  };
+  std::filesystem::last_write_time(meta_path(a), now - std::chrono::hours(4));
+  std::filesystem::last_write_time(meta_path(b), now - std::chrono::hours(2));
+
+  // "Restart" with a cap that holds {A, B} exactly: the capped store
+  // must account for entries written before it existed.
+  const long long cap = PersistentCacheStore(dir_).DiskUsageBytes();
+  PersistentCacheStore store(dir_, cap);
+  EXPECT_EQ(store.max_bytes(), cap);
+
+  // A hit on A bumps its recency past B's pre-restart stamp.
+  ASSERT_TRUE(store.Load(a.key, a.canonical_text).has_value());
+
+  // Storing C exceeds the cap; B — now the least recently used — must
+  // be evicted, while the touched A and the fresh C survive.
+  ASSERT_TRUE(store.Store(c.key, c.canonical_text, wc));
+  EXPECT_LE(store.DiskUsageBytes(), cap);
+  EXPECT_FALSE(store.Load(b.key, b.canonical_text).has_value());
+  EXPECT_TRUE(store.Load(a.key, a.canonical_text).has_value());
+  EXPECT_TRUE(store.Load(c.key, c.canonical_text).has_value());
+
+  // A cap too small for anything still keeps the just-stored entry: the
+  // eviction pass never deletes its own write.
+  PersistentCacheStore tiny(dir_, 1);
+  ASSERT_TRUE(tiny.Store(b.key, b.canonical_text, wb));
+  EXPECT_TRUE(tiny.Load(b.key, b.canonical_text).has_value());
+  EXPECT_FALSE(tiny.Load(a.key, a.canonical_text).has_value());
+  EXPECT_FALSE(tiny.Load(c.key, c.canonical_text).has_value());
 }
 
 TEST_F(PersistentStoreTest, CorruptEntriesAreMisses) {

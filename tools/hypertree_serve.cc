@@ -6,6 +6,8 @@
 //                        printed on startup)
 //   --cache-dir=DIR      persistent content-addressed witness store
 //                        (default: none — memory cache only)
+//   --cache-max-bytes=B  disk-store size cap with LRU eviction; accepts
+//                        k/m/g suffixes (default: 0 = uncapped)
 //   --metrics=FILE       append one NDJSON access record per request
 //   --budget-seconds=S   default per-request solve budget (default 10)
 //   --threads=N          portfolio racing threads (default: hardware)
@@ -18,6 +20,7 @@
 
 #include <cstdio>
 
+#include "csp/morsel.h"
 #include "serve/server.h"
 #include "util/flags.h"
 
@@ -28,14 +31,21 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: hypertree_serve [--port=N] [--cache-dir=DIR] "
-        "[--metrics=FILE]\n"
-        "                       [--budget-seconds=S] [--threads=N]\n"
-        "                       [--mem-shards=N] [--max-requests=N]\n");
+        "[--cache-max-bytes=B]\n"
+        "                       [--metrics=FILE] [--budget-seconds=S]\n"
+        "                       [--threads=N] [--mem-shards=N] "
+        "[--max-requests=N]\n");
     return 0;
   }
   serve::ServerOptions options;
   options.port = static_cast<int>(flags.GetInt("port", options.port));
   options.cache_dir = flags.GetString("cache-dir");
+  const std::string cap = flags.GetString("cache-max-bytes");
+  if (!cap.empty() && !ParseByteSize(cap, &options.cache_max_bytes)) {
+    std::fprintf(stderr, "error: bad --cache-max-bytes value: %s\n",
+                 cap.c_str());
+    return 2;
+  }
   options.metrics_path = flags.GetString("metrics");
   options.default_budget_seconds =
       flags.GetDouble("budget-seconds", options.default_budget_seconds);

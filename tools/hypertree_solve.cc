@@ -18,6 +18,11 @@
 //   --kernel-backend=  auto | scalar | avx2 | batched: bitwise kernel
 //                     backend for the decomposition inner loops
 //                     (default auto; see docs/KERNELS.md)
+//   --memory-budget=B per-query memory budget for the join engine, with
+//                     an optional k/m/g suffix ("256m", "4g"). Join
+//                     intermediates above it spill to disk; answers are
+//                     bit-identical either way (docs/SOLVING.md).
+//                     Overrides HYPERTREE_MEMORY_BUDGET; 0 = unlimited.
 //   --json            print machine-readable JSON records (the BENCH.json
 //                     schema, see docs/BENCHMARKS.md) instead of text
 
@@ -28,6 +33,7 @@
 #include "csp/counting.h"
 #include "csp/decomposition_solving.h"
 #include "csp/generators.h"
+#include "csp/morsel.h"
 #include "ghd/ghw_from_ordering.h"
 #include "hd/det_k_decomp.h"
 #include "hypergraph/parser.h"
@@ -67,11 +73,19 @@ struct KernelCounters {
   long rows_joined;
   long rows_semijoin_dropped;
   long probe_collisions;
+  long morsels_processed;
+  long morsels_skipped;
+  long spill_partitions;
+  long spill_bytes;
 
   static KernelCounters Now() {
     return {metrics::GetCounter("relation.rows_joined").Value(),
             metrics::GetCounter("relation.rows_semijoin_dropped").Value(),
-            metrics::GetCounter("relation.probe_collisions").Value()};
+            metrics::GetCounter("relation.probe_collisions").Value(),
+            MorselsProcessed().Value(),
+            MorselsSkipped().Value(),
+            SpillPartitions().Value(),
+            SpillBytes().Value()};
   }
 
   /// Adds the delta since `before` to `counters`.
@@ -81,7 +95,13 @@ struct KernelCounters {
         .Set("rows_semijoin_dropped",
              now.rows_semijoin_dropped - before.rows_semijoin_dropped)
         .Set("probe_collisions",
-             now.probe_collisions - before.probe_collisions);
+             now.probe_collisions - before.probe_collisions)
+        .Set("morsels_processed",
+             now.morsels_processed - before.morsels_processed)
+        .Set("morsels_skipped", now.morsels_skipped - before.morsels_skipped)
+        .Set("spill_partitions",
+             now.spill_partitions - before.spill_partitions)
+        .Set("spill_bytes", now.spill_bytes - before.spill_bytes);
   }
 };
 
@@ -94,7 +114,8 @@ int main(int argc, char** argv) {
                  "usage: hypertree_solve [--domain=D] [--tightness=T] "
                  "[--plant] [--seed=N] [--threads=N] [--hw] [--count] "
                  "[--route=td|ghd|bt|all] "
-                 "[--kernel-backend=auto|scalar|avx2|batched] [--json] "
+                 "[--kernel-backend=auto|scalar|avx2|batched] "
+                 "[--memory-budget=BYTES[k|m|g]] [--json] "
                  "<instance.hg>\n");
     return 2;
   }
@@ -109,6 +130,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     kernels::SetBackend(kb);
+  }
+  std::string budget_str = flags.GetString("memory-budget");
+  if (!budget_str.empty()) {
+    long long budget_bytes = 0;
+    if (!ParseByteSize(budget_str, &budget_bytes)) {
+      std::fprintf(stderr,
+                   "error: bad --memory-budget \"%s\" (expected bytes with "
+                   "an optional k/m/g suffix)\n",
+                   budget_str.c_str());
+      return 2;
+    }
+    SetMemoryBudget(budget_bytes);
   }
   std::string error;
   auto h = ReadHypergraphFile(flags.positional()[0], &error);
